@@ -1,0 +1,88 @@
+// Ablation A1 — the paper's §5.2 sampling claim: computing max-flows from
+// only the c·n smallest-out-degree sources (c = 0.02) finds the true minimum
+// of the maximum flows. The authors verified this on 20 fully-analyzed
+// graphs; here we re-verify on real simulated snapshots and report the
+// smallest c that would have sufficed.
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "flow/vertex_connectivity.h"
+#include "scen/runner.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/table.h"
+
+int main() {
+    using namespace kadsim;
+    std::printf("================================================================\n");
+    std::printf("Ablation A1 — Is c = 0.02 source sampling sufficient? (paper 5.2)\n");
+    std::printf("================================================================\n\n");
+
+    // A modest network keeps the exact n(n-1) analysis affordable here.
+    const int size = static_cast<int>(util::env_int("REPRO_ABLATION_SIZE", 120));
+    scen::ScenarioConfig scenario;
+    scenario.name = "ablation-sampling";
+    scenario.initial_size = size;
+    scenario.seed = util::repro_seed();
+    scenario.kad.k = 10;
+    scenario.kad.s = 1;
+    scenario.traffic.enabled = true;
+    scenario.phases.end = sim::minutes(240);
+    scen::Runner runner(scenario);
+
+    util::TextTable table({"t(min)", "n", "exact kappa", "c=0.01", "c=0.02", "c=0.05",
+                           "c=0.10", "smallest sufficient c"});
+    util::CsvWriter csv("bench_out/ablation_sampling_c.csv");
+    csv.write_row({"t_min", "n", "exact", "c001", "c002", "c005", "c010"});
+
+    bool all_match_at_002 = true;
+    for (const sim::SimTime t :
+         {sim::minutes(60), sim::minutes(120), sim::minutes(180), sim::minutes(240)}) {
+        runner.step_to(t);
+        const auto snap = runner.snapshot();
+        const graph::Digraph g = snap.to_digraph();
+
+        flow::ConnectivityOptions exact_opts;
+        exact_opts.threads = util::repro_threads();
+        const auto exact = flow::vertex_connectivity(g, exact_opts);
+
+        const double cs[] = {0.01, 0.02, 0.05, 0.10};
+        int sampled[4] = {0, 0, 0, 0};
+        double smallest_sufficient = -1.0;
+        for (int i = 0; i < 4; ++i) {
+            flow::ConnectivityOptions opts;
+            opts.sample_fraction = cs[i];
+            opts.min_sources = 1;
+            opts.threads = util::repro_threads();
+            sampled[i] = flow::vertex_connectivity(g, opts).kappa_min;
+            if (smallest_sufficient < 0 && sampled[i] == exact.kappa_min) {
+                smallest_sufficient = cs[i];
+            }
+        }
+        if (sampled[1] != exact.kappa_min) all_match_at_002 = false;
+
+        table.add_row({util::TextTable::num(static_cast<long long>(t / sim::kMinute)),
+                       std::to_string(g.vertex_count()),
+                       std::to_string(exact.kappa_min), std::to_string(sampled[0]),
+                       std::to_string(sampled[1]), std::to_string(sampled[2]),
+                       std::to_string(sampled[3]),
+                       smallest_sufficient < 0 ? std::string(">0.10")
+                                               : util::TextTable::num(smallest_sufficient, 2)});
+        csv.write_row({util::CsvWriter::field(static_cast<long long>(t / sim::kMinute)),
+                       util::CsvWriter::field(static_cast<long long>(g.vertex_count())),
+                       util::CsvWriter::field(static_cast<long long>(exact.kappa_min)),
+                       util::CsvWriter::field(static_cast<long long>(sampled[0])),
+                       util::CsvWriter::field(static_cast<long long>(sampled[1])),
+                       util::CsvWriter::field(static_cast<long long>(sampled[2])),
+                       util::CsvWriter::field(static_cast<long long>(sampled[3]))});
+        std::printf("analyzed t=%lld (exact pairs: %llu)\n",
+                    static_cast<long long>(t / sim::kMinute),
+                    static_cast<unsigned long long>(exact.pairs_evaluated));
+    }
+
+    std::printf("\n%s\n", table.to_string().c_str());
+    std::printf("verdict: c = 0.02 %s on these snapshots (paper: sufficient on all "
+                "20 verified graphs)\n",
+                all_match_at_002 ? "SUFFICIENT" : "NOT sufficient");
+    return 0;
+}

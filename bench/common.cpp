@@ -1,0 +1,230 @@
+#include "bench/common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/sha1.h"
+#include "util/table.h"
+
+namespace kadsim::bench {
+
+namespace {
+
+/// Deterministic cache key: every parameter that influences the series.
+std::string cache_key(const core::ExperimentConfig& cfg) {
+    std::ostringstream key;
+    const auto& s = cfg.scenario;
+    key << s.name << "|n=" << s.initial_size << "|seed=" << s.seed
+        << "|k=" << s.kad.k << "|b=" << s.kad.b << "|a=" << s.kad.alpha
+        << "|s=" << s.kad.s << "|loss=" << net::to_string(s.loss)
+        << "|churn=" << s.churn.label() << "|traffic=" << s.traffic.enabled
+        << "|lpm=" << s.traffic.lookups_per_minute
+        << "|dpm=" << s.traffic.disseminations_per_minute
+        << "|end=" << s.phases.end << "|snap=" << cfg.snapshot_interval
+        << "|c=" << cfg.analyzer.sample_c << "|minsrc=" << cfg.analyzer.min_sources
+        << "|policy=" << static_cast<int>(s.kad.bucket_policy)
+        << "|refresh=" << static_cast<int>(s.kad.refresh_policy);
+    return key.str();
+}
+
+std::string cache_path(const std::string& key) {
+    return output_dir() + "/cache/" + util::to_hex(util::sha1(key)) + ".csv";
+}
+
+bool load_cached(const std::string& path, const std::string& key,
+                 core::ExperimentSeries& out) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::string line;
+    if (!std::getline(in, line) || line != "# " + key) return false;
+    if (!std::getline(in, line)) return false;  // column header
+    while (std::getline(in, line)) {
+        core::ConnectivitySample sample;
+        std::istringstream row(line);
+        char comma = 0;
+        std::uint64_t pairs = 0;
+        row >> sample.time_min >> comma >> sample.n >> comma >> sample.m >> comma >>
+            sample.kappa_min >> comma >> sample.kappa_avg >> comma >>
+            sample.scc_count >> comma >> sample.reciprocity >> comma >> pairs;
+        if (!row) return false;
+        sample.pairs_evaluated = pairs;
+        out.samples.push_back(sample);
+    }
+    return !out.samples.empty();
+}
+
+void store_cached(const std::string& path, const std::string& key,
+                  const core::ExperimentSeries& series) {
+    util::ensure_directory(output_dir() + "/cache");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return;
+    out << "# " << key << '\n';
+    out << "time_min,n,m,kappa_min,kappa_avg,scc,reciprocity,pairs\n";
+    for (const auto& s : series.samples) {
+        out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
+            << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
+            << s.pairs_evaluated << '\n';
+    }
+}
+
+}  // namespace
+
+std::string output_dir() {
+    const std::string dir = "bench_out";
+    util::ensure_directory(dir);
+    return dir;
+}
+
+core::ExperimentSeries run_cached(const core::ExperimentConfig& config,
+                                  const std::string& narrate_label) {
+    const std::string key = cache_key(config);
+    const std::string path = cache_path(key);
+    core::ExperimentSeries cached;
+    cached.name = config.scenario.name;
+    if (load_cached(path, key, cached)) {
+        std::printf("  [%s] loaded %zu snapshots from cache\n", narrate_label.c_str(),
+                    cached.samples.size());
+        return cached;
+    }
+
+    std::printf("  [%s] simulating: %s\n", narrate_label.c_str(),
+                config.scenario.name.c_str());
+    std::fflush(stdout);
+    core::ExperimentSeries series =
+        core::run_experiment(config, [&](const core::ConnectivitySample& s) {
+            std::printf("  [%s] t=%6.0f min  n=%5d  kappa_min=%4d  kappa_avg=%7.2f\n",
+                        narrate_label.c_str(), s.time_min, s.n, s.kappa_min,
+                        s.kappa_avg);
+            std::fflush(stdout);
+        });
+    store_cached(path, key, series);
+    return series;
+}
+
+void print_header(const FigureSpec& spec, const core::ReproScale& scale) {
+    std::printf("================================================================\n");
+    std::printf("%s — %s\n", spec.paper_ref.c_str(), spec.description.c_str());
+    std::printf("================================================================\n");
+    std::printf("scale: %s  (small=%d large=%d horizon=%lld min, snapshots every %lld "
+                "min, c=%.3f, seed=%llu, threads=%d)\n",
+                util::repro_scale() == util::ReproScale::kPaper ? "paper" : "quick",
+                scale.size_small, scale.size_large,
+                static_cast<long long>(scale.churn_figs_end / sim::kMinute),
+                static_cast<long long>(scale.snapshot_interval / sim::kMinute),
+                scale.sample_c, static_cast<unsigned long long>(scale.seed),
+                scale.threads);
+    std::printf("paper expectation: %s\n\n", spec.expectation.c_str());
+}
+
+int run_figure(FigureSpec& spec) {
+    const auto scale = core::ReproScale::from_env();
+    print_header(spec, scale);
+
+    for (auto& run : spec.runs) {
+        const auto start = std::chrono::steady_clock::now();
+        run.series = run_cached(run.config, run.label);
+        run.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+    }
+
+    // --- combined series table -------------------------------------------
+    std::vector<std::string> header{"t(min)"};
+    for (const auto& run : spec.runs) {
+        header.push_back("n " + run.label);
+        header.push_back("Min " + run.label);
+        header.push_back("Avg " + run.label);
+    }
+    util::TextTable table(header);
+    const std::size_t rows =
+        spec.runs.empty() ? 0 : spec.runs.front().series.samples.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::vector<std::string> row;
+        row.push_back(util::TextTable::num(
+            static_cast<long long>(spec.runs.front().series.samples[i].time_min)));
+        for (const auto& run : spec.runs) {
+            if (i < run.series.samples.size()) {
+                const auto& s = run.series.samples[i];
+                row.push_back(util::TextTable::num(static_cast<long long>(s.n)));
+                row.push_back(util::TextTable::num(static_cast<long long>(s.kappa_min)));
+                row.push_back(util::TextTable::num(s.kappa_avg, 1));
+            } else {
+                row.insert(row.end(), {"-", "-", "-"});
+            }
+        }
+        table.add_row(std::move(row));
+    }
+    std::printf("\n%s\n", table.to_string().c_str());
+
+    // --- ASCII figures ----------------------------------------------------
+    static constexpr char kGlyphs[] = {'o', '*', '+', 'x', '#', '@', '%', '&'};
+    util::AsciiPlot min_plot(96, 20);
+    min_plot.set_title(spec.paper_ref + " — Minimum connectivity over time");
+    util::AsciiPlot avg_plot(96, 20);
+    avg_plot.set_title(spec.paper_ref + " — Average connectivity over time");
+    for (std::size_t r = 0; r < spec.runs.size(); ++r) {
+        const auto& run = spec.runs[r];
+        util::PlotSeries min_series{"Min " + run.label,
+                                    kGlyphs[r % sizeof(kGlyphs)], {}, {}};
+        util::PlotSeries avg_series{"Avg " + run.label,
+                                    kGlyphs[r % sizeof(kGlyphs)], {}, {}};
+        for (const auto& s : run.series.samples) {
+            min_series.x.push_back(s.time_min);
+            min_series.y.push_back(s.kappa_min);
+            avg_series.x.push_back(s.time_min);
+            avg_series.y.push_back(s.kappa_avg);
+        }
+        min_plot.add_series(std::move(min_series));
+        avg_plot.add_series(std::move(avg_series));
+    }
+    std::printf("%s\n", min_plot.render().c_str());
+    std::printf("%s\n", avg_plot.render().c_str());
+
+    // --- churn-phase summary (Table-2 style) ------------------------------
+    if (spec.churn_start_min >= 0.0) {
+        util::TextTable summary(
+            {"config", "mean(Min)", "RV(Min)", "mean(Avg)", "min(Min)", "max(Min)"});
+        for (const auto& run : spec.runs) {
+            const auto s = run.series.kappa_min_summary(spec.churn_start_min, 1e18);
+            const auto a = run.series.kappa_avg_summary(spec.churn_start_min, 1e18);
+            summary.add_row({run.label, util::TextTable::num(s.mean(), 2),
+                             util::TextTable::num(s.relative_variance(), 2),
+                             util::TextTable::num(a.mean(), 2),
+                             util::TextTable::num(s.min(), 0),
+                             util::TextTable::num(s.max(), 0)});
+        }
+        std::printf("churn-phase (t >= %.0f min) summary:\n%s\n", spec.churn_start_min,
+                    summary.to_string().c_str());
+    }
+
+    // --- CSV ---------------------------------------------------------------
+    const std::string csv_path = output_dir() + "/" + spec.id + ".csv";
+    util::CsvWriter csv(csv_path);
+    csv.write_row({"config", "time_min", "n", "m", "kappa_min", "kappa_avg", "scc",
+                   "reciprocity", "pairs"});
+    for (const auto& run : spec.runs) {
+        for (const auto& s : run.series.samples) {
+            csv.write_row({run.label, util::CsvWriter::field(s.time_min),
+                           util::CsvWriter::field(static_cast<long long>(s.n)),
+                           util::CsvWriter::field(static_cast<long long>(s.m)),
+                           util::CsvWriter::field(static_cast<long long>(s.kappa_min)),
+                           util::CsvWriter::field(s.kappa_avg),
+                           util::CsvWriter::field(static_cast<long long>(s.scc_count)),
+                           util::CsvWriter::field(s.reciprocity),
+                           util::CsvWriter::field(
+                               static_cast<long long>(s.pairs_evaluated))});
+        }
+    }
+    std::printf("csv: %s\n", csv_path.c_str());
+    double total = 0.0;
+    for (const auto& run : spec.runs) total += run.wall_seconds;
+    std::printf("wall time: %.1f s\n", total);
+    return 0;
+}
+
+}  // namespace kadsim::bench

@@ -1,0 +1,53 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Every bench binary declares a FigureSpec (paper id, expectation, scenario
+// configs) and calls run_figure(): the harness runs each simulation (or loads
+// it from the deterministic on-disk cache — figures share simulations, e.g.
+// Table 2 aggregates the runs behind Figures 6–9), prints the paper-style
+// series table, ASCII renderings of the figure, churn-phase summaries, and
+// writes CSV next to the binary under bench_out/.
+#ifndef KADSIM_BENCH_COMMON_H
+#define KADSIM_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/registry.h"
+
+namespace kadsim::bench {
+
+struct SeriesRun {
+    std::string label;                 ///< short per-config label (e.g. "k=20")
+    core::ExperimentConfig config;
+    core::ExperimentSeries series;     ///< filled by run_figure
+    double wall_seconds = 0.0;
+};
+
+struct FigureSpec {
+    std::string id;            ///< e.g. "fig06" (also the CSV file stem)
+    std::string paper_ref;     ///< e.g. "Figure 6 (Simulation E)"
+    std::string description;   ///< one line: scenario in paper terms
+    std::string expectation;   ///< the paper's qualitative result to compare to
+    std::vector<SeriesRun> runs;
+    /// Churn-phase start for the summary table (minutes; <0 = no summary).
+    double churn_start_min = 120.0;
+};
+
+/// Runs (or loads cached) simulations, prints everything, writes CSV.
+/// Returns 0 on success (bench main() convention).
+int run_figure(FigureSpec& spec);
+
+/// Runs one experiment through the cache (bench_out/cache/<key>.csv).
+core::ExperimentSeries run_cached(const core::ExperimentConfig& config,
+                                  const std::string& narrate_label);
+
+/// Prints the standard bench header (scale, seed, env knobs).
+void print_header(const FigureSpec& spec, const core::ReproScale& scale);
+
+/// Output directory ("bench_out", created on demand).
+std::string output_dir();
+
+}  // namespace kadsim::bench
+
+#endif  // KADSIM_BENCH_COMMON_H

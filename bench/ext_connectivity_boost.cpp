@@ -1,0 +1,39 @@
+// Extension bench — the paper's future work implemented (§6): "We further
+// plan to extend Kademlia to improve upon the minimum connectivity in all
+// cases and to introduce a parameter to control its connectivity
+// independently of the bucket size."
+//
+// The knob: γ = advertise_per_refresh self-lookups per hour. Each re-announces
+// the node to its closest neighbours, lifting the in-degree floor of exactly
+// the nodes that pin κ_min. Evaluated on the paper's hardest small-k case:
+// Simulation F (large network, churn 1/1, k=5), where the paper measures a
+// churn-phase mean minimum connectivity of 0.00.
+#include "bench/common.h"
+
+int main() {
+    using namespace kadsim;
+    const auto scale = core::ReproScale::from_env();
+    const core::PaperScenarios reg(scale);
+
+    bench::FigureSpec spec;
+    spec.id = "ext_connectivity_boost";
+    spec.paper_ref = "Extension (paper §6 future work)";
+    spec.description =
+        "Simulation F (large network, churn 1/1, k=5) with the connectivity "
+        "boost parameter gamma = self-advertisements per refresh cycle";
+    spec.expectation =
+        "gamma=0 reproduces the paper's k=5 collapse (kappa_min ~ 0); raising "
+        "gamma repairs churn erosion and nudges the minimum upward — but only "
+        "toward the degree ceiling that k itself imposes (each node can occupy "
+        "at most ~sum min(k, |bucket range|) other routing tables). The "
+        "experiment quantifies how much an announcement knob can and cannot "
+        "buy: the binding parameter remains k, confirming the paper's "
+        "conclusion";
+    for (const int gamma : {0, 1, 2, 4}) {
+        core::ExperimentConfig cfg = reg.sim_f(5);
+        cfg.scenario.name += ",gamma=" + std::to_string(gamma);
+        cfg.scenario.kad.advertise_per_refresh = gamma;
+        spec.runs.push_back({"gamma=" + std::to_string(gamma), cfg, {}, 0.0});
+    }
+    return bench::run_figure(spec);
+}

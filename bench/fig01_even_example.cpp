@@ -1,0 +1,82 @@
+// Figure 1: the paper's worked example of Even's transformation.
+//
+// The 9-vertex graph (a fans out to {b,c,d}, everything funnels through e,
+// then out to {f,g,h} and into i) has max-flow 3 from a to i when edges are
+// capacitated directly — but vertex connectivity κ(a,i) = 1, because every
+// path crosses e. The transformed graph D' makes max-flow equal κ.
+#include <cstdio>
+#include <sstream>
+
+#include "flow/dimacs.h"
+#include "flow/dinic.h"
+#include "flow/even_transform.h"
+#include "flow/mincut.h"
+#include "flow/vertex_connectivity.h"
+#include "graph/digraph.h"
+
+int main() {
+    using namespace kadsim;
+    enum { a, b, c, d, e, f, g, h, i };
+    const char* names = "abcdefghi";
+
+    graph::Digraph gr(9);
+    gr.add_edge(a, b);
+    gr.add_edge(a, c);
+    gr.add_edge(a, d);
+    gr.add_edge(b, e);
+    gr.add_edge(c, e);
+    gr.add_edge(d, e);
+    gr.add_edge(e, f);
+    gr.add_edge(e, g);
+    gr.add_edge(e, h);
+    gr.add_edge(f, i);
+    gr.add_edge(g, i);
+    gr.add_edge(h, i);
+    gr.finalize();
+
+    std::printf("================================================================\n");
+    std::printf("Figure 1 — Example transformation for Even's algorithm\n");
+    std::printf("================================================================\n");
+    std::printf("original graph D: n=%d vertices, m=%lld edges\n", gr.vertex_count(),
+                static_cast<long long>(gr.edge_count()));
+
+    // Max flow on the untransformed graph with capacity 1 per edge.
+    flow::FlowNetwork raw(gr.vertex_count());
+    for (int u = 0; u < gr.vertex_count(); ++u) {
+        for (const int v : gr.out(u)) raw.add_arc(u, v, 1);
+    }
+    flow::Dinic dinic;
+    const int raw_flow = dinic.max_flow(raw, a, i);
+    std::printf("max-flow a -> i in D (edge capacities 1):       %d\n", raw_flow);
+
+    // Max flow on the Even-transformed graph = vertex connectivity.
+    flow::FlowNetwork transformed = flow::even_transform(gr);
+    std::printf("transformed D': %d vertices, %d forward arcs (2n=%d, m+n=%lld)\n",
+                transformed.vertex_count(), transformed.arc_count() / 2,
+                2 * gr.vertex_count(),
+                static_cast<long long>(gr.edge_count()) + gr.vertex_count());
+    flow::Dinic dinic2;
+    const int kappa =
+        dinic2.max_flow(transformed, flow::out_vertex(a), flow::in_vertex(i));
+    std::printf("max-flow a'' -> i' in D' = kappa(a, i):         %d\n", kappa);
+
+    const auto cut = flow::min_vertex_cut(gr, a, i);
+    std::printf("minimum vertex cut witness: {");
+    for (std::size_t ci = 0; ci < cut.size(); ++ci) {
+        std::printf("%s%c", ci > 0 ? ", " : " ", names[cut[ci]]);
+    }
+    std::printf(" }\n");
+
+    std::ostringstream dimacs;
+    flow::write_dimacs(transformed, flow::out_vertex(a), flow::in_vertex(i), dimacs);
+    std::printf("\nDIMACS encoding of D' (the paper's HIPR input format):\n%s\n",
+                dimacs.str().c_str());
+
+    std::printf("paper: \"the connectivity graph in (a) shows a maximum flow of 3 "
+                "and a vertex connectivity kappa(a,i) = 1\"\n");
+    std::printf("reproduced: max-flow=%d, kappa=%d, cut={e} -> %s\n", raw_flow, kappa,
+                (raw_flow == 3 && kappa == 1 && cut.size() == 1 && cut[0] == e)
+                    ? "MATCH"
+                    : "MISMATCH");
+    return (raw_flow == 3 && kappa == 1) ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+// Figure 3 (Simulation B): size 2500 (scaled at quick scale), churn 0/1,
+// without data traffic, k ∈ {5, 10, 20, 30}.
+#include "bench/common.h"
+
+int main() {
+    using namespace kadsim;
+    const auto scale = core::ReproScale::from_env();
+    const core::PaperScenarios reg(scale);
+
+    bench::FigureSpec spec;
+    spec.id = "fig03";
+    spec.paper_ref = "Figure 3 (Simulation B)";
+    spec.description =
+        "large network, churn 0/1, no data traffic, k swept over {5,10,20,30}";
+    spec.expectation =
+        "setup problems grow with network size: k=5 AND k=10 start with "
+        "minimum connectivity 0 (a handful of nodes unknown to almost "
+        "everyone); stabilization repairs k=10; churn then lifts the minimum "
+        "above k until the network drains";
+    for (const int k : {5, 10, 20, 30}) {
+        spec.runs.push_back({"k=" + std::to_string(k), reg.sim_b(k), {}, 0.0});
+    }
+    return bench::run_figure(spec);
+}

@@ -1,0 +1,86 @@
+// Figures 10a/10b: means of the minimum connectivity during churn, as a
+// function of bucket size k, for churn 1/1 (α=3), churn 10/10 (α=3) and
+// churn 10/10 (α=5) — small network (a) and large network (b).
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main() {
+    using namespace kadsim;
+    const auto scale = core::ReproScale::from_env();
+    const core::PaperScenarios reg(scale);
+    const double churn_start = core::PaperScenarios::churn_start_min();
+
+    std::printf("================================================================\n");
+    std::printf("Figure 10 — Means of the minimum connectivity during churn\n");
+    std::printf("================================================================\n");
+    std::printf("paper expectation: (1) churn 1/1 beats 10/10; (2) k=5 is zero in\n"
+                "the large network (and for 10/10 alpha=5 in the small one);\n"
+                "(3) raising alpha from 3 to 5 under churn 10/10 hurts small k —\n"
+                "k >= 10 is the minimum advised bucket size.\n\n");
+
+    util::CsvWriter csv(bench::output_dir() + "/fig10.csv");
+    csv.write_row({"subfigure", "curve", "k", "mean_min_connectivity"});
+
+    for (const bool large : {false, true}) {
+        const char* sub = large ? "10b (large network)" : "10a (small network)";
+        std::printf("---- Figure %s ----\n", sub);
+
+        struct Curve {
+            std::string name;
+            char glyph;
+            std::vector<double> means;
+        };
+        std::vector<Curve> curves = {{"churn 1/1 (a=3)", 'o', {}},
+                                     {"churn 10/10 (a=3)", '*', {}},
+                                     {"churn 10/10 (a=5)", '+', {}}};
+        const std::vector<int> ks = {5, 10, 20, 30};
+
+        for (const int k : ks) {
+            const auto e_cfg = large ? reg.sim_f(k) : reg.sim_e(k);
+            const auto g_cfg = large ? reg.sim_h(k) : reg.sim_g(k);
+            const auto g5_cfg = large ? reg.sim_h(k, 5) : reg.sim_g(k, 5);
+            const std::string tag = std::string(large ? "L" : "S") + ",k=" +
+                                    std::to_string(k);
+            curves[0].means.push_back(
+                bench::run_cached(e_cfg, tag + ",1/1").kappa_min_summary(churn_start, 1e18).mean());
+            curves[1].means.push_back(
+                bench::run_cached(g_cfg, tag + ",10/10").kappa_min_summary(churn_start, 1e18).mean());
+            curves[2].means.push_back(
+                bench::run_cached(g5_cfg, tag + ",10/10,a5").kappa_min_summary(churn_start, 1e18).mean());
+        }
+
+        util::TextTable table({"k", curves[0].name, curves[1].name, curves[2].name});
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+            table.add_row({std::to_string(ks[i]),
+                           util::TextTable::num(curves[0].means[i], 2),
+                           util::TextTable::num(curves[1].means[i], 2),
+                           util::TextTable::num(curves[2].means[i], 2)});
+        }
+        std::printf("%s\n", table.to_string().c_str());
+
+        util::AsciiPlot plot(72, 16);
+        plot.set_title(std::string("Figure ") + sub +
+                       " — mean minimum connectivity vs bucket size k");
+        for (const auto& curve : curves) {
+            util::PlotSeries series{curve.name, curve.glyph, {}, {}};
+            for (std::size_t i = 0; i < ks.size(); ++i) {
+                series.x.push_back(ks[i]);
+                series.y.push_back(curve.means[i]);
+            }
+            plot.add_series(std::move(series));
+            for (std::size_t i = 0; i < ks.size(); ++i) {
+                csv.write_row({large ? "10b" : "10a", curve.name,
+                               util::CsvWriter::field(static_cast<long long>(ks[i])),
+                               util::CsvWriter::field(curve.means[i])});
+            }
+        }
+        std::printf("%s\n", plot.render().c_str());
+    }
+    std::printf("csv: %s/fig10.csv\n", bench::output_dir().c_str());
+    return 0;
+}

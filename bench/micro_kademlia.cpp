@@ -1,0 +1,111 @@
+// Microbenchmarks A5: protocol-engine hot paths — routing-table operations,
+// event queue throughput, and whole-network simulation speed (the budget
+// behind every figure bench).
+#include <benchmark/benchmark.h>
+
+#include "kad/routing_table.h"
+#include "scen/runner.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace kadsim;
+
+void BM_RoutingTableObserve(benchmark::State& state) {
+    kad::KademliaConfig cfg;
+    cfg.k = 20;
+    util::Rng rng(1);
+    kad::RoutingTable table(kad::NodeId::random(rng, 160), cfg);
+    std::vector<kad::Contact> pool;
+    for (net::Address a = 0; a < 2000; ++a) {
+        pool.push_back({kad::NodeId::random(rng, 160), a});
+    }
+    std::size_t i = 0;
+    sim::SimTime now = 0;
+    for (auto _ : state) {
+        table.observe(pool[i % pool.size()], ++now);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingTableObserve);
+
+void BM_RoutingTableClosest(benchmark::State& state) {
+    kad::KademliaConfig cfg;
+    cfg.k = 20;
+    util::Rng rng(2);
+    kad::RoutingTable table(kad::NodeId::random(rng, 160), cfg);
+    for (net::Address a = 0; a < 2000; ++a) {
+        table.observe({kad::NodeId::random(rng, 160), a}, a);
+    }
+    std::vector<kad::Contact> out;
+    for (auto _ : state) {
+        out.clear();
+        table.closest(kad::NodeId::random(rng, 160), 20, out);
+        benchmark::DoNotOptimize(out.size());
+    }
+    state.SetLabel("contacts=" + std::to_string(table.size()));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingTableClosest);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+    sim::EventQueue queue;
+    util::Rng rng(3);
+    // Keep a standing population of events, push/pop one per iteration.
+    for (int i = 0; i < 10000; ++i) {
+        queue.push(static_cast<sim::SimTime>(rng.next_below(1000000)), [] {});
+    }
+    for (auto _ : state) {
+        auto entry = queue.pop();
+        benchmark::DoNotOptimize(entry.time);
+        queue.push(entry.time + static_cast<sim::SimTime>(rng.next_below(1000)),
+                   [] {});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatedMinute(benchmark::State& state) {
+    // Cost of one simulated minute of a 100-node network with full data
+    // traffic (10 lookups + 1 dissemination per node-minute).
+    scen::ScenarioConfig cfg;
+    cfg.initial_size = 100;
+    cfg.seed = 4;
+    cfg.kad.k = 20;
+    cfg.kad.s = 1;
+    cfg.traffic.enabled = true;
+    cfg.phases.end = sim::minutes(100000);
+    scen::Runner runner(cfg);
+    runner.step_to(sim::minutes(35));  // past setup
+    sim::SimTime t = sim::minutes(35);
+    for (auto _ : state) {
+        t += sim::kMinute;
+        runner.step_to(t);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("events=" + std::to_string(runner.totals().events_executed));
+}
+BENCHMARK(BM_SimulatedMinute)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotExtraction(benchmark::State& state) {
+    scen::ScenarioConfig cfg;
+    cfg.initial_size = 250;
+    cfg.seed = 5;
+    cfg.kad.k = 20;
+    cfg.traffic.enabled = true;
+    cfg.phases.end = sim::minutes(100000);
+    scen::Runner runner(cfg);
+    runner.step_to(sim::minutes(60));
+    for (auto _ : state) {
+        const auto snap = runner.snapshot();
+        benchmark::DoNotOptimize(snap.nodes.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotExtraction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Microbenchmarks A4: max-flow solver throughput on Even-transformed
+// Kademlia-like connectivity graphs — justifies substituting our
+// push-relabel/Dinic for the paper's HIPR, and quantifies the analysis cost
+// model of §5.2.
+#include <benchmark/benchmark.h>
+
+#include "flow/dinic.h"
+#include "flow/edmonds_karp.h"
+#include "flow/even_transform.h"
+#include "flow/push_relabel.h"
+#include "flow/vertex_connectivity.h"
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace kadsim;
+
+/// Synthetic connectivity graph shaped like a stabilized Kademlia snapshot:
+/// n vertices, out-degree ~ deg, mostly reciprocated edges.
+graph::Digraph kademlia_like_graph(int n, int deg, std::uint64_t seed) {
+    util::Rng rng(seed);
+    graph::Digraph g(n);
+    for (int u = 0; u < n; ++u) {
+        for (int j = 0; j < deg; ++j) {
+            const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+            if (v == u) continue;
+            g.add_edge(u, v);
+            if (rng.next_bool(0.9)) g.add_edge(v, u);  // near-undirected
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+void BM_EvenTransform(benchmark::State& state) {
+    const auto g = kademlia_like_graph(static_cast<int>(state.range(0)), 40, 1);
+    for (auto _ : state) {
+        auto net = flow::even_transform(g);
+        benchmark::DoNotOptimize(net.arc_count());
+    }
+    state.SetLabel("n=" + std::to_string(g.vertex_count()) +
+                   " m=" + std::to_string(g.edge_count()));
+}
+BENCHMARK(BM_EvenTransform)->Arg(250)->Arg(500);
+
+template <typename Solver>
+void solver_bench(benchmark::State& state) {
+    const auto g = kademlia_like_graph(static_cast<int>(state.range(0)), 40, 1);
+    flow::FlowNetwork net = flow::even_transform(g);
+    Solver solver;
+    util::Rng rng(7);
+    std::int64_t flows = 0;
+    for (auto _ : state) {
+        const int u = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.vertex_count())));
+        int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.vertex_count())));
+        if (v == u) v = (v + 1) % g.vertex_count();
+        net.reset();
+        flows += solver.max_flow(net, flow::out_vertex(u), flow::in_vertex(v));
+    }
+    benchmark::DoNotOptimize(flows);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Dinic(benchmark::State& state) { solver_bench<flow::Dinic>(state); }
+void BM_PushRelabel(benchmark::State& state) {
+    solver_bench<flow::PushRelabel>(state);
+}
+void BM_EdmondsKarp(benchmark::State& state) {
+    solver_bench<flow::EdmondsKarp>(state);
+}
+BENCHMARK(BM_Dinic)->Arg(250)->Arg(500);
+BENCHMARK(BM_PushRelabel)->Arg(250)->Arg(500);
+BENCHMARK(BM_EdmondsKarp)->Arg(250);
+
+void BM_SampledConnectivity(benchmark::State& state) {
+    // One full κ(D) evaluation with the paper's c = 0.02 sampling.
+    const auto g = kademlia_like_graph(static_cast<int>(state.range(0)), 40, 1);
+    flow::ConnectivityOptions opts;
+    opts.sample_fraction = 0.02;
+    opts.min_sources = 4;
+    opts.threads = 2;
+    for (auto _ : state) {
+        const auto r = flow::vertex_connectivity(g, opts);
+        benchmark::DoNotOptimize(r.kappa_min);
+    }
+}
+BENCHMARK(BM_SampledConnectivity)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void BM_SccCheck(benchmark::State& state) {
+    const auto g = kademlia_like_graph(static_cast<int>(state.range(0)), 40, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::strongly_connected_components(g));
+    }
+}
+BENCHMARK(BM_SccCheck)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

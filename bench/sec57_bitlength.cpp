@@ -1,0 +1,62 @@
+// Section 5.7: bit-length b = 80 vs b = 160 (Simulations C and D with the
+// identifier size halved) — the paper reports "no significant difference".
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+    using namespace kadsim;
+    const auto scale = core::ReproScale::from_env();
+    const core::PaperScenarios reg(scale);
+
+    std::printf("================================================================\n");
+    std::printf("Section 5.7 — Results for bit-length b (80 vs 160)\n");
+    std::printf("================================================================\n");
+    std::printf("paper expectation: simulations C and D with b=80 show no\n"
+                "significant difference from b=160 with regard to connectivity.\n\n");
+
+    util::TextTable table({"scenario", "b", "mean(Min) t>=120", "mean(Avg) t>=120",
+                           "final Min", "final Avg"});
+    double mean_160 = 0.0;
+    double mean_80 = 0.0;
+
+    struct Variant {
+        const char* label;
+        core::ExperimentConfig cfg;
+    };
+    const Variant variants[] = {
+        {"C (small) b=160", reg.sim_c(20)},
+        {"C (small) b=80", reg.sim_c_b80(20)},
+        {"D (large) b=160", reg.sim_d(20)},
+        {"D (large) b=80", reg.sim_d_b80(20)},
+    };
+    for (const auto& variant : variants) {
+        const auto series = bench::run_cached(variant.cfg, variant.label);
+        const auto min_summary = series.kappa_min_summary(120.0, 1e18);
+        const auto avg_summary = series.kappa_avg_summary(120.0, 1e18);
+        const auto& last = series.samples.back();
+        table.add_row({variant.label,
+                       std::to_string(variant.cfg.scenario.kad.b),
+                       util::TextTable::num(min_summary.mean(), 2),
+                       util::TextTable::num(avg_summary.mean(), 2),
+                       util::TextTable::num(static_cast<long long>(last.kappa_min)),
+                       util::TextTable::num(last.kappa_avg, 1)});
+        if (variant.cfg.scenario.kad.b == 160) {
+            mean_160 += min_summary.mean();
+        } else {
+            mean_80 += min_summary.mean();
+        }
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    const double rel_diff =
+        mean_160 > 0.0 ? std::abs(mean_80 - mean_160) / mean_160 : 0.0;
+    std::printf("relative difference of churn-phase mean(Min), b=80 vs b=160: %.1f%% "
+                "-> %s\n",
+                rel_diff * 100.0,
+                rel_diff < 0.25 ? "no significant difference (matches paper)"
+                                : "SIGNIFICANT DIFFERENCE (deviates from paper)");
+    return 0;
+}

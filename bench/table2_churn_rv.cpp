@@ -1,0 +1,78 @@
+// Table 2: means and Relative Variance (RV = Variance/Mean) of the minimum
+// connectivity during the churn phase, Simulations E–H, both network sizes,
+// k ∈ {5, 10, 20, 30}. Reuses the cached runs behind Figures 6–9 when
+// available; otherwise simulates.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+    using namespace kadsim;
+    const auto scale = core::ReproScale::from_env();
+    const core::PaperScenarios reg(scale);
+
+    std::printf("================================================================\n");
+    std::printf("Table 2 — Simulations E to H: Means and Relative Variance (RV)\n");
+    std::printf("================================================================\n");
+    std::printf("churn phase: t >= %.0f min; RV = Variance / Mean (population)\n\n",
+                core::PaperScenarios::churn_start_min());
+
+    // Paper's reference values (size, k, churn) → (mean, RV).
+    struct PaperRow {
+        int k;
+        const char* churn;
+        double mean;
+        double rv;
+    };
+    const PaperRow paper_small[] = {
+        {5, "1/1", 3.49, 0.63},   {5, "10/10", 1.93, 0.75},
+        {10, "1/1", 10.12, 0.17}, {10, "10/10", 9.22, 0.23},
+        {20, "1/1", 22.22, 0.36}, {20, "10/10", 20.53, 0.39},
+        {30, "1/1", 32.84, 0.34}, {30, "10/10", 32.78, 0.62},
+    };
+    const PaperRow paper_large[] = {
+        {5, "1/1", 0.00, 0.00},   {5, "10/10", 0.00, 0.00},
+        {10, "1/1", 9.30, 0.13},  {10, "10/10", 7.38, 0.21},
+        {20, "1/1", 22.06, 0.07}, {20, "10/10", 16.62, 0.16},
+        {30, "1/1", 31.35, 0.10}, {30, "10/10", 25.73, 0.24},
+    };
+
+    util::TextTable table({"size", "k", "churn", "mean", "RV", "paper mean",
+                           "paper RV"});
+    const double churn_start = core::PaperScenarios::churn_start_min();
+
+    for (const bool large : {false, true}) {
+        const auto* paper_rows = large ? paper_large : paper_small;
+        const int size = large ? scale.size_large : scale.size_small;
+        int row_index = 0;
+        for (const int k : {5, 10, 20, 30}) {
+            for (const bool strong : {false, true}) {
+                const core::ExperimentConfig cfg =
+                    strong ? (large ? reg.sim_h(k) : reg.sim_g(k))
+                           : (large ? reg.sim_f(k) : reg.sim_e(k));
+                const std::string label = std::string(large ? "L" : "S") +
+                                          ",k=" + std::to_string(k) +
+                                          (strong ? ",10/10" : ",1/1");
+                const auto series = bench::run_cached(cfg, label);
+                const auto summary = series.kappa_min_summary(churn_start, 1e18);
+                const auto& paper = paper_rows[row_index++];
+                table.add_row({std::to_string(size), std::to_string(k),
+                               strong ? "10/10" : "1/1",
+                               util::TextTable::num(summary.mean(), 2),
+                               util::TextTable::num(summary.relative_variance(), 2),
+                               util::TextTable::num(paper.mean, 2),
+                               util::TextTable::num(paper.rv, 2)});
+            }
+            if (k != 30) table.add_separator();
+        }
+        table.add_separator();
+    }
+
+    std::printf("\n%s\n", table.to_string().c_str());
+    std::printf("shape checks vs paper: (1) stronger churn lowers the mean and\n"
+                "raises RV for the same k; (2) means track k; (3) large network\n"
+                "with k=5 is pinned at 0.\n");
+    return 0;
+}

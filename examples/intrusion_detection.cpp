@@ -1,0 +1,90 @@
+// Distributed intrusion detection system (paper §1): sensors across many
+// corporate branches exchange alerts over a Kademlia overlay. Branch WAN
+// links lose packets, so the operator must pick the staleness limit s:
+// react fast to dead sensors (s=1) or tolerate flaky links (s=5).
+//
+// The paper's surprising result (§5.8): with s=1, message loss *increases*
+// connectivity — lost messages evict contacts, freed bucket slots let the
+// overlay re-wire into a denser graph. This example reproduces the
+// trade-off on an IDS-sized deployment and reports alert-dissemination
+// health alongside connectivity.
+//
+//   ./build/examples/intrusion_detection [--sensors 400] [--loss medium]
+#include <cstdio>
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/resilience.h"
+#include "scen/runner.h"
+#include "util/cli.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace {
+
+kadsim::net::LossLevel parse_loss(const std::string& name) {
+    using kadsim::net::LossLevel;
+    if (name == "none") return LossLevel::kNone;
+    if (name == "low") return LossLevel::kLow;
+    if (name == "medium") return LossLevel::kMedium;
+    if (name == "high") return LossLevel::kHigh;
+    throw std::invalid_argument("--loss expects none|low|medium|high");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace kadsim;
+    const util::CliArgs args(argc, argv);
+    const int sensors = static_cast<int>(args.get_int("sensors", 400));
+    const auto loss_name = args.get(std::string("loss"), "medium");
+    const net::LossLevel loss = parse_loss(loss_name);
+
+    std::printf("Distributed IDS: %d sensors, WAN loss scenario '%s'\n\n", sensors,
+                loss_name.c_str());
+
+    util::TextTable table({"s", "kappa_min", "kappa_avg", "r = kappa-1",
+                           "alerts found", "rpc failure rate"});
+    for (const int s : {1, 5}) {
+        scen::ScenarioConfig scenario;
+        scenario.name = "ids-s" + std::to_string(s);
+        scenario.initial_size = sensors;
+        scenario.seed = util::repro_seed() + 2;
+        scenario.kad.k = 20;
+        scenario.kad.s = s;
+        scenario.loss = loss;
+        scenario.traffic.enabled = true;  // alert lookups + disseminations
+        scenario.phases.end = sim::minutes(300);
+
+        scen::Runner runner(scenario);
+        runner.step_to(sim::minutes(300));
+
+        core::AnalyzerOptions options;
+        options.sample_c = 0.05;
+        options.threads = util::repro_threads();
+        const auto sample =
+            core::ConnectivityAnalyzer(options).analyze(runner.snapshot());
+        const auto totals = runner.totals();
+        const double fail_rate =
+            totals.protocol.rpcs_sent == 0
+                ? 0.0
+                : static_cast<double>(totals.protocol.rpcs_failed) /
+                      static_cast<double>(totals.protocol.rpcs_sent);
+
+        table.add_row({std::to_string(s), std::to_string(sample.kappa_min),
+                       util::TextTable::num(sample.kappa_avg, 1),
+                       std::to_string(core::resilience_from_connectivity(
+                           sample.kappa_min)),
+                       std::to_string(totals.protocol.values_found),
+                       util::TextTable::num(fail_rate * 100, 1) + "%"});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    std::printf("reading the table (paper §5.8):\n"
+                " * s=1 turns loss into re-wiring: higher connectivity, but each\n"
+                "   lost RPC also evicts a live contact (more churn in tables);\n"
+                " * s=5 damps the effect: connectivity nearer k=20, tables calmer;\n"
+                " * dissemination health ('alerts found') shows the cost side of\n"
+                "   loss that connectivity alone hides (paper §5.8.2 remark).\n");
+    return 0;
+}

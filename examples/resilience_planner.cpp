@@ -1,0 +1,99 @@
+// Resilience planner: the tool a deployment engineer actually wants.
+// Given an attacker budget, environment (loss, churn) and fleet size, sweep
+// the bucket size k, simulate each candidate, and recommend the smallest k
+// whose *churn-phase minimum* connectivity still tolerates the budget.
+//
+//   ./build/examples/resilience_planner --nodes 150 --attackers 6 \
+//       --loss low --churn 1 --minutes 240
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/resilience.h"
+#include "util/cli.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace {
+
+kadsim::net::LossLevel parse_loss(const std::string& name) {
+    using kadsim::net::LossLevel;
+    if (name == "none") return LossLevel::kNone;
+    if (name == "low") return LossLevel::kLow;
+    if (name == "medium") return LossLevel::kMedium;
+    if (name == "high") return LossLevel::kHigh;
+    throw std::invalid_argument("--loss expects none|low|medium|high");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace kadsim;
+    const util::CliArgs args(argc, argv);
+    const int nodes = static_cast<int>(args.get_int("nodes", 150));
+    const int attackers = static_cast<int>(args.get_int("attackers", 6));
+    const int churn_rate = static_cast<int>(args.get_int("churn", 1));
+    const auto minutes = args.get_int("minutes", 240);
+    const auto loss = parse_loss(args.get(std::string("loss"), "none"));
+
+    std::printf("Resilience planner: %d nodes, attacker budget a=%d, loss=%s, "
+                "churn %d/%d, horizon %lld min\n",
+                nodes, attackers, args.get(std::string("loss"), "none").c_str(),
+                churn_rate, churn_rate, static_cast<long long>(minutes));
+    std::printf("requirement (Eq. 2): kappa(D) > a=%d at every snapshot of the "
+                "churn phase\n\n",
+                attackers);
+
+    // Candidate ks around the paper guidance.
+    const int guess = core::recommended_bucket_size(attackers, churn_rate >= 5);
+    std::vector<int> candidates;
+    for (const int k : {attackers + 1, guess, guess + 5, 2 * guess}) {
+        if (candidates.empty() || candidates.back() != k) candidates.push_back(k);
+    }
+
+    util::TextTable table({"k", "min kappa (churn)", "mean kappa_min",
+                           "tolerates a?", "headroom"});
+    int best_k = -1;
+    for (const int k : candidates) {
+        core::ExperimentConfig cfg;
+        cfg.scenario.name = "plan-k" + std::to_string(k);
+        cfg.scenario.initial_size = nodes;
+        cfg.scenario.seed = util::repro_seed() + 3;
+        cfg.scenario.kad.k = k;
+        cfg.scenario.kad.s = 1;
+        cfg.scenario.loss = loss;
+        cfg.scenario.traffic.enabled = true;
+        cfg.scenario.churn = scen::ChurnSpec{churn_rate, churn_rate};
+        cfg.scenario.phases.end = sim::minutes(minutes);
+        cfg.snapshot_interval = sim::minutes(30);
+        cfg.analyzer.sample_c = 0.05;
+        cfg.analyzer.min_sources = 4;
+        cfg.analyzer.threads = util::repro_threads();
+
+        std::printf("simulating k=%d ...\n", k);
+        const auto series = core::run_experiment(cfg);
+        const auto summary = series.kappa_min_summary(120.0, 1e18);
+        const int worst = static_cast<int>(summary.min());
+        const bool ok = core::tolerates(worst, attackers);
+        if (ok && best_k < 0) best_k = k;
+        table.add_row({std::to_string(k), std::to_string(worst),
+                       util::TextTable::num(summary.mean(), 1), ok ? "yes" : "NO",
+                       std::to_string(worst - attackers)});
+    }
+
+    std::printf("\n%s\n", table.to_string().c_str());
+    if (best_k > 0) {
+        std::printf("recommendation: k=%d (smallest candidate whose WORST "
+                    "churn-phase connectivity still exceeds a=%d)\n",
+                    best_k, attackers);
+    } else {
+        std::printf("no candidate k tolerated a=%d at every snapshot — raise k "
+                    "beyond %d, reduce churn, or shrink the attack surface.\n",
+                    attackers, candidates.back());
+    }
+    std::printf("note: the paper warns that under strong churn the minimum\n"
+                "connectivity dips below k (§5.5.4); the planner therefore sizes\n"
+                "against the measured minimum, not against k itself.\n");
+    return 0;
+}

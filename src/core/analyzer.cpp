@@ -1,0 +1,34 @@
+#include "core/analyzer.h"
+
+namespace kadsim::core {
+
+ConnectivitySample ConnectivityAnalyzer::analyze(
+    const graph::RoutingSnapshot& snap) const {
+    ConnectivitySample sample;
+    sample.time_min = static_cast<double>(snap.time_ms) / 60000.0;
+    const graph::Digraph g = snap.to_digraph();
+    sample.n = g.vertex_count();
+    sample.m = g.edge_count();
+    if (sample.n == 0) return sample;
+
+    sample.scc_count = graph::strongly_connected_components(g);
+    sample.reciprocity = g.reciprocity();
+
+    const flow::ConnectivityResult r = analyze_graph(g);
+    sample.kappa_min = r.kappa_min;
+    sample.kappa_avg = r.kappa_avg;
+    sample.pairs_evaluated = r.pairs_evaluated;
+    return sample;
+}
+
+flow::ConnectivityResult ConnectivityAnalyzer::analyze_graph(
+    const graph::Digraph& g) const {
+    flow::ConnectivityOptions options;
+    options.sample_fraction = options_.sample_c;
+    options.min_sources = options_.min_sources;
+    options.threads = options_.threads;
+    options.use_push_relabel = options_.use_push_relabel;
+    return flow::vertex_connectivity(g, options);
+}
+
+}  // namespace kadsim::core

@@ -1,0 +1,66 @@
+#include "core/experiment.h"
+
+#include "scen/runner.h"
+
+namespace kadsim::core {
+
+stats::TimeSeries ExperimentSeries::kappa_min_series() const {
+    stats::TimeSeries s;
+    for (const auto& sample : samples) s.add(sample.time_min, sample.kappa_min);
+    return s;
+}
+
+stats::TimeSeries ExperimentSeries::kappa_avg_series() const {
+    stats::TimeSeries s;
+    for (const auto& sample : samples) s.add(sample.time_min, sample.kappa_avg);
+    return s;
+}
+
+stats::TimeSeries ExperimentSeries::size_at_samples() const {
+    stats::TimeSeries s;
+    for (const auto& sample : samples) s.add(sample.time_min, sample.n);
+    return s;
+}
+
+stats::Summary ExperimentSeries::kappa_min_summary(double begin_min,
+                                                   double end_min) const {
+    stats::Summary s;
+    for (const auto& sample : samples) {
+        if (sample.time_min >= begin_min && sample.time_min < end_min) {
+            s.add(sample.kappa_min);
+        }
+    }
+    return s;
+}
+
+stats::Summary ExperimentSeries::kappa_avg_summary(double begin_min,
+                                                   double end_min) const {
+    stats::Summary s;
+    for (const auto& sample : samples) {
+        if (sample.time_min >= begin_min && sample.time_min < end_min) {
+            s.add(sample.kappa_avg);
+        }
+    }
+    return s;
+}
+
+ExperimentSeries run_experiment(
+    const ExperimentConfig& config,
+    const std::function<void(const ConnectivitySample&)>& on_progress) {
+    ExperimentSeries series;
+    series.name = config.scenario.name;
+
+    scen::Runner runner(config.scenario);
+    const ConnectivityAnalyzer analyzer(config.analyzer);
+
+    runner.run(config.snapshot_interval,
+               [&](const graph::RoutingSnapshot& snap) {
+                   ConnectivitySample sample = analyzer.analyze(snap);
+                   if (on_progress) on_progress(sample);
+                   series.samples.push_back(sample);
+               });
+    series.network_size = runner.size_series();
+    return series;
+}
+
+}  // namespace kadsim::core

@@ -1,0 +1,50 @@
+// Experiment driver: scenario simulation × periodic connectivity analysis →
+// the time series behind every figure, plus churn-phase summaries (Table 2).
+#ifndef KADSIM_CORE_EXPERIMENT_H
+#define KADSIM_CORE_EXPERIMENT_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "scen/scenario.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace kadsim::core {
+
+struct ExperimentConfig {
+    scen::ScenarioConfig scenario;
+    sim::SimTime snapshot_interval = sim::minutes(30);
+    AnalyzerOptions analyzer;
+};
+
+/// The analyzed output of one simulation run.
+struct ExperimentSeries {
+    std::string name;
+    std::vector<ConnectivitySample> samples;
+    stats::TimeSeries network_size;  // per simulated minute
+
+    [[nodiscard]] stats::TimeSeries kappa_min_series() const;
+    [[nodiscard]] stats::TimeSeries kappa_avg_series() const;
+    [[nodiscard]] stats::TimeSeries size_at_samples() const;
+
+    /// Summary of κ_min over samples taken in [begin_min, end_min) — the
+    /// Table 2 aggregation when applied to the churn phase.
+    [[nodiscard]] stats::Summary kappa_min_summary(double begin_min,
+                                                   double end_min) const;
+    [[nodiscard]] stats::Summary kappa_avg_summary(double begin_min,
+                                                   double end_min) const;
+};
+
+/// Runs the scenario to completion, analyzing a snapshot every
+/// `snapshot_interval`. `on_progress` (optional) is invoked after each
+/// analyzed snapshot — benches use it for live narration.
+[[nodiscard]] ExperimentSeries run_experiment(
+    const ExperimentConfig& config,
+    const std::function<void(const ConnectivitySample&)>& on_progress = nullptr);
+
+}  // namespace kadsim::core
+
+#endif  // KADSIM_CORE_EXPERIMENT_H

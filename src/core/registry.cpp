@@ -1,0 +1,172 @@
+#include "core/registry.h"
+
+#include "util/env.h"
+
+namespace kadsim::core {
+
+ReproScale ReproScale::from_env() {
+    ReproScale s;
+    const bool paper = util::repro_scale() == util::ReproScale::kPaper;
+    s.size_small = util::repro_size_small();
+    s.size_large = util::repro_size_large();
+    s.churn_figs_end =
+        sim::minutes(util::env_int("REPRO_END_MIN", paper ? 1400 : 360));
+    s.snapshot_interval = sim::minutes(util::env_int("REPRO_SNAPSHOT_MIN", 30));
+    s.sample_c = util::repro_sample_c();
+    s.threads = util::repro_threads();
+    s.seed = util::repro_seed();
+    return s;
+}
+
+ExperimentConfig PaperScenarios::base(const std::string& name, int size, int k,
+                                      bool traffic, scen::ChurnSpec churn,
+                                      sim::SimTime end) const {
+    ExperimentConfig cfg;
+    cfg.scenario.name = name;
+    cfg.scenario.initial_size = size;
+    cfg.scenario.seed = scale_.seed;
+    cfg.scenario.kad.k = k;
+    cfg.scenario.kad.b = 160;
+    cfg.scenario.kad.alpha = 3;
+    // §5.3: churn simulations with loss none (not evaluating s) use s=1.
+    cfg.scenario.kad.s = churn.any() ? 1 : 5;
+    cfg.scenario.traffic.enabled = traffic;
+    cfg.scenario.churn = churn;
+    cfg.scenario.phases.end = end;
+    cfg.snapshot_interval = scale_.snapshot_interval;
+    cfg.analyzer.sample_c = scale_.sample_c;
+    cfg.analyzer.min_sources = scale_.min_sources;
+    cfg.analyzer.threads = scale_.threads;
+    return cfg;
+}
+
+namespace {
+/// 0/1 churn drains the network at one node per minute from minute 120; run
+/// just past the drain (the paper's Figs. 2–5 end with ≈10 nodes left).
+sim::SimTime drain_end(int size) {
+    return sim::minutes(120) + sim::minutes(size);
+}
+}  // namespace
+
+ExperimentConfig PaperScenarios::sim_a(int k) const {
+    return base("A:size=" + std::to_string(scale_.size_small) + ",churn=0/1,k=" +
+                    std::to_string(k),
+                scale_.size_small, k, false, scen::ChurnSpec{0, 1},
+                drain_end(scale_.size_small));
+}
+
+ExperimentConfig PaperScenarios::sim_b(int k) const {
+    return base("B:size=" + std::to_string(scale_.size_large) + ",churn=0/1,k=" +
+                    std::to_string(k),
+                scale_.size_large, k, false, scen::ChurnSpec{0, 1},
+                drain_end(scale_.size_large));
+}
+
+ExperimentConfig PaperScenarios::sim_c(int k) const {
+    return base("C:size=" + std::to_string(scale_.size_small) +
+                    ",churn=0/1,traffic,k=" + std::to_string(k),
+                scale_.size_small, k, true, scen::ChurnSpec{0, 1},
+                drain_end(scale_.size_small));
+}
+
+ExperimentConfig PaperScenarios::sim_d(int k) const {
+    return base("D:size=" + std::to_string(scale_.size_large) +
+                    ",churn=0/1,traffic,k=" + std::to_string(k),
+                scale_.size_large, k, true, scen::ChurnSpec{0, 1},
+                drain_end(scale_.size_large));
+}
+
+ExperimentConfig PaperScenarios::sim_e(int k) const {
+    return base("E:size=" + std::to_string(scale_.size_small) +
+                    ",churn=1/1,traffic,k=" + std::to_string(k),
+                scale_.size_small, k, true, scen::ChurnSpec{1, 1},
+                scale_.churn_figs_end);
+}
+
+ExperimentConfig PaperScenarios::sim_f(int k) const {
+    return base("F:size=" + std::to_string(scale_.size_large) +
+                    ",churn=1/1,traffic,k=" + std::to_string(k),
+                scale_.size_large, k, true, scen::ChurnSpec{1, 1},
+                scale_.churn_figs_end);
+}
+
+ExperimentConfig PaperScenarios::sim_g(int k, int alpha) const {
+    ExperimentConfig cfg =
+        base("G:size=" + std::to_string(scale_.size_small) +
+                 ",churn=10/10,traffic,k=" + std::to_string(k) + ",alpha=" +
+                 std::to_string(alpha),
+             scale_.size_small, k, true, scen::ChurnSpec{10, 10},
+             scale_.churn_figs_end);
+    cfg.scenario.kad.alpha = alpha;
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::sim_h(int k, int alpha) const {
+    ExperimentConfig cfg =
+        base("H:size=" + std::to_string(scale_.size_large) +
+                 ",churn=10/10,traffic,k=" + std::to_string(k) + ",alpha=" +
+                 std::to_string(alpha),
+             scale_.size_large, k, true, scen::ChurnSpec{10, 10},
+             scale_.churn_figs_end);
+    cfg.scenario.kad.alpha = alpha;
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::sim_i(int s, const scen::ChurnSpec& churn) const {
+    ExperimentConfig cfg = base(
+        "I:churn=" + churn.label() + ",s=" + std::to_string(s) + ",k=20",
+        scale_.size_large, 20, true, churn, scale_.churn_figs_end);
+    cfg.scenario.kad.s = s;
+    return cfg;
+}
+
+namespace {
+ExperimentConfig with_loss(ExperimentConfig cfg, net::LossLevel loss, int s) {
+    cfg.scenario.loss = loss;
+    cfg.scenario.kad.s = s;
+    return cfg;
+}
+}  // namespace
+
+ExperimentConfig PaperScenarios::sim_j(net::LossLevel loss, int s) const {
+    ExperimentConfig cfg =
+        base("J:loss=" + std::string(net::to_string(loss)) + ",s=" +
+                 std::to_string(s) + ",k=20",
+             scale_.size_large, 20, true, scen::ChurnSpec{0, 0},
+             scale_.churn_figs_end);
+    return with_loss(std::move(cfg), loss, s);
+}
+
+ExperimentConfig PaperScenarios::sim_k(net::LossLevel loss, int s) const {
+    ExperimentConfig cfg =
+        base("K:loss=" + std::string(net::to_string(loss)) + ",s=" +
+                 std::to_string(s) + ",k=20,churn=1/1",
+             scale_.size_large, 20, true, scen::ChurnSpec{1, 1},
+             scale_.churn_figs_end);
+    return with_loss(std::move(cfg), loss, s);
+}
+
+ExperimentConfig PaperScenarios::sim_l(net::LossLevel loss, int s) const {
+    ExperimentConfig cfg =
+        base("L:loss=" + std::string(net::to_string(loss)) + ",s=" +
+                 std::to_string(s) + ",k=20,churn=10/10",
+             scale_.size_large, 20, true, scen::ChurnSpec{10, 10},
+             scale_.churn_figs_end);
+    return with_loss(std::move(cfg), loss, s);
+}
+
+ExperimentConfig PaperScenarios::sim_c_b80(int k) const {
+    ExperimentConfig cfg = sim_c(k);
+    cfg.scenario.name += ",b=80";
+    cfg.scenario.kad.b = 80;
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::sim_d_b80(int k) const {
+    ExperimentConfig cfg = sim_d(k);
+    cfg.scenario.name += ",b=80";
+    cfg.scenario.kad.b = 80;
+    return cfg;
+}
+
+}  // namespace kadsim::core

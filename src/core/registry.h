@@ -1,0 +1,88 @@
+// Registry of the paper's simulation scenarios A–L (§5.3–§5.8).
+//
+// Naming follows the paper:
+//   A/B: churn 0/1, no data traffic, sizes 250/2500          (Figs. 2–3)
+//   C/D: churn 0/1, with data traffic                        (Figs. 4–5)
+//   E/F: churn 1/1, with data traffic                        (Figs. 6–7)
+//   G/H: churn 10/10, with data traffic                      (Figs. 8–9)
+//   I:   s ∈ {1,5}, loss none, churn {1/1, 10/10}, k = 20    (Fig. 11)
+//   J/K/L: loss {low,med,high} × s {1,5}, churn {-, 1/1, 10/10} (Figs. 12–14)
+//
+// Paper parameter rules honoured here:
+//   * default b=160, α=3;
+//   * churn simulations with loss `none` not aimed at evaluating s use s=1
+//     ("This allows quick reaction to nodes leaving", §5.3);
+//   * with data traffic: 10 lookups + 1 dissemination per node-minute;
+//   * phases: setup [0,30), stabilization [30,120), churn from 120 (§5.4).
+//
+// Horizons and the large-network size honour REPRO_SCALE (DESIGN.md §6):
+// "paper" reproduces the authors' exact sizes/durations; "quick" (default)
+// keeps the small network paper-exact and scales the large one down to a
+// 2-core budget.
+#ifndef KADSIM_CORE_REGISTRY_H
+#define KADSIM_CORE_REGISTRY_H
+
+#include <string>
+
+#include "core/experiment.h"
+
+namespace kadsim::core {
+
+/// Scale-resolved experiment defaults, all REPRO_* env overridable.
+struct ReproScale {
+    int size_small = 250;
+    int size_large = 400;
+    sim::SimTime churn_figs_end = sim::minutes(360);  // paper: 1400
+    sim::SimTime snapshot_interval = sim::minutes(30);
+    double sample_c = 0.02;
+    int min_sources = 4;
+    int threads = 2;
+    std::uint64_t seed = 20170327;
+
+    /// Reads REPRO_SCALE / REPRO_* environment knobs.
+    static ReproScale from_env();
+};
+
+/// Scenario families, parameterized exactly along the paper's dimensions.
+class PaperScenarios {
+public:
+    explicit PaperScenarios(ReproScale scale) : scale_(scale) {}
+
+    [[nodiscard]] const ReproScale& scale() const noexcept { return scale_; }
+
+    // Simulations A–H (bucket-size sweeps, Figures 2–9 and Table 2).
+    [[nodiscard]] ExperimentConfig sim_a(int k) const;  // 250, 0/1, no traffic
+    [[nodiscard]] ExperimentConfig sim_b(int k) const;  // 2500, 0/1, no traffic
+    [[nodiscard]] ExperimentConfig sim_c(int k) const;  // 250, 0/1, traffic
+    [[nodiscard]] ExperimentConfig sim_d(int k) const;  // 2500, 0/1, traffic
+    [[nodiscard]] ExperimentConfig sim_e(int k) const;  // 250, 1/1, traffic
+    [[nodiscard]] ExperimentConfig sim_f(int k) const;  // 2500, 1/1, traffic
+    [[nodiscard]] ExperimentConfig sim_g(int k, int alpha = 3) const;  // 250, 10/10
+    [[nodiscard]] ExperimentConfig sim_h(int k, int alpha = 3) const;  // 2500, 10/10
+
+    // Simulation I (staleness without loss, Figure 11): k=20, large network.
+    [[nodiscard]] ExperimentConfig sim_i(int s, const scen::ChurnSpec& churn) const;
+
+    // Simulations J/K/L (message loss × staleness, Figures 12–14).
+    [[nodiscard]] ExperimentConfig sim_j(net::LossLevel loss, int s) const;
+    [[nodiscard]] ExperimentConfig sim_k(net::LossLevel loss, int s) const;
+    [[nodiscard]] ExperimentConfig sim_l(net::LossLevel loss, int s) const;
+
+    // §5.7: C/D with b = 80.
+    [[nodiscard]] ExperimentConfig sim_c_b80(int k) const;
+    [[nodiscard]] ExperimentConfig sim_d_b80(int k) const;
+
+    /// Churn-phase start in minutes (Table 2 aggregates from here on).
+    [[nodiscard]] static double churn_start_min() { return 120.0; }
+
+private:
+    [[nodiscard]] ExperimentConfig base(const std::string& name, int size, int k,
+                                        bool traffic, scen::ChurnSpec churn,
+                                        sim::SimTime end) const;
+
+    ReproScale scale_;
+};
+
+}  // namespace kadsim::core
+
+#endif  // KADSIM_CORE_REGISTRY_H

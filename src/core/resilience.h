@@ -1,0 +1,57 @@
+// Resilience calculus (paper §4.5).
+//
+// A network is r-resilient when any pair of nodes stays connected with up to
+// r compromised nodes. Menger gives: κ(D) node-disjoint paths exist between
+// any pair, each compromised node can break at most one of them, hence
+//     κ(D) > r ≥ a           (Eq. 2)
+// where a is the attacker's budget. From a measured κ: r = κ − 1. To
+// tolerate a given a, a network needs κ > a; the paper's conclusion maps
+// this to the bucket size: choose k > a (κ tracks k in stable networks).
+#ifndef KADSIM_CORE_RESILIENCE_H
+#define KADSIM_CORE_RESILIENCE_H
+
+#include <algorithm>
+#include <string>
+
+namespace kadsim::core {
+
+/// Resilience of a network with vertex connectivity `kappa` (Eq. 2, part 1):
+/// r = κ − 1 (a disconnected or 1-connected network tolerates no failure).
+[[nodiscard]] constexpr int resilience_from_connectivity(int kappa) noexcept {
+    return kappa > 0 ? kappa - 1 : -1;  // -1: not even connected
+}
+
+/// Whether a network with connectivity `kappa` tolerates `attackers`
+/// compromised nodes (Eq. 2: κ > r ≥ a).
+[[nodiscard]] constexpr bool tolerates(int kappa, int attackers) noexcept {
+    return kappa > attackers;
+}
+
+/// Minimum connectivity required for an attacker budget a (κ > a).
+[[nodiscard]] constexpr int required_connectivity(int attackers) noexcept {
+    return attackers + 1;
+}
+
+/// The paper's parameter guidance (§6): κ tracks the bucket size k in stable
+/// networks, so pick k strictly greater than the attacker budget — with
+/// slack under churn, since κ_min can dip below k (§5.5.3–§5.5.4).
+[[nodiscard]] constexpr int recommended_bucket_size(int attackers,
+                                                    bool strong_churn) noexcept {
+    const int base = attackers + 1;
+    return strong_churn ? std::max(base + base / 2, base + 5) : base;
+}
+
+/// Human-readable verdict for reports.
+[[nodiscard]] inline std::string resilience_verdict(int kappa, int attackers) {
+    if (kappa <= 0) return "DISCONNECTED (some node pair has no path)";
+    if (tolerates(kappa, attackers)) {
+        return "resilient: tolerates " + std::to_string(kappa - 1) +
+               " compromised node(s), attacker budget " + std::to_string(attackers);
+    }
+    return "NOT resilient: connectivity " + std::to_string(kappa) +
+           " <= attacker budget " + std::to_string(attackers);
+}
+
+}  // namespace kadsim::core
+
+#endif  // KADSIM_CORE_RESILIENCE_H

@@ -1,0 +1,52 @@
+#include "flow/edmonds_karp.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace kadsim::flow {
+
+int EdmondsKarp::max_flow(FlowNetwork& net, int s, int t, int flow_limit) {
+    KADSIM_ASSERT(s != t);
+    const auto n = static_cast<std::size_t>(net.vertex_count());
+    int flow = 0;
+    while (flow < flow_limit) {
+        parent_arc_.assign(n, -1);
+        queue_.clear();
+        queue_.push_back(s);
+        bool reached = false;
+        for (std::size_t head = 0; head < queue_.size() && !reached; ++head) {
+            const int v = queue_[head];
+            for (const int arc_index : net.arcs_of(v)) {
+                const auto& arc = net.arc(arc_index);
+                if (arc.cap <= 0 || arc.to == s) continue;
+                if (parent_arc_[static_cast<std::size_t>(arc.to)] != -1) continue;
+                parent_arc_[static_cast<std::size_t>(arc.to)] = arc_index;
+                if (arc.to == t) {
+                    reached = true;
+                    break;
+                }
+                queue_.push_back(arc.to);
+            }
+        }
+        if (!reached) break;
+
+        // Bottleneck along the parent chain.
+        int bottleneck = flow_limit - flow;
+        for (int v = t; v != s;) {
+            const int arc_index = parent_arc_[static_cast<std::size_t>(v)];
+            bottleneck = std::min(bottleneck, net.arc(arc_index).cap);
+            v = net.arc(arc_index ^ 1).to;
+        }
+        for (int v = t; v != s;) {
+            const int arc_index = parent_arc_[static_cast<std::size_t>(v)];
+            net.arc(arc_index).cap -= bottleneck;
+            net.arc(arc_index ^ 1).cap += bottleneck;
+            v = net.arc(arc_index ^ 1).to;
+        }
+        flow += bottleneck;
+    }
+    return flow;
+}
+
+}  // namespace kadsim::flow

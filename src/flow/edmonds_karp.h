@@ -1,0 +1,26 @@
+// Edmonds–Karp (BFS augmenting paths): the simplest correct max-flow solver.
+// Used as the independent oracle in cross-implementation property tests.
+#ifndef KADSIM_FLOW_EDMONDS_KARP_H
+#define KADSIM_FLOW_EDMONDS_KARP_H
+
+#include <limits>
+#include <vector>
+
+#include "flow/flow_network.h"
+
+namespace kadsim::flow {
+
+class EdmondsKarp {
+public:
+    static constexpr int kUnbounded = std::numeric_limits<int>::max();
+
+    int max_flow(FlowNetwork& net, int s, int t, int flow_limit = kUnbounded);
+
+private:
+    std::vector<int> parent_arc_;
+    std::vector<int> queue_;
+};
+
+}  // namespace kadsim::flow
+
+#endif  // KADSIM_FLOW_EDMONDS_KARP_H

@@ -1,0 +1,24 @@
+#include "flow/even_transform.h"
+
+#include "util/assert.h"
+
+namespace kadsim::flow {
+
+FlowNetwork even_transform(const graph::Digraph& g, int edge_capacity) {
+    KADSIM_ASSERT(edge_capacity >= 1);
+    const int n = g.vertex_count();
+    FlowNetwork net(2 * n);
+    // Internal arcs first: arc index of (v', v'') is 2v — handy for cut
+    // extraction.
+    for (int v = 0; v < n; ++v) {
+        net.add_arc(in_vertex(v), out_vertex(v), 1);
+    }
+    for (int u = 0; u < n; ++u) {
+        for (const int w : g.out(u)) {
+            net.add_arc(out_vertex(u), in_vertex(w), edge_capacity);
+        }
+    }
+    return net;
+}
+
+}  // namespace kadsim::flow

@@ -1,0 +1,37 @@
+// Even's vertex-splitting transformation (paper §4.3, Figure 1).
+//
+// Every vertex v of the connectivity graph D(V,E) is split into v' (incoming,
+// index 2v) and v'' (outgoing, index 2v+1), joined by an internal arc
+// (v', v'') of capacity 1. Each original edge (u,w) becomes (u'', w') with
+// capacity 1 (the paper assigns capacity 1 to every edge; unit capacity is
+// sufficient because any path through the arc is already capped by the
+// endpoints' internal arcs). The resulting network D'(V',E') has 2n vertices
+// and m+n arcs, and max-flow(v'', w') equals the vertex connectivity κ(v,w)
+// for non-adjacent v,w (Menger).
+#ifndef KADSIM_FLOW_EVEN_TRANSFORM_H
+#define KADSIM_FLOW_EVEN_TRANSFORM_H
+
+#include "flow/flow_network.h"
+#include "graph/digraph.h"
+
+namespace kadsim::flow {
+
+/// Incoming copy v' of original vertex v in the transformed network.
+constexpr int in_vertex(int v) noexcept { return 2 * v; }
+/// Outgoing copy v'' of original vertex v in the transformed network.
+constexpr int out_vertex(int v) noexcept { return 2 * v + 1; }
+
+/// Builds D'(V',E') from D(V,E): 2n vertices, m+n forward arcs.
+///
+/// `edge_capacity` is the capacity of the arcs replacing original edges.
+/// The paper assigns 1 (sufficient for the max-flow *value*, because flow
+/// through an edge is already capped by its endpoints' internal arcs). Cut
+/// *witness* extraction needs the minimum cut to consist of internal arcs
+/// only, which requires original edges to be non-saturating — pass n there
+/// (see mincut.cpp).
+[[nodiscard]] FlowNetwork even_transform(const graph::Digraph& g,
+                                         int edge_capacity = 1);
+
+}  // namespace kadsim::flow
+
+#endif  // KADSIM_FLOW_EVEN_TRANSFORM_H

@@ -1,0 +1,84 @@
+// Mutable residual flow network shared by all max-flow solvers.
+//
+// Arcs are stored in a flat array; arc i and its reverse arc are paired as
+// (i, i^1), the classic residual-graph trick. Capacities are mutated in place
+// by solvers; reset() restores the as-built capacities so one network can be
+// reused across the thousands of (source, sink) pairs a connectivity
+// computation evaluates (Per.14: minimize allocations).
+#ifndef KADSIM_FLOW_FLOW_NETWORK_H
+#define KADSIM_FLOW_FLOW_NETWORK_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace kadsim::flow {
+
+class FlowNetwork {
+public:
+    struct Arc {
+        int to = 0;
+        int cap = 0;  // residual capacity
+    };
+
+    explicit FlowNetwork(int n) : adj_(static_cast<std::size_t>(n)) {
+        KADSIM_ASSERT(n >= 0);
+    }
+
+    /// Adds arc u→v with capacity `cap` (and its reverse with capacity 0).
+    /// Returns the forward arc index; the reverse is index^1.
+    int add_arc(int u, int v, int cap) {
+        KADSIM_ASSERT(u >= 0 && u < vertex_count() && v >= 0 && v < vertex_count());
+        KADSIM_ASSERT(cap >= 0);
+        const int index = static_cast<int>(arcs_.size());
+        arcs_.push_back(Arc{v, cap});
+        arcs_.push_back(Arc{u, 0});
+        original_caps_.push_back(cap);
+        original_caps_.push_back(0);
+        adj_[static_cast<std::size_t>(u)].push_back(index);
+        adj_[static_cast<std::size_t>(v)].push_back(index + 1);
+        return index;
+    }
+
+    [[nodiscard]] int vertex_count() const noexcept {
+        return static_cast<int>(adj_.size());
+    }
+    [[nodiscard]] int arc_count() const noexcept {
+        return static_cast<int>(arcs_.size());
+    }
+
+    [[nodiscard]] std::span<const int> arcs_of(int u) const {
+        return adj_[static_cast<std::size_t>(u)];
+    }
+
+    [[nodiscard]] Arc& arc(int index) { return arcs_[static_cast<std::size_t>(index)]; }
+    [[nodiscard]] const Arc& arc(int index) const {
+        return arcs_[static_cast<std::size_t>(index)];
+    }
+
+    /// Flow currently routed through forward arc `index`.
+    [[nodiscard]] int flow_on(int index) const {
+        return original_caps_[static_cast<std::size_t>(index)] -
+               arcs_[static_cast<std::size_t>(index)].cap;
+    }
+
+    [[nodiscard]] int original_cap(int index) const {
+        return original_caps_[static_cast<std::size_t>(index)];
+    }
+
+    /// Restores every arc to its as-built capacity.
+    void reset() noexcept {
+        for (std::size_t i = 0; i < arcs_.size(); ++i) arcs_[i].cap = original_caps_[i];
+    }
+
+private:
+    std::vector<Arc> arcs_;
+    std::vector<int> original_caps_;
+    std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace kadsim::flow
+
+#endif  // KADSIM_FLOW_FLOW_NETWORK_H

@@ -1,0 +1,48 @@
+#include "flow/mincut.h"
+
+#include "flow/dinic.h"
+#include "flow/even_transform.h"
+#include "util/assert.h"
+
+namespace kadsim::flow {
+
+std::vector<int> min_vertex_cut(const graph::Digraph& g, int v, int w) {
+    KADSIM_ASSERT(v != w);
+    KADSIM_ASSERT(!g.has_edge(v, w));
+    // Edge capacity n (effectively infinite): the minimum cut then consists
+    // of internal (vertex) arcs only, so residual reachability names the cut
+    // vertices exactly.
+    FlowNetwork net = even_transform(g, std::max(1, g.vertex_count()));
+    Dinic dinic;
+    (void)dinic.max_flow(net, out_vertex(v), in_vertex(w));
+
+    // Residual reachability from v''. A vertex x is in the cut iff x' is
+    // reachable but x'' is not: its internal (capacity-1) arc is saturated
+    // and crosses the minimum cut.
+    std::vector<bool> reachable(static_cast<std::size_t>(net.vertex_count()), false);
+    std::vector<int> queue{out_vertex(v)};
+    reachable[static_cast<std::size_t>(out_vertex(v))] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int u = queue[head];
+        for (const int arc_index : net.arcs_of(u)) {
+            const auto& arc = net.arc(arc_index);
+            if (arc.cap <= 0) continue;
+            const auto to = static_cast<std::size_t>(arc.to);
+            if (reachable[to]) continue;
+            reachable[to] = true;
+            queue.push_back(arc.to);
+        }
+    }
+
+    std::vector<int> cut;
+    for (int x = 0; x < g.vertex_count(); ++x) {
+        if (x == v || x == w) continue;
+        if (reachable[static_cast<std::size_t>(in_vertex(x))] &&
+            !reachable[static_cast<std::size_t>(out_vertex(x))]) {
+            cut.push_back(x);
+        }
+    }
+    return cut;
+}
+
+}  // namespace kadsim::flow

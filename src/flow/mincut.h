@@ -1,0 +1,20 @@
+// Minimum vertex cut witness extraction (paper §4.3: "the minimum vertex cut
+// is the minimum number of vertices whose removal cuts all paths from v to
+// w"). Useful beyond κ itself: it names the nodes an attacker would target.
+#ifndef KADSIM_FLOW_MINCUT_H
+#define KADSIM_FLOW_MINCUT_H
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace kadsim::flow {
+
+/// The vertices of a minimum v–w vertex cut (v,w non-adjacent, v ≠ w).
+/// The returned set has size κ(v,w), contains neither v nor w, and its
+/// removal disconnects v from w (verified by tests).
+[[nodiscard]] std::vector<int> min_vertex_cut(const graph::Digraph& g, int v, int w);
+
+}  // namespace kadsim::flow
+
+#endif  // KADSIM_FLOW_MINCUT_H

@@ -1,0 +1,144 @@
+#include "flow/push_relabel.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace kadsim::flow {
+
+void PushRelabel::global_relabel(const FlowNetwork& net, int s, int t) {
+    const int n = net.vertex_count();
+    // Reverse BFS from t along residual arcs (arc u→v is traversable in
+    // reverse if its residual capacity from u is positive).
+    std::fill(height_.begin(), height_.end(), 2 * n);
+    height_[static_cast<std::size_t>(t)] = 0;
+    std::vector<int> queue{t};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int v = queue[head];
+        for (const int arc_index : net.arcs_of(v)) {
+            // arc_index is an arc v→w; its pair (arc_index^1) is w→v. w can
+            // reach v iff residual cap of (w→v) > 0.
+            const auto& reverse = net.arc(arc_index ^ 1);
+            const int w = net.arc(arc_index).to;
+            if (reverse.cap > 0 && height_[static_cast<std::size_t>(w)] == 2 * n) {
+                height_[static_cast<std::size_t>(w)] =
+                    height_[static_cast<std::size_t>(v)] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    height_[static_cast<std::size_t>(s)] = n;
+}
+
+void PushRelabel::activate(int v, int s, int t) {
+    if (v == s || v == t) return;
+    const auto vs = static_cast<std::size_t>(v);
+    if (excess_[vs] <= 0) return;
+    const int h = height_[vs];
+    // Vertices at height ≥ n cannot reach t (phase 1 strands their excess).
+    if (h >= static_cast<int>(height_.size())) return;
+    active_[static_cast<std::size_t>(h)].push_back(v);
+    highest_ = std::max(highest_, h);
+}
+
+int PushRelabel::max_flow(FlowNetwork& net, int s, int t) {
+    KADSIM_ASSERT(s != t);
+    const int n = net.vertex_count();
+    const auto ns = static_cast<std::size_t>(n);
+    height_.assign(ns, 0);
+    excess_.assign(ns, 0);
+    iter_.assign(ns, 0);
+    count_.assign(2 * ns + 1, 0);
+    active_.assign(2 * ns + 1, {});
+    highest_ = 0;
+
+    global_relabel(net, s, t);
+    for (int v = 0; v < n; ++v) {
+        ++count_[static_cast<std::size_t>(std::min(height_[static_cast<std::size_t>(v)],
+                                                   2 * n))];
+    }
+
+    // Saturate all arcs out of s.
+    for (const int arc_index : net.arcs_of(s)) {
+        auto& arc = net.arc(arc_index);
+        if (arc_index % 2 != 0 || arc.cap <= 0) continue;  // forward arcs only
+        const int w = arc.to;
+        excess_[static_cast<std::size_t>(w)] += arc.cap;
+        net.arc(arc_index ^ 1).cap += arc.cap;
+        arc.cap = 0;
+        activate(w, s, t);
+    }
+
+    while (highest_ >= 0) {
+        auto& bucket = active_[static_cast<std::size_t>(highest_)];
+        if (bucket.empty()) {
+            --highest_;
+            continue;
+        }
+        const int v = bucket.back();
+        bucket.pop_back();
+        const auto vs = static_cast<std::size_t>(v);
+        if (excess_[vs] <= 0 || height_[vs] != highest_ || height_[vs] >= n) continue;
+
+        // Discharge v.
+        while (excess_[vs] > 0 && height_[vs] < n) {
+            const auto arcs = net.arcs_of(v);
+            if (iter_[vs] == arcs.size()) {
+                // Relabel: one above the lowest admissible neighbour.
+                const int old_height = height_[vs];
+                int min_height = 2 * n;
+                for (const int arc_index : arcs) {
+                    const auto& arc = net.arc(arc_index);
+                    if (arc.cap > 0) {
+                        min_height = std::min(
+                            min_height, height_[static_cast<std::size_t>(arc.to)] + 1);
+                    }
+                }
+                iter_[vs] = 0;
+                --count_[static_cast<std::size_t>(old_height)];
+                height_[vs] = min_height;
+                ++count_[static_cast<std::size_t>(std::min(min_height, 2 * n))];
+
+                // Gap heuristic: if level old_height vanished, everything
+                // strictly above it (below n) is cut off from t.
+                if (count_[static_cast<std::size_t>(old_height)] == 0 &&
+                    old_height < n) {
+                    for (int w = 0; w < n; ++w) {
+                        const auto wsz = static_cast<std::size_t>(w);
+                        if (height_[wsz] > old_height && height_[wsz] < n) {
+                            --count_[static_cast<std::size_t>(height_[wsz])];
+                            height_[wsz] = n + 1;
+                            ++count_[static_cast<std::size_t>(
+                                std::min(height_[wsz], 2 * n))];
+                        }
+                    }
+                }
+                continue;
+            }
+            const int arc_index = arcs[iter_[vs]];
+            auto& arc = net.arc(arc_index);
+            const auto ws = static_cast<std::size_t>(arc.to);
+            if (arc.cap > 0 && height_[vs] == height_[ws] + 1) {
+                const long long delta =
+                    std::min<long long>(excess_[vs], arc.cap);
+                arc.cap -= static_cast<int>(delta);
+                net.arc(arc_index ^ 1).cap += static_cast<int>(delta);
+                excess_[vs] -= delta;
+                const bool was_inactive = excess_[ws] == 0;
+                excess_[ws] += delta;
+                if (was_inactive) activate(arc.to, s, t);
+            } else {
+                ++iter_[vs];
+            }
+        }
+        if (excess_[vs] > 0 && height_[vs] < n) {
+            // Still active after relabel; requeue at its (new) height.
+            active_[static_cast<std::size_t>(height_[vs])].push_back(v);
+            highest_ = std::max(highest_, height_[vs]);
+        }
+    }
+
+    return static_cast<int>(excess_[static_cast<std::size_t>(t)]);
+}
+
+}  // namespace kadsim::flow

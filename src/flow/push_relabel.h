@@ -1,0 +1,41 @@
+// Highest-label push-relabel max-flow (the algorithm family of HIPR, the
+// solver the paper used: Cherkassky–Goldberg's hi-level variant, §5.1/§5.2).
+//
+// Implements the first phase (max-flow *value*) with the two standard
+// heuristics that make the hi-level variant fast in practice:
+//   * exact initial distance labels via reverse BFS from the sink,
+//   * the gap heuristic (a vanished height level disconnects every vertex
+//     above it from the sink).
+// Worst-case O(n²√m), matching the complexity the paper quotes for HIPR.
+// The value equals Dinic's/Edmonds–Karp's (max-flow is unique in value);
+// residual capacities after phase 1 are not a complete flow assignment, so
+// cut extraction uses Dinic (see mincut.h).
+#ifndef KADSIM_FLOW_PUSH_RELABEL_H
+#define KADSIM_FLOW_PUSH_RELABEL_H
+
+#include <vector>
+
+#include "flow/flow_network.h"
+
+namespace kadsim::flow {
+
+class PushRelabel {
+public:
+    /// Max-flow value s→t (mutates `net` residual capacities).
+    int max_flow(FlowNetwork& net, int s, int t);
+
+private:
+    void global_relabel(const FlowNetwork& net, int s, int t);
+    void activate(int v, int s, int t);
+
+    std::vector<int> height_;
+    std::vector<long long> excess_;
+    std::vector<std::size_t> iter_;
+    std::vector<int> count_;                   // vertices per height
+    std::vector<std::vector<int>> active_;     // active vertices per height
+    int highest_ = 0;
+};
+
+}  // namespace kadsim::flow
+
+#endif  // KADSIM_FLOW_PUSH_RELABEL_H

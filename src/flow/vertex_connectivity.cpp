@@ -1,0 +1,206 @@
+#include "flow/vertex_connectivity.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <thread>
+
+#include "flow/dinic.h"
+#include "flow/even_transform.h"
+#include "flow/push_relabel.h"
+#include "util/assert.h"
+
+namespace kadsim::flow {
+
+namespace {
+
+/// Sources for the sampled computation: the c·n vertices with the smallest
+/// out-degree (ties by index, so the choice is deterministic). The out-degree
+/// of a source upper-bounds its outgoing flow, which is why low-degree
+/// vertices pin the minimum (paper §5.2).
+std::vector<int> pick_sources(const graph::Digraph& g, double fraction,
+                              int min_sources) {
+    const int n = g.vertex_count();
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    if (fraction >= 1.0) return order;
+
+    std::stable_sort(order.begin(), order.end(), [&g](int a, int b) {
+        return g.out_degree(a) < g.out_degree(b);
+    });
+    const auto want = static_cast<std::size_t>(
+        std::clamp<long long>(static_cast<long long>(fraction * n + 0.999),
+                              std::max(1, min_sources), n));
+    order.resize(want);
+    return order;
+}
+
+struct PartialResult {
+    int min_kappa = std::numeric_limits<int>::max();
+    std::uint64_t sum = 0;
+    std::uint64_t pairs = 0;
+};
+
+/// Evaluates all non-adjacent sinks for the sources handed out by `cursor`.
+void worker(const graph::Digraph& g, const FlowNetwork& base,
+            const std::vector<int>& sources, std::atomic<std::size_t>& cursor,
+            bool use_push_relabel, PartialResult& result) {
+    FlowNetwork net = base;  // private residual copy
+    Dinic dinic;
+    PushRelabel push_relabel;
+    const int n = g.vertex_count();
+    while (true) {
+        const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= sources.size()) break;
+        const int u = sources[index];
+        for (int v = 0; v < n; ++v) {
+            if (v == u || g.has_edge(u, v)) continue;
+            net.reset();
+            const int kappa =
+                use_push_relabel
+                    ? push_relabel.max_flow(net, out_vertex(u), in_vertex(v))
+                    : dinic.max_flow(net, out_vertex(u), in_vertex(v));
+            result.min_kappa = std::min(result.min_kappa, kappa);
+            result.sum += static_cast<std::uint64_t>(kappa);
+            ++result.pairs;
+        }
+    }
+}
+
+}  // namespace
+
+ConnectivityResult vertex_connectivity(const graph::Digraph& g,
+                                       const ConnectivityOptions& options) {
+    ConnectivityResult result;
+    result.n = g.vertex_count();
+    result.m = g.edge_count();
+    if (result.n <= 1) {
+        result.complete = true;
+        return result;
+    }
+    if (g.is_complete()) {
+        // §4.4: every pair adjacent ⇒ κ = n − 1.
+        result.complete = true;
+        result.kappa_min = result.n - 1;
+        result.kappa_avg = static_cast<double>(result.n - 1);
+        return result;
+    }
+
+    const FlowNetwork base = even_transform(g);
+    std::vector<int> sources =
+        pick_sources(g, options.sample_fraction, options.min_sources);
+
+    // A sampled source set could, in pathological graphs, see only adjacent
+    // sinks; fall back to the exact computation in that case (cheap: only
+    // happens on tiny dense graphs).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int threads = std::max(1, options.threads);
+        std::vector<PartialResult> partials(static_cast<std::size_t>(threads));
+        std::atomic<std::size_t> cursor{0};
+        if (threads == 1) {
+            worker(g, base, sources, cursor, options.use_push_relabel, partials[0]);
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(static_cast<std::size_t>(threads));
+            for (int i = 0; i < threads; ++i) {
+                pool.emplace_back([&, i] {
+                    worker(g, base, sources, cursor, options.use_push_relabel,
+                           partials[static_cast<std::size_t>(i)]);
+                });
+            }
+            for (auto& t : pool) t.join();
+        }
+
+        PartialResult combined;
+        for (const auto& p : partials) {
+            combined.min_kappa = std::min(combined.min_kappa, p.min_kappa);
+            combined.sum += p.sum;
+            combined.pairs += p.pairs;
+        }
+        if (combined.pairs > 0) {
+            result.kappa_min = combined.min_kappa;
+            result.kappa_sum = combined.sum;
+            result.pairs_evaluated = combined.pairs;
+            result.kappa_avg = static_cast<double>(combined.sum) /
+                               static_cast<double>(combined.pairs);
+            result.sources_used = static_cast<int>(sources.size());
+            return result;
+        }
+        // Retry exact.
+        sources = pick_sources(g, 1.0, 1);
+    }
+    KADSIM_ASSERT_MSG(false, "non-complete graph must have a non-adjacent pair");
+    return result;
+}
+
+int pair_vertex_connectivity(const graph::Digraph& g, int v, int w) {
+    KADSIM_ASSERT(v != w);
+    KADSIM_ASSERT_MSG(!g.has_edge(v, w),
+                      "vertex connectivity is defined for non-adjacent pairs");
+    FlowNetwork net = even_transform(g);
+    Dinic dinic;
+    return dinic.max_flow(net, out_vertex(v), in_vertex(w));
+}
+
+namespace {
+
+bool path_exists_avoiding(const graph::Digraph& g, int v, int w,
+                          const std::vector<bool>& removed) {
+    std::vector<int> queue{v};
+    std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+    seen[static_cast<std::size_t>(v)] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int u = queue[head];
+        for (const int x : g.out(u)) {
+            if (x == w) return true;
+            const auto xs = static_cast<std::size_t>(x);
+            if (seen[xs] || removed[xs]) continue;
+            seen[xs] = true;
+            queue.push_back(x);
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+int pair_vertex_connectivity_bruteforce(const graph::Digraph& g, int v, int w) {
+    KADSIM_ASSERT(v != w && !g.has_edge(v, w));
+    const int n = g.vertex_count();
+    std::vector<int> others;
+    for (int x = 0; x < n; ++x) {
+        if (x != v && x != w) others.push_back(x);
+    }
+    // Smallest subset of `others` whose removal disconnects v from w.
+    for (int size = 0; size <= static_cast<int>(others.size()); ++size) {
+        // Enumerate subsets of exactly `size` via combination walking.
+        std::vector<int> pick(static_cast<std::size_t>(size));
+        std::iota(pick.begin(), pick.end(), 0);
+        while (true) {
+            std::vector<bool> removed(static_cast<std::size_t>(n), false);
+            for (const int i : pick) {
+                removed[static_cast<std::size_t>(others[static_cast<std::size_t>(i)])] =
+                    true;
+            }
+            if (!path_exists_avoiding(g, v, w, removed)) return size;
+
+            // Next combination.
+            int pos = size - 1;
+            while (pos >= 0 &&
+                   pick[static_cast<std::size_t>(pos)] ==
+                       static_cast<int>(others.size()) - size + pos) {
+                --pos;
+            }
+            if (pos < 0) break;
+            ++pick[static_cast<std::size_t>(pos)];
+            for (int j = pos + 1; j < size; ++j) {
+                pick[static_cast<std::size_t>(j)] =
+                    pick[static_cast<std::size_t>(j - 1)] + 1;
+            }
+        }
+    }
+    return static_cast<int>(others.size());
+}
+
+}  // namespace kadsim::flow

@@ -1,0 +1,59 @@
+// Vertex connectivity of directed graphs (paper §4.3–§4.4, §5.2).
+//
+// κ(v,w) for non-adjacent v ≠ w is the max-flow from v'' to w' in the
+// Even-transformed network (Menger). κ(D) is the minimum over all such
+// pairs; a complete graph has κ = n−1 by convention.
+//
+// Full evaluation costs n(n−1) max-flow runs. The paper's reduction (§5.2):
+// because Kademlia connectivity graphs are nearly undirected, computing the
+// flows from only the c·n vertices with the smallest out-degree (to all n−1
+// sinks each) finds the true minimum — the authors validated c = 0.02 on 20
+// fully-analyzed graphs; `bench/ablation_sampling_c` re-validates it here.
+#ifndef KADSIM_FLOW_VERTEX_CONNECTIVITY_H
+#define KADSIM_FLOW_VERTEX_CONNECTIVITY_H
+
+#include <cstdint>
+
+#include "flow/flow_network.h"
+#include "graph/digraph.h"
+
+namespace kadsim::flow {
+
+struct ConnectivityOptions {
+    /// Fraction c of vertices used as flow sources (1.0 = exact, all pairs).
+    double sample_fraction = 1.0;
+    /// Lower bound on the number of sampled sources.
+    int min_sources = 1;
+    /// Worker threads (each owns a private copy of the transformed network).
+    int threads = 1;
+    /// Use the HIPR-style push-relabel solver instead of Dinic (results are
+    /// identical; provided for fidelity runs and benchmarking).
+    bool use_push_relabel = false;
+};
+
+struct ConnectivityResult {
+    int n = 0;
+    std::int64_t m = 0;
+    int kappa_min = 0;            ///< κ(D): min over evaluated non-adjacent pairs
+    double kappa_avg = 0.0;       ///< mean κ(v,w) over evaluated pairs
+    std::uint64_t kappa_sum = 0;  ///< integer sum (deterministic aggregation)
+    std::uint64_t pairs_evaluated = 0;
+    int sources_used = 0;
+    bool complete = false;        ///< complete graph: κ = n−1 without flows
+};
+
+/// Computes κ(D) (exactly, or sampled per `options.sample_fraction`).
+[[nodiscard]] ConnectivityResult vertex_connectivity(const graph::Digraph& g,
+                                                     const ConnectivityOptions& options = {});
+
+/// κ(v,w) for one non-adjacent pair (asserts non-adjacency and v ≠ w).
+[[nodiscard]] int pair_vertex_connectivity(const graph::Digraph& g, int v, int w);
+
+/// Brute-force κ(v,w) by definition: the smallest set of other vertices whose
+/// removal cuts every path v→w (exponential; test oracle for tiny graphs).
+[[nodiscard]] int pair_vertex_connectivity_bruteforce(const graph::Digraph& g, int v,
+                                                      int w);
+
+}  // namespace kadsim::flow
+
+#endif  // KADSIM_FLOW_VERTEX_CONNECTIVITY_H

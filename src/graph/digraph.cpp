@@ -1,0 +1,129 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace kadsim::graph {
+
+Digraph::Digraph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) {
+    KADSIM_ASSERT(n >= 0);
+}
+
+void Digraph::add_edge(int u, int v) {
+    KADSIM_ASSERT(!finalized_);
+    KADSIM_ASSERT(u >= 0 && u < n_ && v >= 0 && v < n_);
+    KADSIM_ASSERT_MSG(u != v, "connectivity graphs have no self-loops");
+    adj_[static_cast<std::size_t>(u)].push_back(v);
+}
+
+void Digraph::finalize() {
+    KADSIM_ASSERT(!finalized_);
+    m_ = 0;
+    for (auto& list : adj_) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+        m_ += static_cast<std::int64_t>(list.size());
+    }
+    finalized_ = true;
+}
+
+bool Digraph::has_edge(int u, int v) const {
+    KADSIM_ASSERT(finalized_);
+    const auto& list = adj_[static_cast<std::size_t>(u)];
+    return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::vector<int> Digraph::in_degrees() const {
+    KADSIM_ASSERT(finalized_);
+    std::vector<int> degrees(static_cast<std::size_t>(n_), 0);
+    for (const auto& list : adj_) {
+        for (const int v : list) ++degrees[static_cast<std::size_t>(v)];
+    }
+    return degrees;
+}
+
+double Digraph::reciprocity() const {
+    KADSIM_ASSERT(finalized_);
+    if (m_ == 0) return 1.0;
+    std::int64_t reciprocated = 0;
+    for (int u = 0; u < n_; ++u) {
+        for (const int v : adj_[static_cast<std::size_t>(u)]) {
+            if (has_edge(v, u)) ++reciprocated;
+        }
+    }
+    return static_cast<double>(reciprocated) / static_cast<double>(m_);
+}
+
+Digraph Digraph::reversed() const {
+    KADSIM_ASSERT(finalized_);
+    Digraph r(n_);
+    for (int u = 0; u < n_; ++u) {
+        for (const int v : adj_[static_cast<std::size_t>(u)]) r.add_edge(v, u);
+    }
+    r.finalize();
+    return r;
+}
+
+int strongly_connected_components(const Digraph& g, std::vector<int>* component_ids) {
+    const int n = g.vertex_count();
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    std::vector<int> components(static_cast<std::size_t>(n), -1);
+    int next_index = 0;
+    int component_count = 0;
+
+    // Explicit DFS stack: (vertex, next-child-position).
+    struct Frame {
+        int v;
+        std::size_t child;
+    };
+    std::vector<Frame> dfs;
+
+    for (int root = 0; root < n; ++root) {
+        if (index[static_cast<std::size_t>(root)] != -1) continue;
+        dfs.push_back(Frame{root, 0});
+        index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] =
+            next_index++;
+        stack.push_back(root);
+        on_stack[static_cast<std::size_t>(root)] = true;
+
+        while (!dfs.empty()) {
+            Frame& frame = dfs.back();
+            const auto vs = static_cast<std::size_t>(frame.v);
+            const auto out = g.out(frame.v);
+            if (frame.child < out.size()) {
+                const int w = out[frame.child++];
+                const auto ws = static_cast<std::size_t>(w);
+                if (index[ws] == -1) {
+                    index[ws] = lowlink[ws] = next_index++;
+                    stack.push_back(w);
+                    on_stack[ws] = true;
+                    dfs.push_back(Frame{w, 0});
+                } else if (on_stack[ws]) {
+                    lowlink[vs] = std::min(lowlink[vs], index[ws]);
+                }
+            } else {
+                if (lowlink[vs] == index[vs]) {
+                    while (true) {
+                        const int w = stack.back();
+                        stack.pop_back();
+                        on_stack[static_cast<std::size_t>(w)] = false;
+                        components[static_cast<std::size_t>(w)] = component_count;
+                        if (w == frame.v) break;
+                    }
+                    ++component_count;
+                }
+                dfs.pop_back();
+                if (!dfs.empty()) {
+                    const auto ps = static_cast<std::size_t>(dfs.back().v);
+                    lowlink[ps] = std::min(lowlink[ps], lowlink[vs]);
+                }
+            }
+        }
+    }
+    if (component_ids != nullptr) *component_ids = std::move(components);
+    return component_count;
+}
+
+}  // namespace kadsim::graph

@@ -1,0 +1,85 @@
+// Directed connectivity graph (paper §4.2): one vertex per network node, an
+// edge (v,w) iff w appears in v's routing table. Edge capacities are
+// implicitly 1 (assigned during the flow transformation).
+#ifndef KADSIM_GRAPH_DIGRAPH_H
+#define KADSIM_GRAPH_DIGRAPH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace kadsim::graph {
+
+class Digraph {
+public:
+    /// Creates a graph with n vertices and no edges; add edges, then
+    /// finalize() before querying.
+    explicit Digraph(int n);
+
+    /// Adds a directed edge u→v. Self-loops are rejected (the connectivity
+    /// graph has none by construction). Duplicate edges are deduplicated by
+    /// finalize().
+    void add_edge(int u, int v);
+
+    /// Sorts and deduplicates adjacency lists; must be called exactly once
+    /// after the last add_edge.
+    void finalize();
+
+    [[nodiscard]] int vertex_count() const noexcept { return n_; }
+    [[nodiscard]] std::int64_t edge_count() const noexcept {
+        KADSIM_ASSERT(finalized_);
+        return m_;
+    }
+
+    [[nodiscard]] std::span<const int> out(int u) const {
+        KADSIM_ASSERT(finalized_);
+        return adj_[static_cast<std::size_t>(u)];
+    }
+
+    /// Binary search on the sorted adjacency list.
+    [[nodiscard]] bool has_edge(int u, int v) const;
+
+    [[nodiscard]] int out_degree(int u) const {
+        KADSIM_ASSERT(finalized_);
+        return static_cast<int>(adj_[static_cast<std::size_t>(u)].size());
+    }
+
+    [[nodiscard]] std::vector<int> in_degrees() const;
+
+    /// Fraction of edges (u,v) whose reverse (v,u) also exists. The paper
+    /// observes Kademlia connectivity graphs "come very close to being
+    /// undirected" (§5.2); this quantifies it.
+    [[nodiscard]] double reciprocity() const;
+
+    /// Graph with every edge reversed.
+    [[nodiscard]] Digraph reversed() const;
+
+    /// True iff the edge set is complete (every ordered pair, no loops) —
+    /// the κ = n−1 special case of §4.4.
+    [[nodiscard]] bool is_complete() const noexcept {
+        KADSIM_ASSERT(finalized_);
+        return m_ == static_cast<std::int64_t>(n_) * (n_ - 1);
+    }
+
+private:
+    int n_ = 0;
+    std::int64_t m_ = 0;
+    bool finalized_ = false;
+    std::vector<std::vector<int>> adj_;
+};
+
+/// Number of strongly connected components (iterative Tarjan). κ(D) > 0
+/// requires exactly one SCC; the analyzer uses this as a fast consistency
+/// check and the tests as an oracle for κ = 0.
+[[nodiscard]] int strongly_connected_components(const Digraph& g,
+                                                std::vector<int>* component_ids = nullptr);
+
+[[nodiscard]] inline bool is_strongly_connected(const Digraph& g) {
+    return g.vertex_count() <= 1 || strongly_connected_components(g) == 1;
+}
+
+}  // namespace kadsim::graph
+
+#endif  // KADSIM_GRAPH_DIGRAPH_H

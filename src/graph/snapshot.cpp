@@ -1,0 +1,73 @@
+#include "graph/snapshot.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace kadsim::graph {
+
+Digraph RoutingSnapshot::to_digraph() const {
+    std::unordered_map<std::uint32_t, int> index;
+    index.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        index.emplace(nodes[i].address, static_cast<int>(i));
+    }
+    Digraph g(static_cast<int>(nodes.size()));
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (const std::uint32_t contact : nodes[i].contacts) {
+            const auto it = index.find(contact);
+            if (it == index.end()) continue;  // contact left the network
+            if (it->second == static_cast<int>(i)) continue;
+            g.add_edge(static_cast<int>(i), it->second);
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+void RoutingSnapshot::save(std::ostream& out) const {
+    out << "# kadsim routing snapshot\n";
+    out << "t " << time_ms << '\n';
+    out << "n " << nodes.size() << '\n';
+    for (const auto& node : nodes) {
+        out << node.address << ':';
+        for (const auto c : node.contacts) out << ' ' << c;
+        out << '\n';
+    }
+}
+
+RoutingSnapshot RoutingSnapshot::parse(std::istream& in) {
+    RoutingSnapshot snapshot;
+    std::string line;
+    std::size_t expected = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        if (line[0] == 't' && line.size() > 1 && line[1] == ' ') {
+            snapshot.time_ms = std::stoll(line.substr(2));
+            continue;
+        }
+        if (line[0] == 'n' && line.size() > 1 && line[1] == ' ') {
+            expected = static_cast<std::size_t>(std::stoull(line.substr(2)));
+            snapshot.nodes.reserve(expected);
+            continue;
+        }
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) {
+            throw std::runtime_error("RoutingSnapshot::parse: malformed line: " + line);
+        }
+        SnapshotNode node;
+        node.address = static_cast<std::uint32_t>(std::stoul(line.substr(0, colon)));
+        std::istringstream rest(line.substr(colon + 1));
+        std::uint32_t contact = 0;
+        while (rest >> contact) node.contacts.push_back(contact);
+        snapshot.nodes.push_back(std::move(node));
+    }
+    if (expected != 0 && expected != snapshot.nodes.size()) {
+        throw std::runtime_error("RoutingSnapshot::parse: node count mismatch");
+    }
+    return snapshot;
+}
+
+}  // namespace kadsim::graph

@@ -1,0 +1,43 @@
+// Routing-table snapshots (paper §5.2): "we interrupt the simulation and save
+// the current contents of the routing tables of all network nodes ... into a
+// snapshot file. We use this snapshot file to transform the connectivity
+// graph with Even's algorithm."
+#ifndef KADSIM_GRAPH_SNAPSHOT_H
+#define KADSIM_GRAPH_SNAPSHOT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace kadsim::graph {
+
+/// One node's view: its address and the addresses in its routing table.
+struct SnapshotNode {
+    std::uint32_t address = 0;
+    std::vector<std::uint32_t> contacts;
+};
+
+/// The routing state of every *live* node at one instant of simulated time.
+struct RoutingSnapshot {
+    std::int64_t time_ms = 0;
+    std::vector<SnapshotNode> nodes;
+
+    /// Compacts addresses to [0, n) and keeps only edges between live nodes:
+    /// stale routing-table entries pointing at departed nodes are not part of
+    /// the connectivity graph (its vertices are the network's nodes, §4.2).
+    [[nodiscard]] Digraph to_digraph() const;
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes.size(); }
+
+    /// Plain-text serialization (one node per line: address: c1 c2 ...);
+    /// round-trips through parse().
+    void save(std::ostream& out) const;
+    [[nodiscard]] static RoutingSnapshot parse(std::istream& in);
+};
+
+}  // namespace kadsim::graph
+
+#endif  // KADSIM_GRAPH_SNAPSHOT_H

@@ -1,0 +1,21 @@
+// A routing-table contact: identifier plus network address.
+#ifndef KADSIM_KAD_CONTACT_H
+#define KADSIM_KAD_CONTACT_H
+
+#include "kad/node_id.h"
+#include "net/network.h"
+
+namespace kadsim::kad {
+
+struct Contact {
+    NodeId id;
+    net::Address address = 0;
+
+    friend constexpr bool operator==(const Contact& a, const Contact& b) noexcept {
+        return a.id == b.id && a.address == b.address;
+    }
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_CONTACT_H

@@ -1,0 +1,25 @@
+// Resolution of network addresses to protocol instances. Implemented by the
+// scenario runner; kept abstract so kad does not depend on scen.
+#ifndef KADSIM_KAD_DIRECTORY_H
+#define KADSIM_KAD_DIRECTORY_H
+
+#include "net/network.h"
+
+namespace kadsim::kad {
+
+class KademliaNode;
+
+class NodeDirectory {
+public:
+    virtual ~NodeDirectory() = default;
+
+    /// Protocol instance listening on `address`, or nullptr if the address
+    /// was never assigned. Crashed nodes keep their (inert) instance so that
+    /// in-flight delivery closures remain safe; the network's liveness check
+    /// drops their traffic.
+    [[nodiscard]] virtual KademliaNode* node_at(net::Address address) noexcept = 0;
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_DIRECTORY_H

@@ -1,0 +1,153 @@
+#include "kad/lookup.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace kadsim::kad {
+
+LookupState::LookupState(NodeId self, NodeId target, LookupMode mode, Params params)
+    : self_(self), target_(target), mode_(mode), params_(params) {
+    KADSIM_ASSERT(params_.k > 0 && params_.alpha > 0);
+    if (params_.shortlist_cap == 0) {
+        params_.shortlist_cap = static_cast<std::size_t>(4 * params_.k);
+    }
+    shortlist_.reserve(params_.shortlist_cap);
+}
+
+void LookupState::seed(std::span<const Contact> contacts) {
+    for (const auto& c : contacts) insert_candidate(c);
+}
+
+bool LookupState::insert_candidate(const Contact& c) {
+    if (c.id == self_) return false;  // never query ourselves
+    const NodeId dist = target_.distance_to(c.id);
+    // Sorted insert position by distance.
+    const auto pos = std::lower_bound(
+        shortlist_.begin(), shortlist_.end(), dist,
+        [](const Candidate& cand, const NodeId& d) { return cand.distance < d; });
+    // Duplicate check: candidates with equal distance must be the same id
+    // (XOR metric is injective in the second argument), so one comparison
+    // suffices.
+    if (pos != shortlist_.end() && pos->distance == dist) return false;
+
+    if (shortlist_.size() >= params_.shortlist_cap) {
+        if (pos == shortlist_.end()) return false;  // farther than everything
+        // Drop the farthest droppable (kNew/kFailed) entry to make room;
+        // in-flight and succeeded entries are load-bearing state.
+        auto victim = shortlist_.end();
+        for (auto it = shortlist_.end(); it != shortlist_.begin();) {
+            --it;
+            if (it->state == State::kNew || it->state == State::kFailed) {
+                victim = it;
+                break;
+            }
+        }
+        if (victim == shortlist_.end() || victim < pos) return false;
+        shortlist_.erase(victim);
+    }
+    const bool now_closest = pos == shortlist_.begin();
+    shortlist_.insert(pos, Candidate{dist, c, State::kNew});
+    return now_closest;
+}
+
+bool LookupState::has_launchable() const {
+    // A candidate is launchable if it is un-queried and sits among the k
+    // closest non-failed entries (the classic "query the k closest" window).
+    int window = 0;
+    for (const auto& cand : shortlist_) {
+        if (cand.state == State::kFailed) continue;
+        if (cand.state == State::kNew) return true;
+        if (++window >= params_.k) break;
+    }
+    return false;
+}
+
+std::optional<Contact> LookupState::next_query() {
+    if (finished() || inflight_ >= params_.alpha) return std::nullopt;
+    int window = 0;
+    for (auto& cand : shortlist_) {
+        if (cand.state == State::kFailed) continue;
+        if (cand.state == State::kNew) {
+            cand.state = State::kInflight;
+            ++inflight_;
+            ++stats_.rpcs_sent;
+            return cand.contact;
+        }
+        if (++window >= params_.k) break;
+    }
+    return std::nullopt;
+}
+
+LookupState::Candidate* LookupState::find_by_id(const NodeId& id) {
+    const NodeId dist = target_.distance_to(id);
+    const auto pos = std::lower_bound(
+        shortlist_.begin(), shortlist_.end(), dist,
+        [](const Candidate& cand, const NodeId& d) { return cand.distance < d; });
+    if (pos != shortlist_.end() && pos->distance == dist) return &*pos;
+    return nullptr;
+}
+
+void LookupState::on_response(const NodeId& from, std::span<const Contact> returned,
+                              bool value_found) {
+    Candidate* cand = find_by_id(from);
+    if (cand == nullptr || cand->state != State::kInflight) return;  // stale reply
+    cand->state = State::kOk;
+    --inflight_;
+    ++ok_;
+    ++stats_.rpcs_succeeded;
+    if (value_found && mode_ == LookupMode::kFindValue) value_found_ = true;
+    if (value_found_) return;
+    bool improved = false;
+    for (const auto& c : returned) {
+        if (insert_candidate(c)) improved = true;
+    }
+    // "No more progress is made in getting closer to the target" (§4.1):
+    // count consecutive responses that fail to produce a new closest
+    // candidate; α such responses (one full query wave) end the lookup.
+    if (improved) {
+        no_progress_streak_ = 0;
+    } else {
+        ++no_progress_streak_;
+    }
+}
+
+void LookupState::on_failure(const NodeId& from) {
+    Candidate* cand = find_by_id(from);
+    if (cand == nullptr || cand->state != State::kInflight) return;
+    cand->state = State::kFailed;
+    --inflight_;
+    ++stats_.rpcs_failed;
+}
+
+bool LookupState::closest_candidate_contacted() const {
+    for (const auto& cand : shortlist_) {
+        if (cand.state == State::kFailed) continue;
+        return cand.state == State::kOk;
+    }
+    return true;  // nothing left to contact
+}
+
+bool LookupState::finished() const {
+    if (value_found_) return true;
+    if (ok_ >= params_.k) return true;
+    if (!params_.strict_k && no_progress_streak_ >= params_.alpha &&
+        closest_candidate_contacted()) {
+        return true;
+    }
+    return inflight_ == 0 && !has_launchable();
+}
+
+std::vector<Contact> LookupState::successful_closest() const {
+    std::vector<Contact> out;
+    out.reserve(static_cast<std::size_t>(std::min<int>(ok_, params_.k)));
+    for (const auto& cand : shortlist_) {
+        if (cand.state == State::kOk) {
+            out.push_back(cand.contact);
+            if (out.size() == static_cast<std::size_t>(params_.k)) break;
+        }
+    }
+    return out;
+}
+
+}  // namespace kadsim::kad

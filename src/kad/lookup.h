@@ -1,0 +1,112 @@
+// Iterative lookup state machine (paper §4.1).
+//
+// "Given a target identifier, a node queries α nodes from its routing table
+// closest to that identifier. Those, in turn, answer with their own list of
+// closest nodes, which can then be used in new queries. ... This process ends
+// when a number of k nodes have been successfully contacted, or no more
+// progress is made in getting closer to the target identifier."
+//
+// LookupState is a pure state machine (no I/O): the owning node asks
+// next_query() for contacts to send FIND_NODE/FIND_VALUE to and feeds back
+// on_response()/on_failure(). This keeps the trickiest protocol logic
+// unit-testable without a simulator.
+#ifndef KADSIM_KAD_LOOKUP_H
+#define KADSIM_KAD_LOOKUP_H
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kad/contact.h"
+
+namespace kadsim::kad {
+
+enum class LookupMode { kFindNode, kFindValue };
+
+struct LookupStats {
+    int rpcs_sent = 0;
+    int rpcs_failed = 0;
+    int rpcs_succeeded = 0;
+};
+
+class LookupState {
+public:
+    struct Params {
+        int k = 20;        ///< stop after k successful contacts
+        int alpha = 3;     ///< max queries in flight
+        std::size_t shortlist_cap = 0;  ///< 0 = 4·k
+        /// Strict-k mode (original Kademlia join/STORE placement): the lookup
+        /// only ends at k successes or candidate exhaustion — the no-progress
+        /// early exit is disabled. Regular lookups use the paper's lax rule.
+        bool strict_k = false;
+    };
+
+    LookupState(NodeId self, NodeId target, LookupMode mode, Params params);
+
+    /// Seeds the shortlist with the caller's own closest contacts.
+    void seed(std::span<const Contact> contacts);
+
+    /// Next contact to query, marking it in-flight — or nullopt when either α
+    /// queries are outstanding or no un-queried candidate remains among the k
+    /// closest non-failed entries. Call repeatedly until nullopt.
+    [[nodiscard]] std::optional<Contact> next_query();
+
+    /// Successful reply from `from` carrying its closest contacts.
+    /// `value_found` short-circuits a kFindValue lookup.
+    void on_response(const NodeId& from, std::span<const Contact> returned,
+                     bool value_found);
+
+    /// Query to `from` failed (timeout).
+    void on_failure(const NodeId& from);
+
+    /// True once the lookup reached a terminal state (§4.1): k successful
+    /// contacts, value found, α consecutive responses without getting closer
+    /// to the target (with the closest known candidate contacted), or
+    /// candidate exhaustion.
+    [[nodiscard]] bool finished() const;
+
+    [[nodiscard]] bool value_found() const noexcept { return value_found_; }
+    [[nodiscard]] const NodeId& target() const noexcept { return target_; }
+    [[nodiscard]] LookupMode mode() const noexcept { return mode_; }
+    [[nodiscard]] int inflight() const noexcept { return inflight_; }
+    [[nodiscard]] const LookupStats& stats() const noexcept { return stats_; }
+
+    /// Successfully contacted nodes, closest-first, at most k.
+    [[nodiscard]] std::vector<Contact> successful_closest() const;
+
+    /// Number of distinct candidates ever tracked (tests).
+    [[nodiscard]] std::size_t shortlist_size() const noexcept {
+        return shortlist_.size();
+    }
+
+private:
+    enum class State : std::uint8_t { kNew, kInflight, kOk, kFailed };
+
+    struct Candidate {
+        NodeId distance;  // to target (cached sort key)
+        Contact contact;
+        State state = State::kNew;
+    };
+
+    /// Returns true when the candidate was inserted AND is now the closest
+    /// known candidate ("progress in getting closer", §4.1).
+    bool insert_candidate(const Contact& c);
+    [[nodiscard]] bool has_launchable() const;
+    [[nodiscard]] bool closest_candidate_contacted() const;
+    Candidate* find_by_id(const NodeId& id);
+
+    NodeId self_;
+    NodeId target_;
+    LookupMode mode_;
+    Params params_;
+    std::vector<Candidate> shortlist_;  // sorted by distance, ascending
+    int inflight_ = 0;
+    int ok_ = 0;
+    int no_progress_streak_ = 0;  // consecutive responses without improvement
+    bool value_found_ = false;
+    LookupStats stats_;
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_LOOKUP_H

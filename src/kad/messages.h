@@ -1,0 +1,79 @@
+// Kademlia RPC vocabulary (paper §4.1). The engine delivers RPCs as typed
+// handler invocations; these structs document the wire content and are used
+// by tests and the message-size accounting.
+#ifndef KADSIM_KAD_MESSAGES_H
+#define KADSIM_KAD_MESSAGES_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "kad/contact.h"
+
+namespace kadsim::kad {
+
+enum class RpcType : std::uint8_t {
+    kPing,
+    kFindNode,
+    kFindValue,
+    kStore,
+};
+
+constexpr const char* to_string(RpcType t) noexcept {
+    switch (t) {
+        case RpcType::kPing: return "PING";
+        case RpcType::kFindNode: return "FIND_NODE";
+        case RpcType::kFindValue: return "FIND_VALUE";
+        case RpcType::kStore: return "STORE";
+    }
+    return "?";
+}
+
+/// PING — liveness probe (used by the ping-evict bucket policy).
+struct PingRequest {
+    Contact from;
+    std::uint64_t rpc_id = 0;
+};
+
+/// FIND_NODE — returns the k contacts closest to `target` known to the
+/// receiver (excluding the requester).
+struct FindNodeRequest {
+    Contact from;
+    std::uint64_t rpc_id = 0;
+    NodeId target;
+};
+
+struct FindNodeResponse {
+    std::uint64_t rpc_id = 0;
+    std::vector<Contact> contacts;
+};
+
+/// FIND_VALUE — like FIND_NODE, but short-circuits with the value when the
+/// receiver stores the requested object.
+struct FindValueRequest {
+    Contact from;
+    std::uint64_t rpc_id = 0;
+    NodeId key;
+};
+
+struct FindValueResponse {
+    std::uint64_t rpc_id = 0;
+    std::optional<std::uint64_t> value;
+    std::vector<Contact> contacts;  // empty when value is present
+};
+
+/// STORE — replicates a data object at the receiver.
+struct StoreRequest {
+    Contact from;
+    std::uint64_t rpc_id = 0;
+    NodeId key;
+    std::uint64_t value = 0;
+};
+
+struct StoreResponse {
+    std::uint64_t rpc_id = 0;
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_MESSAGES_H

@@ -1,0 +1,427 @@
+#include "kad/node.h"
+
+#include <algorithm>
+
+namespace kadsim::kad {
+
+namespace {
+/// How many of its own contacts a node seeds an iterative lookup with.
+constexpr std::size_t seed_width(int k) { return static_cast<std::size_t>(k); }
+}  // namespace
+
+KademliaNode::KademliaNode(NodeId id, net::Address address,
+                           const KademliaConfig& config, sim::Simulator& sim,
+                           net::Network& network, NodeDirectory& directory)
+    : id_(id),
+      address_(address),
+      config_(config),
+      sim_(sim),
+      network_(network),
+      directory_(directory),
+      rng_(sim.split_rng()),
+      table_(id, config),
+      bucket_last_lookup_(static_cast<std::size_t>(config.b), 0) {}
+
+void KademliaNode::join(const std::optional<Contact>& bootstrap) {
+    KADSIM_ASSERT(alive_);
+    bootstrap_ = bootstrap;
+    if (bootstrap.has_value()) {
+        observe_sender(*bootstrap);
+    }
+    // Locate our own id: populates buckets along the lookup path and
+    // announces our existence to the nodes we contact (paper §5.3). Joins use
+    // the strict-k termination of the original protocol — the new node must
+    // enter ~k routing tables right away, which is what keeps the minimum
+    // connectivity near k under join churn (Table 2).
+    start_lookup(id_, LookupMode::kFindNode, LookupDoneFn{}, false, 0,
+                 /*strict_k=*/true);
+
+    refresh_task_ = sim::PeriodicTask::start(
+        sim_, sim_.now() + config_.refresh_interval, config_.refresh_interval,
+        [this](sim::SimTime) { do_refresh(); });
+    storage_gc_task_ = sim::PeriodicTask::start(
+        sim_, sim_.now() + config_.storage_expiry, config_.storage_expiry / 2,
+        [this](sim::SimTime) { gc_storage(); });
+    if (config_.advertise_per_refresh > 0) {
+        // Connectivity-boost extension: γ strict-k self-announcements per
+        // refresh interval, evenly spread, starting one period after join —
+        // fresh joiners get their first repair quickly, which is where the
+        // minimum connectivity is pinned under churn.
+        const sim::SimTime period =
+            std::max<sim::SimTime>(1, config_.refresh_interval /
+                                          config_.advertise_per_refresh);
+        advertise_task_ = sim::PeriodicTask::start(
+            sim_, sim_.now() + period, period, [this](sim::SimTime) {
+                if (alive_) {
+                    start_lookup(id_, LookupMode::kFindNode, LookupDoneFn{}, false,
+                                 0, /*strict_k=*/true);
+                }
+            });
+    }
+}
+
+void KademliaNode::crash() {
+    if (!alive_) return;
+    alive_ = false;
+    network_.set_up(address_, false);
+    refresh_task_.reset();
+    storage_gc_task_.reset();
+    advertise_task_.reset();
+    pending_.clear();
+    lookups_.clear();
+    free_lookup_slots_.clear();
+    storage_.clear();
+    eviction_pings_.clear();
+    table_.clear();
+}
+
+void KademliaNode::lookup_node(const NodeId& target, LookupDoneFn on_done) {
+    start_lookup(target, LookupMode::kFindNode, std::move(on_done), false, 0, false);
+}
+
+void KademliaNode::lookup_value(const NodeId& key, LookupDoneFn on_done) {
+    start_lookup(key, LookupMode::kFindValue, std::move(on_done), false, 0, false);
+}
+
+void KademliaNode::disseminate(const NodeId& key, std::uint64_t value,
+                               LookupDoneFn on_done) {
+    // STORE placement is strict-k (original protocol): the object must land
+    // on the k closest nodes, so the locate phase may not stop early.
+    start_lookup(key, LookupMode::kFindNode, std::move(on_done), true, value, true);
+}
+
+std::optional<std::uint64_t> KademliaNode::stored_value(const NodeId& key) const {
+    const auto it = storage_.find(key);
+    if (it == storage_.end() || it->second.expires <= sim_.now()) return std::nullopt;
+    return it->second.value;
+}
+
+// ---------------------------------------------------------------- ingress --
+
+void KademliaNode::handle_ping(const Contact& from, std::uint64_t rpc_id) {
+    if (!alive_) return;
+    observe_sender(from);
+    ++counters_.requests_served;
+    KademliaNode* peer = directory_.node_at(from.address);
+    if (peer == nullptr) return;
+    const Contact me = contact();
+    network_.transmit(address_, from.address, [peer, rpc_id, me] {
+        peer->handle_ping_response(rpc_id, me);
+    });
+}
+
+void KademliaNode::handle_ping_response(std::uint64_t rpc_id, const Contact& from) {
+    if (!alive_) return;
+    observe_sender(from);
+    PendingRpc pending;
+    rpc_succeeded(rpc_id, from, &pending);
+}
+
+void KademliaNode::handle_find_node(const Contact& from, std::uint64_t rpc_id,
+                                    const NodeId& target) {
+    if (!alive_) return;
+    observe_sender(from);
+    ++counters_.requests_served;
+    std::vector<Contact> closest;
+    closest.reserve(static_cast<std::size_t>(config_.k));
+    table_.closest(target, static_cast<std::size_t>(config_.k), closest, &from.id);
+    KademliaNode* peer = directory_.node_at(from.address);
+    if (peer == nullptr) return;
+    const Contact me = contact();
+    network_.transmit(address_, from.address,
+                      [peer, rpc_id, me, contacts = std::move(closest)]() mutable {
+                          peer->handle_find_node_response(rpc_id, me, std::move(contacts));
+                      });
+}
+
+void KademliaNode::handle_find_node_response(std::uint64_t rpc_id, const Contact& from,
+                                             std::vector<Contact> contacts) {
+    if (!alive_) return;
+    observe_sender(from);
+    PendingRpc pending;
+    rpc_succeeded(rpc_id, from, &pending);
+    if (pending.kind != RpcKind::kLookup) return;
+    auto& slot = lookups_[pending.lookup_slot];
+    if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
+    slot.state->on_response(from.id, contacts, false);
+    pump_lookup(pending.lookup_slot);
+}
+
+void KademliaNode::handle_find_value(const Contact& from, std::uint64_t rpc_id,
+                                     const NodeId& key) {
+    if (!alive_) return;
+    observe_sender(from);
+    ++counters_.requests_served;
+    KademliaNode* peer = directory_.node_at(from.address);
+    if (peer == nullptr) return;
+    const Contact me = contact();
+
+    const auto it = storage_.find(key);
+    if (it != storage_.end() && it->second.expires > sim_.now()) {
+        const std::uint64_t value = it->second.value;
+        network_.transmit(address_, from.address, [peer, rpc_id, me, value] {
+            peer->handle_find_value_response(rpc_id, me, value, {});
+        });
+        return;
+    }
+    std::vector<Contact> closest;
+    closest.reserve(static_cast<std::size_t>(config_.k));
+    table_.closest(key, static_cast<std::size_t>(config_.k), closest, &from.id);
+    network_.transmit(address_, from.address,
+                      [peer, rpc_id, me, contacts = std::move(closest)]() mutable {
+                          peer->handle_find_value_response(rpc_id, me, std::nullopt,
+                                                           std::move(contacts));
+                      });
+}
+
+void KademliaNode::handle_find_value_response(std::uint64_t rpc_id, const Contact& from,
+                                              std::optional<std::uint64_t> value,
+                                              std::vector<Contact> contacts) {
+    if (!alive_) return;
+    observe_sender(from);
+    PendingRpc pending;
+    rpc_succeeded(rpc_id, from, &pending);
+    if (pending.kind != RpcKind::kLookup) return;
+    auto& slot = lookups_[pending.lookup_slot];
+    if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
+    slot.state->on_response(from.id, contacts, value.has_value());
+    pump_lookup(pending.lookup_slot);
+}
+
+void KademliaNode::handle_store(const Contact& from, std::uint64_t rpc_id,
+                                const NodeId& key, std::uint64_t value) {
+    if (!alive_) return;
+    observe_sender(from);
+    ++counters_.requests_served;
+    storage_[key] = StoredObject{value, sim_.now() + config_.storage_expiry};
+    KademliaNode* peer = directory_.node_at(from.address);
+    if (peer == nullptr) return;
+    const Contact me = contact();
+    network_.transmit(address_, from.address, [peer, rpc_id, me] {
+        peer->handle_store_response(rpc_id, me);
+    });
+}
+
+void KademliaNode::handle_store_response(std::uint64_t rpc_id, const Contact& from) {
+    if (!alive_) return;
+    observe_sender(from);
+    PendingRpc pending;
+    rpc_succeeded(rpc_id, from, &pending);
+}
+
+// ---------------------------------------------------------------- internals --
+
+void KademliaNode::observe_sender(const Contact& from) {
+    const ObserveResult result = table_.observe(from, sim_.now());
+    if (result == ObserveResult::kBucketFull &&
+        config_.bucket_policy == BucketPolicy::kPingEvict) {
+        const int bucket = table_.bucket_index_of(from.id);
+        if (eviction_pings_.insert(bucket).second) {
+            const auto lrs = table_.least_recently_seen(from.id);
+            if (lrs.has_value()) {
+                send_eviction_ping(*lrs);
+            } else {
+                eviction_pings_.erase(bucket);
+            }
+        }
+    }
+}
+
+void KademliaNode::start_lookup(const NodeId& target, LookupMode mode,
+                                LookupDoneFn on_done, bool disseminating,
+                                std::uint64_t store_value, bool strict_k) {
+    KADSIM_ASSERT(alive_);
+    ++counters_.lookups_started;
+    note_lookup_target(target);
+
+    std::uint32_t slot_index;
+    if (!free_lookup_slots_.empty()) {
+        slot_index = free_lookup_slots_.back();
+        free_lookup_slots_.pop_back();
+    } else {
+        slot_index = static_cast<std::uint32_t>(lookups_.size());
+        lookups_.emplace_back();
+    }
+    auto& slot = lookups_[slot_index];
+    slot.state = std::make_unique<LookupState>(
+        id_, target, mode,
+        LookupState::Params{config_.k, config_.alpha, 0, strict_k});
+    slot.on_done = std::move(on_done);
+    slot.disseminating = disseminating;
+    slot.store_value = store_value;
+
+    std::vector<Contact> seeds;
+    seeds.reserve(seed_width(config_.k));
+    table_.closest(target, seed_width(config_.k), seeds);
+    if (seeds.empty() && bootstrap_.has_value() && bootstrap_->id != id_) {
+        // Empty table (lost-join or drained by staleness): fall back to the
+        // configured bootstrap address and try to re-enter the network.
+        seeds.push_back(*bootstrap_);
+    }
+    slot.state->seed(seeds);
+    pump_lookup(slot_index);
+}
+
+void KademliaNode::pump_lookup(std::uint32_t slot_index) {
+    while (true) {
+        auto& slot = lookups_[slot_index];
+        if (slot.state == nullptr) return;
+        const auto next = slot.state->next_query();
+        if (!next.has_value()) break;
+        send_lookup_query(slot_index, *next);
+    }
+    if (lookups_[slot_index].state->finished()) finish_lookup(slot_index);
+}
+
+void KademliaNode::finish_lookup(std::uint32_t slot_index) {
+    auto& slot = lookups_[slot_index];
+    // Detach state before invoking callbacks: a callback may start new
+    // lookups, reusing or growing the slot vector.
+    std::unique_ptr<LookupState> state = std::move(slot.state);
+    LookupDoneFn on_done = std::move(slot.on_done);
+    const bool disseminating = slot.disseminating;
+    const std::uint64_t store_value = slot.store_value;
+    slot.state.reset();
+    slot.on_done.reset();
+    ++slot.generation;  // invalidates in-flight RPC references to this slot
+    free_lookup_slots_.push_back(slot_index);
+
+    ++counters_.lookups_completed;
+    if (state->value_found()) ++counters_.values_found;
+
+    const std::vector<Contact> closest = state->successful_closest();
+    if (disseminating) {
+        for (const auto& c : closest) send_store(c, state->target(), store_value);
+    }
+    if (on_done.has_value()) {
+        on_done(state->target(), state->value_found(), closest);
+    }
+}
+
+void KademliaNode::send_lookup_query(std::uint32_t slot_index, const Contact& to) {
+    auto& slot = lookups_[slot_index];
+    const std::uint64_t rpc_id =
+        register_rpc(to, RpcKind::kLookup, slot_index, slot.generation);
+    KademliaNode* peer = directory_.node_at(to.address);
+    KADSIM_ASSERT_MSG(peer != nullptr, "lookup query to unknown address");
+    const Contact me = contact();
+    const NodeId target = slot.state->target();
+    if (slot.state->mode() == LookupMode::kFindValue) {
+        network_.transmit(address_, to.address, [peer, me, rpc_id, target] {
+            peer->handle_find_value(me, rpc_id, target);
+        });
+    } else {
+        network_.transmit(address_, to.address, [peer, me, rpc_id, target] {
+            peer->handle_find_node(me, rpc_id, target);
+        });
+    }
+}
+
+void KademliaNode::send_store(const Contact& to, const NodeId& key,
+                              std::uint64_t value) {
+    const std::uint64_t rpc_id = register_rpc(to, RpcKind::kStore, 0, 0);
+    ++counters_.stores_sent;
+    KademliaNode* peer = directory_.node_at(to.address);
+    KADSIM_ASSERT_MSG(peer != nullptr, "store to unknown address");
+    const Contact me = contact();
+    network_.transmit(address_, to.address, [peer, me, rpc_id, key, value] {
+        peer->handle_store(me, rpc_id, key, value);
+    });
+}
+
+void KademliaNode::send_eviction_ping(const Contact& to) {
+    const std::uint64_t rpc_id = register_rpc(to, RpcKind::kEviction, 0, 0);
+    KademliaNode* peer = directory_.node_at(to.address);
+    KADSIM_ASSERT_MSG(peer != nullptr, "ping to unknown address");
+    const Contact me = contact();
+    network_.transmit(address_, to.address,
+                      [peer, me, rpc_id] { peer->handle_ping(me, rpc_id); });
+}
+
+std::uint64_t KademliaNode::register_rpc(const Contact& to, RpcKind kind,
+                                         std::uint32_t lookup_slot,
+                                         std::uint32_t generation) {
+    const std::uint64_t rpc_id = next_rpc_id_++;
+    pending_.emplace(rpc_id, PendingRpc{to, kind, lookup_slot, generation});
+    ++counters_.rpcs_sent;
+    sim_.schedule_in(config_.rpc_timeout,
+                     [this, rpc_id] { on_rpc_timeout(rpc_id); });
+    return rpc_id;
+}
+
+void KademliaNode::on_rpc_timeout(std::uint64_t rpc_id) {
+    if (!alive_) return;
+    const auto it = pending_.find(rpc_id);
+    if (it == pending_.end()) return;  // answered in time
+    const PendingRpc pending = it->second;
+    pending_.erase(it);
+    ++counters_.rpcs_failed;
+
+    // Staleness accounting (§4.1): the contact is dropped after s consecutive
+    // failures. Under ping-evict, a removed contact is replaced from the
+    // bucket's parking slot inside record_failure.
+    table_.record_failure(pending.to.id, sim_.now());
+
+    if (pending.kind == RpcKind::kEviction) {
+        eviction_pings_.erase(table_.bucket_index_of(pending.to.id));
+        return;
+    }
+    if (pending.kind != RpcKind::kLookup) return;
+    auto& slot = lookups_[pending.lookup_slot];
+    if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
+    slot.state->on_failure(pending.to.id);
+    pump_lookup(pending.lookup_slot);
+}
+
+void KademliaNode::rpc_succeeded(std::uint64_t rpc_id, const Contact& from,
+                                 PendingRpc* out_pending) {
+    const auto it = pending_.find(rpc_id);
+    if (it == pending_.end()) {
+        out_pending->kind = RpcKind::kNone;  // late reply after timeout
+        return;
+    }
+    *out_pending = it->second;
+    pending_.erase(it);
+    if (out_pending->kind == RpcKind::kEviction) {
+        eviction_pings_.erase(table_.bucket_index_of(from.id));
+    }
+}
+
+void KademliaNode::do_refresh() {
+    if (!alive_) return;
+    const sim::SimTime now = sim_.now();
+    for (int bucket = 0; bucket < config_.b; ++bucket) {
+        // Only buckets in use are refreshed: with b=160 and realistic network
+        // sizes, ~150 buckets cover id ranges containing no nodes at all;
+        // refreshing those would make every node probe its own neighbourhood
+        // 150 times per hour and over-mix the overlay (the paper's Figs. 2-3
+        // hold at kappa ~ k through stabilization, which pins down this
+        // reading of "each k-bucket").
+        if (table_.bucket_entries(bucket).empty()) continue;
+        if (config_.refresh_policy == RefreshPolicy::kStaleOnly) {
+            const sim::SimTime last = bucket_last_lookup_[static_cast<std::size_t>(bucket)];
+            if (last + config_.refresh_interval > now) continue;
+        }
+        const NodeId target = NodeId::random_in_bucket(id_, bucket, rng_, config_.b);
+        const auto delay = static_cast<sim::SimTime>(
+            rng_.next_below(static_cast<std::uint64_t>(config_.refresh_spread)));
+        sim_.schedule_in(delay, [this, target] {
+            if (alive_) lookup_node(target, LookupDoneFn{});
+        });
+    }
+}
+
+void KademliaNode::note_lookup_target(const NodeId& target) {
+    if (target == id_) return;
+    const int bucket = table_.bucket_index_of(target);
+    bucket_last_lookup_[static_cast<std::size_t>(bucket)] = sim_.now();
+}
+
+void KademliaNode::gc_storage() {
+    if (!alive_) return;
+    const sim::SimTime now = sim_.now();
+    std::erase_if(storage_,
+                  [now](const auto& kv) { return kv.second.expires <= now; });
+}
+
+}  // namespace kadsim::kad

@@ -1,0 +1,87 @@
+#include "kad/node_id.h"
+
+namespace kadsim::kad {
+
+namespace {
+
+/// Zeroes every bit ≥ bits.
+constexpr void mask_to_bits(std::array<std::uint64_t, 3>& limbs, int bits) noexcept {
+    for (int limb = 0; limb < 3; ++limb) {
+        const int lo_bit = limb * 64;
+        const auto s = static_cast<std::size_t>(limb);
+        if (bits <= lo_bit) {
+            limbs[s] = 0;
+        } else if (bits < lo_bit + 64) {
+            limbs[s] &= (~0ULL) >> (64 - (bits - lo_bit));
+        }
+    }
+}
+
+}  // namespace
+
+NodeId NodeId::from_digest(const util::Sha1Digest& digest, int bits) noexcept {
+    KADSIM_ASSERT(bits > 0 && bits <= kMaxBits);
+    // Digest bytes are big-endian: digest[0] holds bits 159..152.
+    std::array<std::uint64_t, 3> limbs{0, 0, 0};
+    for (int bit = 0; bit < kMaxBits; ++bit) {
+        const int byte_index = (kMaxBits - 1 - bit) / 8;
+        const int bit_in_byte = bit % 8;
+        const bool set =
+            ((digest[static_cast<std::size_t>(byte_index)] >> bit_in_byte) & 1) != 0;
+        if (set) {
+            limbs[static_cast<std::size_t>(bit / 64)] |= 1ULL << (bit % 64);
+        }
+    }
+    // Keep the top `bits` bits of the 160-bit integer: shift right.
+    const int shift = kMaxBits - bits;
+    if (shift > 0) {
+        NodeId full = from_limbs(limbs[0], limbs[1], limbs[2]);
+        std::array<std::uint64_t, 3> shifted{0, 0, 0};
+        for (int bit = 0; bit < bits; ++bit) {
+            if (full.get_bit(bit + shift)) {
+                shifted[static_cast<std::size_t>(bit / 64)] |= 1ULL << (bit % 64);
+            }
+        }
+        limbs = shifted;
+    }
+    mask_to_bits(limbs, bits);
+    return from_limbs(limbs[0], limbs[1], limbs[2]);
+}
+
+NodeId NodeId::random(util::Rng& rng, int bits) noexcept {
+    KADSIM_ASSERT(bits > 0 && bits <= kMaxBits);
+    std::array<std::uint64_t, 3> limbs = {rng.next_u64(), rng.next_u64(),
+                                          rng.next_u64()};
+    mask_to_bits(limbs, bits);
+    return from_limbs(limbs[0], limbs[1], limbs[2]);
+}
+
+NodeId NodeId::random_in_bucket(const NodeId& self, int bucket, util::Rng& rng,
+                                int bits) noexcept {
+    KADSIM_ASSERT(bucket >= 0 && bucket < bits);
+    // distance = 2^bucket + uniform[0, 2^bucket): bit `bucket` set, lower bits
+    // random, higher bits zero.
+    NodeId dist;
+    if (bucket > 0) dist = NodeId::random(rng, bucket);
+    dist.set_bit(bucket, true);
+    return self.distance_to(dist);  // self XOR dist
+}
+
+std::string NodeId::to_hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(40);
+    bool started = false;
+    for (int limb = 2; limb >= 0; --limb) {
+        for (int nibble = 15; nibble >= 0; --nibble) {
+            const auto v = static_cast<unsigned>(
+                (limbs_[static_cast<std::size_t>(limb)] >> (nibble * 4)) & 0xF);
+            if (!started && v == 0 && !(limb == 0 && nibble == 0)) continue;
+            started = true;
+            out.push_back(kDigits[v]);
+        }
+    }
+    return out;
+}
+
+}  // namespace kadsim::kad

@@ -1,0 +1,156 @@
+// Kademlia identifiers and the XOR metric (paper §4.1).
+//
+// Identifiers are unsigned integers of configurable bit-length b ≤ 160
+// (the paper evaluates b ∈ {80, 160}); distance between two identifiers is
+// their bitwise XOR interpreted as an integer. The bucket index of a non-zero
+// distance d is ⌊log2 d⌋, i.e. contacts with 2^i ≤ d < 2^{i+1} live in
+// bucket i.
+#ifndef KADSIM_KAD_NODE_ID_H
+#define KADSIM_KAD_NODE_ID_H
+
+#include <array>
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/sha1.h"
+
+namespace kadsim::kad {
+
+/// Maximum supported identifier width in bits (SHA-1 digest size).
+inline constexpr int kMaxBits = 160;
+
+/// A b-bit identifier stored in three little-endian 64-bit limbs
+/// (limb 0 = least significant). Bits ≥ b are always zero.
+class NodeId {
+public:
+    constexpr NodeId() noexcept = default;
+
+    /// The identifier with the given limbs (caller guarantees bits ≥ b are 0).
+    static constexpr NodeId from_limbs(std::uint64_t lo, std::uint64_t mid,
+                                       std::uint64_t hi) noexcept {
+        NodeId id;
+        id.limbs_ = {lo, mid, hi};
+        return id;
+    }
+
+    /// Truncates a SHA-1 digest to the top `bits` bits (big-endian digest →
+    /// integer, then shifted down so the result is < 2^bits).
+    static NodeId from_digest(const util::Sha1Digest& digest, int bits) noexcept;
+
+    /// Hashes arbitrary bytes/text into an id (the paper's "identifiers are
+    /// generated ... using a cryptographically secure hash function").
+    static NodeId hash_of(std::string_view text, int bits) noexcept {
+        return from_digest(util::sha1(text), bits);
+    }
+
+    /// Uniformly random b-bit id.
+    static NodeId random(util::Rng& rng, int bits) noexcept;
+
+    /// Uniformly random id whose XOR distance d from `self` satisfies
+    /// 2^bucket ≤ d < 2^{bucket+1} — the id range of k-bucket `bucket`
+    /// (used for bucket refreshes, paper §5.3 "Network Traffic").
+    static NodeId random_in_bucket(const NodeId& self, int bucket, util::Rng& rng,
+                                   int bits) noexcept;
+
+    [[nodiscard]] constexpr bool is_zero() const noexcept {
+        return (limbs_[0] | limbs_[1] | limbs_[2]) == 0;
+    }
+
+    /// XOR distance (paper §4.1: dist(a,b) = a ⊕ b).
+    [[nodiscard]] constexpr NodeId distance_to(const NodeId& other) const noexcept {
+        return from_limbs(limbs_[0] ^ other.limbs_[0], limbs_[1] ^ other.limbs_[1],
+                          limbs_[2] ^ other.limbs_[2]);
+    }
+
+    /// Index of the highest set bit (⌊log2⌋); id must be non-zero.
+    [[nodiscard]] int bit_length_minus_one() const noexcept {
+        KADSIM_ASSERT(!is_zero());
+        if (limbs_[2] != 0) return 128 + 63 - std::countl_zero(limbs_[2]);
+        if (limbs_[1] != 0) return 64 + 63 - std::countl_zero(limbs_[1]);
+        return 63 - std::countl_zero(limbs_[0]);
+    }
+
+    /// k-bucket index for a contact with this XOR distance (distance != 0).
+    [[nodiscard]] int bucket_index() const noexcept { return bit_length_minus_one(); }
+
+    [[nodiscard]] constexpr bool get_bit(int i) const noexcept {
+        return ((limbs_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1ULL) != 0;
+    }
+
+    constexpr void set_bit(int i, bool value) noexcept {
+        const auto limb = static_cast<std::size_t>(i / 64);
+        const std::uint64_t mask = 1ULL << (i % 64);
+        if (value) {
+            limbs_[limb] |= mask;
+        } else {
+            limbs_[limb] &= ~mask;
+        }
+    }
+
+    /// Zeroes bits [0, n) in one limb pass (hot path of closest-contact
+    /// selection).
+    constexpr void clear_low_bits(int n) noexcept {
+        for (int limb = 0; limb < 3; ++limb) {
+            const int lo = limb * 64;
+            const auto s = static_cast<std::size_t>(limb);
+            if (n >= lo + 64) {
+                limbs_[s] = 0;
+            } else if (n > lo) {
+                limbs_[s] &= ~((~0ULL) >> (64 - (n - lo)));
+            }
+        }
+    }
+
+    /// Total order by integer value — exactly the XOR-metric comparison when
+    /// applied to distances.
+    friend constexpr std::strong_ordering operator<=>(const NodeId& a,
+                                                      const NodeId& b) noexcept {
+        for (int i = 2; i >= 0; --i) {
+            const auto s = static_cast<std::size_t>(i);
+            if (a.limbs_[s] != b.limbs_[s]) {
+                return a.limbs_[s] < b.limbs_[s] ? std::strong_ordering::less
+                                                 : std::strong_ordering::greater;
+            }
+        }
+        return std::strong_ordering::equal;
+    }
+
+    friend constexpr bool operator==(const NodeId& a, const NodeId& b) noexcept {
+        return a.limbs_ == b.limbs_;
+    }
+
+    /// true iff dist(this, a) < dist(this, b): "a is closer to me than b".
+    [[nodiscard]] constexpr bool closer(const NodeId& a, const NodeId& b) const noexcept {
+        return distance_to(a) < distance_to(b);
+    }
+
+    [[nodiscard]] std::string to_hex() const;
+
+    [[nodiscard]] constexpr std::uint64_t limb(int i) const noexcept {
+        return limbs_[static_cast<std::size_t>(i)];
+    }
+
+    /// 64-bit hash for unordered containers (ids are already uniform).
+    [[nodiscard]] constexpr std::uint64_t hash() const noexcept {
+        return limbs_[0] ^ (limbs_[1] * 0x9E3779B97F4A7C15ULL) ^
+               (limbs_[2] * 0xC2B2AE3D27D4EB4FULL);
+    }
+
+private:
+    std::array<std::uint64_t, 3> limbs_{0, 0, 0};
+};
+
+struct NodeIdHash {
+    std::size_t operator()(const NodeId& id) const noexcept {
+        return static_cast<std::size_t>(id.hash());
+    }
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_NODE_ID_H

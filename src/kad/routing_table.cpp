@@ -1,0 +1,165 @@
+#include "kad/routing_table.h"
+
+#include <algorithm>
+
+namespace kadsim::kad {
+
+RoutingTable::RoutingTable(NodeId self, const KademliaConfig& config)
+    : self_(self), config_(config), buckets_(static_cast<std::size_t>(config.b)) {
+    config.validate();
+}
+
+ObserveResult RoutingTable::observe(const Contact& c, sim::SimTime now) {
+    if (c.id == self_) return ObserveResult::kSelf;
+    Bucket& bucket = bucket_for(c.id);
+    auto& entries = bucket.entries;
+
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) { return e.contact.id == c.id; });
+    if (it != entries.end()) {
+        // Move to most-recently-seen position (back), reset failure streak.
+        Entry updated = *it;
+        updated.last_seen = now;
+        updated.consecutive_failures = 0;
+        updated.contact.address = c.address;
+        entries.erase(it);
+        entries.push_back(updated);
+        return ObserveResult::kUpdated;
+    }
+
+    if (entries.size() < static_cast<std::size_t>(config_.k)) {
+        entries.push_back(Entry{c, now, 0});
+        ++size_;
+        return ObserveResult::kInserted;
+    }
+
+    if (config_.bucket_policy == BucketPolicy::kPingEvict) {
+        bucket.replacement = c;  // newest candidate wins the parking slot
+    }
+    return ObserveResult::kBucketFull;
+}
+
+bool RoutingTable::record_failure(const NodeId& id, sim::SimTime now) {
+    if (id == self_) return false;
+    Bucket& bucket = bucket_for(id);
+    auto& entries = bucket.entries;
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) { return e.contact.id == id; });
+    if (it == entries.end()) return false;
+    if (++it->consecutive_failures < config_.s) return false;
+
+    entries.erase(it);
+    --size_;
+    if (bucket.replacement.has_value()) {
+        entries.push_back(Entry{*bucket.replacement, now, 0});
+        ++size_;
+        bucket.replacement.reset();
+    }
+    return true;
+}
+
+bool RoutingTable::remove(const NodeId& id) {
+    if (id == self_) return false;
+    auto& entries = bucket_for(id).entries;
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) { return e.contact.id == id; });
+    if (it == entries.end()) return false;
+    entries.erase(it);
+    --size_;
+    return true;
+}
+
+void RoutingTable::clear() noexcept {
+    for (auto& bucket : buckets_) {
+        bucket.entries.clear();
+        bucket.replacement.reset();
+    }
+    size_ = 0;
+    scratch_.clear();
+    scratch_.shrink_to_fit();
+    bucket_order_.clear();
+    bucket_order_.shrink_to_fit();
+}
+
+bool RoutingTable::contains(const NodeId& id) const {
+    if (id == self_) return false;
+    const auto& entries = bucket_for(id).entries;
+    return std::any_of(entries.begin(), entries.end(),
+                       [&](const Entry& e) { return e.contact.id == id; });
+}
+
+std::optional<Contact> RoutingTable::least_recently_seen(const NodeId& id) const {
+    const auto& entries = bucket_for(id).entries;
+    if (entries.empty()) return std::nullopt;
+    return entries.front().contact;
+}
+
+void RoutingTable::closest(const NodeId& target, std::size_t count,
+                           std::vector<Contact>& out, const NodeId* exclude) const {
+    if (count == 0) return;
+    // Exact selection without scanning every contact. For d = self ⊕ target,
+    // a contact in bucket i has distance-to-target bits: above i taken from
+    // d, bit i equal to ¬d_i, bits below i arbitrary — so the per-bucket
+    // distance ranges are pairwise disjoint. Visiting buckets by ascending
+    // range base and sorting only inside each visited bucket yields the
+    // globally closest contacts; stop once `count` are collected.
+    const NodeId d = self_.distance_to(target);
+    bucket_order_.clear();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i].entries.empty()) continue;
+        NodeId base = d;
+        base.clear_low_bits(static_cast<int>(i) + 1);
+        base.set_bit(static_cast<int>(i), !d.get_bit(static_cast<int>(i)));
+        bucket_order_.emplace_back(base, static_cast<int>(i));
+    }
+    std::sort(bucket_order_.begin(), bucket_order_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    std::size_t collected = 0;
+    for (const auto& [base, index] : bucket_order_) {
+        if (collected >= count) break;
+        const auto& entries = buckets_[static_cast<std::size_t>(index)].entries;
+        scratch_.clear();
+        for (const auto& entry : entries) {
+            if (exclude != nullptr && entry.contact.id == *exclude) continue;
+            scratch_.emplace_back(target.distance_to(entry.contact.id), entry.contact);
+        }
+        std::sort(scratch_.begin(), scratch_.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [dist, contact] : scratch_) {
+            if (collected >= count) break;
+            out.push_back(contact);
+            ++collected;
+        }
+    }
+}
+
+int RoutingTable::nonempty_bucket_count() const noexcept {
+    int count = 0;
+    for (const auto& bucket : buckets_) {
+        if (!bucket.entries.empty()) ++count;
+    }
+    return count;
+}
+
+bool RoutingTable::check_invariants() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const auto& entries = buckets_[i].entries;
+        if (entries.size() > static_cast<std::size_t>(config_.k)) return false;
+        for (const auto& entry : entries) {
+            if (entry.contact.id == self_) return false;
+            const auto dist = self_.distance_to(entry.contact.id);
+            if (dist.is_zero()) return false;
+            if (static_cast<std::size_t>(dist.bucket_index()) != i) return false;
+            if (entry.consecutive_failures >= config_.s) return false;
+        }
+        for (std::size_t j = 1; j < entries.size(); ++j) {
+            if (entries[j - 1].last_seen > entries[j].last_seen) return false;
+        }
+        total += entries.size();
+    }
+    return total == size_;
+}
+
+}  // namespace kadsim::kad

@@ -1,0 +1,121 @@
+// The Kademlia routing table: b k-buckets of contacts (paper §4.1).
+//
+// Bucket i holds contacts whose XOR distance d from the owner satisfies
+// 2^i ≤ d < 2^{i+1} (at most k of them). Entries are kept in
+// least-recently-seen order (front = oldest), per the original protocol.
+// A contact is dropped after `s` consecutive failed communications
+// (the staleness limit, §4.1/§5.3).
+#ifndef KADSIM_KAD_ROUTING_TABLE_H
+#define KADSIM_KAD_ROUTING_TABLE_H
+
+#include <optional>
+#include <vector>
+
+#include "kad/config.h"
+#include "kad/contact.h"
+#include "sim/time.h"
+
+namespace kadsim::kad {
+
+/// Result of offering a (possibly new) contact to the table.
+enum class ObserveResult {
+    kUpdated,     ///< already present; freshness updated
+    kInserted,    ///< added to a bucket with free space
+    kBucketFull,  ///< bucket full; policy decides what happens next
+    kSelf,        ///< the owner's own id; ignored
+};
+
+class RoutingTable {
+public:
+    struct Entry {
+        Contact contact;
+        sim::SimTime last_seen = 0;
+        int consecutive_failures = 0;
+    };
+
+    RoutingTable(NodeId self, const KademliaConfig& config);
+
+    /// Records evidence that `c` is alive (any message received from it).
+    /// On kBucketFull with BucketPolicy::kPingEvict the contact is parked in
+    /// the bucket's one-slot replacement cache (newest wins).
+    ObserveResult observe(const Contact& c, sim::SimTime now);
+
+    /// Records a failed communication attempt. Removes the contact once it
+    /// accumulates `s` consecutive failures; returns true when removed.
+    /// A parked replacement (kPingEvict) fills the freed slot.
+    bool record_failure(const NodeId& id, sim::SimTime now);
+
+    /// Forcibly removes a contact (used by tests and by ping-evict logic).
+    bool remove(const NodeId& id);
+
+    /// Drops every contact and replacement candidate (crash teardown).
+    void clear() noexcept;
+
+    [[nodiscard]] bool contains(const NodeId& id) const;
+
+    /// Least-recently-seen contact of the bucket that `id` maps to, if any —
+    /// the eviction-ping candidate under BucketPolicy::kPingEvict.
+    [[nodiscard]] std::optional<Contact> least_recently_seen(const NodeId& id) const;
+
+    /// Appends up to `count` contacts closest (XOR) to `target` into `out`,
+    /// ordered by increasing distance. `exclude` (typically the requester) is
+    /// skipped. Exact: considers every stored contact.
+    void closest(const NodeId& target, std::size_t count, std::vector<Contact>& out,
+                 const NodeId* exclude = nullptr) const;
+
+    /// Total number of stored contacts.
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    /// Invokes fn(const Entry&) for every stored contact (snapshot export).
+    template <typename Fn>
+    void for_each_entry(Fn&& fn) const {
+        for (const auto& bucket : buckets_) {
+            for (const auto& entry : bucket.entries) fn(entry);
+        }
+    }
+
+    [[nodiscard]] const NodeId& self() const noexcept { return self_; }
+
+    /// Bucket index that `id` would map to (id != self).
+    [[nodiscard]] int bucket_index_of(const NodeId& id) const {
+        return self_.distance_to(id).bucket_index();
+    }
+
+    /// Number of buckets holding at least one contact.
+    [[nodiscard]] int nonempty_bucket_count() const noexcept;
+
+    /// Contacts in one bucket (tests/inspection).
+    [[nodiscard]] const std::vector<Entry>& bucket_entries(int index) const {
+        return buckets_[static_cast<std::size_t>(index)].entries;
+    }
+
+    /// Checks internal invariants (bucket membership, capacity, LRU order by
+    /// last_seen); used by tests and debug builds.
+    [[nodiscard]] bool check_invariants() const;
+
+private:
+    struct Bucket {
+        std::vector<Entry> entries;              // front = least recently seen
+        std::optional<Contact> replacement;      // kPingEvict parking slot
+    };
+
+    Bucket& bucket_for(const NodeId& id) {
+        return buckets_[static_cast<std::size_t>(bucket_index_of(id))];
+    }
+    [[nodiscard]] const Bucket& bucket_for(const NodeId& id) const {
+        return buckets_[static_cast<std::size_t>(bucket_index_of(id))];
+    }
+
+    NodeId self_;
+    const KademliaConfig& config_;
+    std::vector<Bucket> buckets_;
+    std::size_t size_ = 0;
+    // Scratch for closest(): avoids per-query allocation on the hot path.
+    mutable std::vector<std::pair<NodeId, Contact>> scratch_;
+    mutable std::vector<std::pair<NodeId, int>> bucket_order_;
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_ROUTING_TABLE_H

@@ -1,0 +1,28 @@
+// One-way message latency model. The paper (like PeerSim configurations)
+// treats latency as a uniform random transport delay; the exact bounds only
+// matter relative to the RPC timeout, which is configured well above 2×max.
+#ifndef KADSIM_NET_LATENCY_H
+#define KADSIM_NET_LATENCY_H
+
+#include "sim/time.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace kadsim::net {
+
+struct LatencyModel {
+    sim::SimTime min_delay = 10 * sim::kMillisecond;
+    sim::SimTime max_delay = 100 * sim::kMillisecond;
+
+    [[nodiscard]] sim::SimTime sample(util::Rng& rng) const noexcept {
+        KADSIM_ASSERT(min_delay >= 0 && min_delay <= max_delay);
+        if (min_delay == max_delay) return min_delay;
+        return min_delay +
+               static_cast<sim::SimTime>(rng.next_below(
+                   static_cast<std::uint64_t>(max_delay - min_delay + 1)));
+    }
+};
+
+}  // namespace kadsim::net
+
+#endif  // KADSIM_NET_LATENCY_H

@@ -1,0 +1,65 @@
+// Message-loss model (paper §5.3, Table 1).
+//
+// The paper defines four scenarios by the probability that a two-way
+// request/response exchange fails, and derives the per-message (one-way)
+// probability from it: (1 - p1)^2 = 1 - p2, i.e. p1 = 1 - sqrt(1 - p2).
+//
+//   none:   p1 = 0.0%    p2 = 0%
+//   low:    p1 = 2.5%    p2 = 5%
+//   medium: p1 = 13.4%   p2 = 25%
+//   high:   p1 = 29.3%   p2 = 50%
+//
+// Loss is applied independently per one-way transmission, which reproduces
+// the two-way probabilities exactly for request/response pairs.
+#ifndef KADSIM_NET_LOSS_H
+#define KADSIM_NET_LOSS_H
+
+#include <cmath>
+#include <string_view>
+
+#include "util/assert.h"
+
+namespace kadsim::net {
+
+enum class LossLevel { kNone, kLow, kMedium, kHigh };
+
+struct LossModel {
+    double p_one_way = 0.0;
+
+    /// Builds from a two-way failure probability (Table 1 parameterization).
+    static LossModel from_two_way(double p_two_way) noexcept {
+        KADSIM_ASSERT(p_two_way >= 0.0 && p_two_way < 1.0);
+        LossModel m;
+        m.p_one_way = 1.0 - std::sqrt(1.0 - p_two_way);
+        return m;
+    }
+
+    static LossModel from_level(LossLevel level) noexcept {
+        switch (level) {
+            case LossLevel::kNone: return from_two_way(0.00);
+            case LossLevel::kLow: return from_two_way(0.05);
+            case LossLevel::kMedium: return from_two_way(0.25);
+            case LossLevel::kHigh: return from_two_way(0.50);
+        }
+        KADSIM_ASSERT_MSG(false, "unknown loss level");
+        return {};
+    }
+
+    [[nodiscard]] constexpr double p_two_way() const noexcept {
+        return 1.0 - (1.0 - p_one_way) * (1.0 - p_one_way);
+    }
+};
+
+constexpr std::string_view to_string(LossLevel level) noexcept {
+    switch (level) {
+        case LossLevel::kNone: return "none";
+        case LossLevel::kLow: return "low";
+        case LossLevel::kMedium: return "medium";
+        case LossLevel::kHigh: return "high";
+    }
+    return "?";
+}
+
+}  // namespace kadsim::net
+
+#endif  // KADSIM_NET_LOSS_H

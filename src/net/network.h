@@ -1,0 +1,107 @@
+// Unreliable datagram network between simulated nodes.
+//
+// Responsibilities (the PeerSim-transport equivalent):
+//   * per-message uniform latency,
+//   * independent one-way loss (Table 1 model),
+//   * liveness: messages to a crashed endpoint vanish (the sender only learns
+//     via its own RPC timeout, exactly like UDP),
+//   * message accounting for the metrics module.
+//
+// The payload is a closure built by the sending protocol instance; the
+// network checks destination liveness at delivery time, so a node crashing
+// while a message is in flight drops it — message reordering and loss
+// semantics match an asynchronous fail-stop system model (paper §3).
+#ifndef KADSIM_NET_NETWORK_H
+#define KADSIM_NET_NETWORK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/latency.h"
+#include "net/loss.h"
+#include "sim/simulator.h"
+#include "util/assert.h"
+#include "util/inplace_function.h"
+
+namespace kadsim::net {
+
+/// Dense endpoint index; addresses are never reused within a simulation.
+using Address = std::uint32_t;
+
+/// Delivery closure: runs at the receiver when the message arrives.
+using DeliverFn = util::InplaceFunction<void(), 80>;
+
+struct NetworkCounters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_loss = 0;
+    std::uint64_t dropped_dead = 0;
+};
+
+class Network {
+public:
+    Network(sim::Simulator& sim, LatencyModel latency, LossModel loss)
+        : sim_(sim), latency_(latency), loss_(loss), rng_(sim.split_rng()) {}
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /// Registers a new endpoint (initially up) and returns its address.
+    Address register_endpoint() {
+        up_.push_back(true);
+        return static_cast<Address>(up_.size() - 1);
+    }
+
+    void set_up(Address a, bool up) noexcept {
+        KADSIM_ASSERT(a < up_.size());
+        up_[a] = up;
+    }
+
+    [[nodiscard]] bool is_up(Address a) const noexcept {
+        return a < up_.size() && up_[a];
+    }
+
+    /// Sends a one-way message from src to dst. The closure runs at delivery
+    /// time iff the message survives loss and dst is still up; otherwise it is
+    /// destroyed unexecuted (fire-and-forget, like UDP).
+    void transmit(Address src, Address dst, DeliverFn deliver) {
+        ++counters_.sent;
+        if (!is_up(src)) {  // a crashed node cannot send
+            ++counters_.dropped_dead;
+            return;
+        }
+        if (loss_.p_one_way > 0.0 && rng_.next_bool(loss_.p_one_way)) {
+            ++counters_.dropped_loss;
+            return;
+        }
+        const sim::SimTime delay = latency_.sample(rng_);
+        sim_.schedule_in(delay, [this, dst, fn = std::move(deliver)]() mutable {
+            if (!is_up(dst)) {
+                ++counters_.dropped_dead;
+                return;
+            }
+            ++counters_.delivered;
+            fn();
+        });
+    }
+
+    [[nodiscard]] const NetworkCounters& counters() const noexcept { return counters_; }
+    [[nodiscard]] const LossModel& loss() const noexcept { return loss_; }
+    [[nodiscard]] std::size_t endpoint_count() const noexcept { return up_.size(); }
+
+    /// Swaps the loss model mid-simulation (failure injection / recovery
+    /// experiments). Messages already in flight are unaffected.
+    void set_loss(LossModel loss) noexcept { loss_ = loss; }
+
+private:
+    sim::Simulator& sim_;
+    LatencyModel latency_;
+    LossModel loss_;
+    util::Rng rng_;
+    std::vector<bool> up_;
+    NetworkCounters counters_;
+};
+
+}  // namespace kadsim::net
+
+#endif  // KADSIM_NET_NETWORK_H

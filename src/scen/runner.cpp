@@ -1,0 +1,226 @@
+#include "scen/runner.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace kadsim::scen {
+
+namespace {
+constexpr std::uint32_t kNoLivePos = 0xFFFFFFFFu;
+/// Bounded data-object registry: lookups draw targets from the most recent
+/// disseminations (older objects have expired from node storage anyway).
+constexpr std::size_t kDataRegistryCap = 4096;
+}  // namespace
+
+Runner::Runner(ScenarioConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      net_(sim_, config_.latency, net::LossModel::from_level(config_.loss)),
+      rng_(sim_.split_rng()) {
+    config_.validate();
+    schedule_initial_joins();
+    start_periodic_tasks();
+}
+
+Runner::~Runner() = default;
+
+kad::KademliaNode* Runner::node_at(net::Address address) noexcept {
+    if (address >= nodes_.size()) return nullptr;
+    return nodes_[address].get();
+}
+
+const kad::KademliaNode* Runner::node(net::Address address) const {
+    KADSIM_ASSERT(address < nodes_.size());
+    return nodes_[address].get();
+}
+
+kad::KademliaNode* Runner::node(net::Address address) {
+    KADSIM_ASSERT(address < nodes_.size());
+    return nodes_[address].get();
+}
+
+kad::NodeId Runner::node_id_for(net::Address address) const {
+    // "Identifiers are generated from a node's network address ... using a
+    // cryptographically secure hash function" (§4.1).
+    const std::string key =
+        "kadsim-node-" + std::to_string(config_.seed) + "-" + std::to_string(address);
+    return kad::NodeId::hash_of(key, config_.kad.b);
+}
+
+void Runner::schedule_initial_joins() {
+    // "A new node joins the network at a random point in the simulated time
+    // that is evenly distributed between 0 and 30 minutes" (§5.3).
+    const auto window = static_cast<std::uint64_t>(config_.phases.setup_end);
+    for (int i = 0; i < config_.initial_size; ++i) {
+        const auto at = static_cast<sim::SimTime>(rng_.next_below(window));
+        sim_.schedule_at(at, [this] { add_node(); });
+    }
+}
+
+void Runner::start_periodic_tasks() {
+    // One master minute tick handles churn, traffic and the size series; the
+    // per-action instants are drawn uniformly inside each minute (§5.3).
+    minute_task_ = sim::PeriodicTask::start(
+        sim_, 0, sim::kMinute, [this](sim::SimTime now) {
+            size_series_.add(sim::to_minutes(now), live_count());
+            if (config_.traffic.enabled) traffic_tick();
+            if (config_.churn.any() && now >= config_.phases.stabilization_end &&
+                now < config_.phases.end) {
+                churn_tick();
+            }
+        });
+}
+
+void Runner::traffic_tick() {
+    // Snapshot the live list: nodes joining during this minute start traffic
+    // with the next tick.
+    for (const net::Address address : live_) {
+        for (int i = 0; i < config_.traffic.lookups_per_minute; ++i) {
+            const auto delay = static_cast<sim::SimTime>(
+                rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
+            sim_.schedule_in(delay, [this, address] { issue_lookup(address); });
+        }
+        for (int i = 0; i < config_.traffic.disseminations_per_minute; ++i) {
+            const auto delay = static_cast<sim::SimTime>(
+                rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
+            sim_.schedule_in(delay, [this, address] { issue_dissemination(address); });
+        }
+    }
+}
+
+void Runner::churn_tick() {
+    for (int i = 0; i < config_.churn.removes_per_minute; ++i) {
+        const auto delay = static_cast<sim::SimTime>(
+            rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
+        sim_.schedule_in(delay, [this] { remove_random_node(); });
+    }
+    for (int i = 0; i < config_.churn.adds_per_minute; ++i) {
+        const auto delay = static_cast<sim::SimTime>(
+            rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
+        sim_.schedule_in(delay, [this] { add_node(); });
+    }
+}
+
+void Runner::add_node() {
+    const net::Address address = net_.register_endpoint();
+    KADSIM_ASSERT(address == nodes_.size());
+    nodes_.push_back(std::make_unique<kad::KademliaNode>(
+        node_id_for(address), address, config_.kad, sim_, net_, *this));
+    kad::KademliaNode* fresh = nodes_.back().get();
+
+    // "The bootstrap node is randomly chosen from the already joined nodes"
+    // (§5.3) — completely random, and any node can be affected by churn.
+    std::optional<kad::Contact> bootstrap;
+    if (!live_.empty()) {
+        const net::Address pick =
+            live_[rng_.next_below(static_cast<std::uint64_t>(live_.size()))];
+        bootstrap = nodes_[pick]->contact();
+    }
+
+    live_pos_.resize(nodes_.size(), kNoLivePos);
+    live_pos_[address] = static_cast<std::uint32_t>(live_.size());
+    live_.push_back(address);
+    ++joins_;
+
+    fresh->join(bootstrap);
+}
+
+void Runner::remove_random_node() {
+    if (live_.empty()) return;
+    const std::uint64_t index = rng_.next_below(static_cast<std::uint64_t>(live_.size()));
+    const net::Address address = live_[index];
+
+    // Swap-remove from the live list, keeping positions consistent.
+    live_[index] = live_.back();
+    live_pos_[live_[index]] = static_cast<std::uint32_t>(index);
+    live_.pop_back();
+    live_pos_[address] = kNoLivePos;
+    ++crashes_;
+
+    nodes_[address]->crash();
+}
+
+void Runner::issue_lookup(net::Address address) {
+    kad::KademliaNode* n = nodes_[address].get();
+    if (n == nullptr || !n->alive()) return;
+    kad::NodeId target;
+    if (!data_registry_.empty()) {
+        target = data_registry_[rng_.next_below(
+            static_cast<std::uint64_t>(data_registry_.size()))];
+    } else {
+        target = kad::NodeId::random(rng_, config_.kad.b);
+    }
+    n->lookup_value(target, {});
+}
+
+void Runner::issue_dissemination(net::Address address) {
+    kad::KademliaNode* n = nodes_[address].get();
+    if (n == nullptr || !n->alive()) return;
+    const kad::NodeId key = next_data_id();
+    n->disseminate(key, ++data_counter_, {});
+}
+
+kad::NodeId Runner::next_data_id() {
+    const std::string name = "kadsim-data-" + std::to_string(config_.seed) + "-" +
+                             std::to_string(data_counter_);
+    const kad::NodeId id = kad::NodeId::hash_of(name, config_.kad.b);
+    if (data_registry_.size() < kDataRegistryCap) {
+        data_registry_.push_back(id);
+    } else {
+        data_registry_[data_counter_ % kDataRegistryCap] = id;
+    }
+    return id;
+}
+
+void Runner::step_to(sim::SimTime t) { sim_.run_until(t); }
+
+void Runner::run(sim::SimTime snapshot_interval,
+                 const std::function<void(const graph::RoutingSnapshot&)>& on_snapshot) {
+    KADSIM_ASSERT(snapshot_interval > 0);
+    for (sim::SimTime t = snapshot_interval; t <= config_.phases.end;
+         t += snapshot_interval) {
+        step_to(t);
+        if (on_snapshot) on_snapshot(snapshot());
+    }
+    if (sim_.now() < config_.phases.end) step_to(config_.phases.end);
+}
+
+graph::RoutingSnapshot Runner::snapshot() const {
+    graph::RoutingSnapshot snap;
+    snap.time_ms = sim_.now();
+    snap.nodes.reserve(live_.size());
+    for (const net::Address address : live_) {
+        graph::SnapshotNode record;
+        record.address = address;
+        const auto& table = nodes_[address]->routing_table();
+        record.contacts.reserve(table.size());
+        table.for_each_entry([&record](const kad::RoutingTable::Entry& entry) {
+            record.contacts.push_back(entry.contact.address);
+        });
+        snap.nodes.push_back(std::move(record));
+    }
+    return snap;
+}
+
+RunnerTotals Runner::totals() const {
+    RunnerTotals t;
+    for (const auto& n : nodes_) {
+        const auto& c = n->counters();
+        t.protocol.lookups_started += c.lookups_started;
+        t.protocol.lookups_completed += c.lookups_completed;
+        t.protocol.values_found += c.values_found;
+        t.protocol.stores_sent += c.stores_sent;
+        t.protocol.rpcs_sent += c.rpcs_sent;
+        t.protocol.rpcs_failed += c.rpcs_failed;
+        t.protocol.requests_served += c.requests_served;
+    }
+    t.network = net_.counters();
+    t.joins = joins_;
+    t.crashes = crashes_;
+    t.events_executed = sim_.events_executed();
+    return t;
+}
+
+}  // namespace kadsim::scen

@@ -1,0 +1,110 @@
+// Scenario runner: builds the network, drives bootstrap, churn and traffic,
+// and exposes routing-table snapshots at chosen instants (paper §5.2–§5.4).
+#ifndef KADSIM_SCEN_RUNNER_H
+#define KADSIM_SCEN_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/snapshot.h"
+#include "kad/directory.h"
+#include "kad/node.h"
+#include "net/network.h"
+#include "scen/scenario.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+#include "stats/timeseries.h"
+
+namespace kadsim::scen {
+
+/// Aggregated engine/protocol counters at a point in time.
+struct RunnerTotals {
+    kad::NodeCounters protocol;
+    net::NetworkCounters network;
+    std::uint64_t joins = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t events_executed = 0;
+};
+
+class Runner final : public kad::NodeDirectory {
+public:
+    explicit Runner(ScenarioConfig config);
+    ~Runner() override;
+
+    Runner(const Runner&) = delete;
+    Runner& operator=(const Runner&) = delete;
+
+    /// Advances simulated time to `t` (processing all events up to it).
+    void step_to(sim::SimTime t);
+
+    /// Convenience driver: runs to config.phases.end, invoking `on_snapshot`
+    /// every `snapshot_interval` (first snapshot at t = snapshot_interval).
+    void run(sim::SimTime snapshot_interval,
+             const std::function<void(const graph::RoutingSnapshot&)>& on_snapshot);
+
+    /// Routing tables of all live nodes, as a connectivity-graph source.
+    [[nodiscard]] graph::RoutingSnapshot snapshot() const;
+
+    [[nodiscard]] int live_count() const noexcept {
+        return static_cast<int>(live_.size());
+    }
+    [[nodiscard]] const std::vector<net::Address>& live_addresses() const noexcept {
+        return live_;
+    }
+
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+    [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+    [[nodiscard]] net::Network& network() noexcept { return net_; }
+
+    /// Per-minute network-size series (paper figures' right-hand axis).
+    [[nodiscard]] const stats::TimeSeries& size_series() const noexcept {
+        return size_series_;
+    }
+
+    [[nodiscard]] RunnerTotals totals() const;
+
+    /// kad::NodeDirectory: address → protocol instance (shells persist after
+    /// crash so in-flight closures stay valid).
+    [[nodiscard]] kad::KademliaNode* node_at(net::Address address) noexcept override;
+
+    /// Direct node access for tests/examples.
+    [[nodiscard]] const kad::KademliaNode* node(net::Address address) const;
+    [[nodiscard]] kad::KademliaNode* node(net::Address address);
+
+    /// Ids of all data objects disseminated so far (bounded registry).
+    [[nodiscard]] const std::vector<kad::NodeId>& data_registry() const noexcept {
+        return data_registry_;
+    }
+
+private:
+    void schedule_initial_joins();
+    void start_periodic_tasks();
+    void traffic_tick();
+    void churn_tick();
+    void add_node();
+    void remove_random_node();
+    void issue_lookup(net::Address address);
+    void issue_dissemination(net::Address address);
+    [[nodiscard]] kad::NodeId next_data_id();
+    [[nodiscard]] kad::NodeId node_id_for(net::Address address) const;
+
+    ScenarioConfig config_;
+    sim::Simulator sim_;
+    net::Network net_;
+    util::Rng rng_;
+    std::vector<std::unique_ptr<kad::KademliaNode>> nodes_;  // by address
+    std::vector<net::Address> live_;
+    std::vector<std::uint32_t> live_pos_;  // address → index into live_
+    std::vector<kad::NodeId> data_registry_;
+    std::uint64_t data_counter_ = 0;
+    std::uint64_t joins_ = 0;
+    std::uint64_t crashes_ = 0;
+    stats::TimeSeries size_series_;
+    std::unique_ptr<sim::PeriodicTask> minute_task_;
+};
+
+}  // namespace kadsim::scen
+
+#endif  // KADSIM_SCEN_RUNNER_H

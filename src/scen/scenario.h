@@ -1,0 +1,79 @@
+// Scenario configuration: the paper's eight simulation dimensions (§5.3) —
+// network size, churn, traffic, message loss, k, α, b, s — plus the phase
+// plan (§5.4: setup until minute 30, stabilization until minute 120, churn
+// afterwards).
+#ifndef KADSIM_SCEN_SCENARIO_H
+#define KADSIM_SCEN_SCENARIO_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "kad/config.h"
+#include "net/latency.h"
+#include "net/loss.h"
+#include "sim/time.h"
+
+namespace kadsim::scen {
+
+/// Nodes added/removed per minute of simulated time during the churn phase.
+/// The paper's scenarios: (0/1), (1/1), (10/10).
+struct ChurnSpec {
+    int adds_per_minute = 0;
+    int removes_per_minute = 0;
+
+    [[nodiscard]] bool any() const noexcept {
+        return adds_per_minute > 0 || removes_per_minute > 0;
+    }
+    [[nodiscard]] std::string label() const {
+        return std::to_string(adds_per_minute) + "/" + std::to_string(removes_per_minute);
+    }
+};
+
+/// Data traffic (§5.3): with traffic, every node performs 10 lookups and 1
+/// dissemination per minute at random instants within the minute.
+struct TrafficSpec {
+    bool enabled = false;
+    int lookups_per_minute = 10;
+    int disseminations_per_minute = 1;
+};
+
+/// Phase boundaries (§5.4). Events scheduled at random times happen inside
+/// [phase start, phase end).
+struct PhasePlan {
+    sim::SimTime setup_end = sim::minutes(30);
+    sim::SimTime stabilization_end = sim::minutes(120);
+    sim::SimTime end = sim::minutes(400);
+};
+
+struct ScenarioConfig {
+    std::string name = "scenario";
+    int initial_size = 250;
+    kad::KademliaConfig kad;
+    net::LossLevel loss = net::LossLevel::kNone;
+    net::LatencyModel latency;
+    ChurnSpec churn;
+    TrafficSpec traffic;
+    PhasePlan phases;
+    std::uint64_t seed = 1;
+
+    void validate() const {
+        kad.validate();
+        if (initial_size <= 0) throw std::invalid_argument("initial_size must be > 0");
+        if (churn.adds_per_minute < 0 || churn.removes_per_minute < 0) {
+            throw std::invalid_argument("churn rates must be >= 0");
+        }
+        if (!(phases.setup_end <= phases.stabilization_end &&
+              phases.stabilization_end <= phases.end)) {
+            throw std::invalid_argument("phases must be ordered setup <= stab <= end");
+        }
+        if (traffic.enabled &&
+            (traffic.lookups_per_minute < 0 || traffic.disseminations_per_minute < 0)) {
+            throw std::invalid_argument("traffic rates must be >= 0");
+        }
+    }
+};
+
+}  // namespace kadsim::scen
+
+#endif  // KADSIM_SCEN_SCENARIO_H

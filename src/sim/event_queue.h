@@ -1,0 +1,136 @@
+// Pending-event set for the discrete-event engine.
+//
+// Semantics mirror PeerSim's event-driven mode: events execute in
+// non-decreasing timestamp order; ties break by insertion order (stable), so
+// runs are bit-reproducible regardless of heap internals.
+#ifndef KADSIM_SIM_EVENT_QUEUE_H
+#define KADSIM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/assert.h"
+#include "util/inplace_function.h"
+
+namespace kadsim::sim {
+
+/// Event payload: a small move-only callable. 128 bytes of inline capture is
+/// enough for every handler in the code base, including RPC delivery closures
+/// carrying a contact-list vector (compile-time enforced).
+using EventFn = util::InplaceFunction<void(), 128>;
+
+class EventQueue {
+public:
+    struct Entry {
+        SimTime time = 0;
+        std::uint64_t seq = 0;
+        EventFn fn;
+    };
+
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+    /// Earliest pending timestamp; queue must be non-empty.
+    [[nodiscard]] SimTime next_time() const noexcept {
+        KADSIM_ASSERT(!heap_.empty());
+        return heap_.front().time;
+    }
+
+    void push(SimTime time, EventFn fn) {
+        std::uint32_t slot;
+        if (!free_slots_.empty()) {
+            slot = free_slots_.back();
+            free_slots_.pop_back();
+            pool_[slot] = std::move(fn);
+        } else {
+            slot = static_cast<std::uint32_t>(pool_.size());
+            pool_.push_back(std::move(fn));
+        }
+        heap_.push_back(Handle{time, next_seq_++, slot});
+        sift_up(heap_.size() - 1);
+    }
+
+    /// Removes and returns the earliest event (stable tie-break by seq).
+    Entry pop() {
+        KADSIM_ASSERT(!heap_.empty());
+        const Handle top = heap_.front();
+        if (heap_.size() > 1) {
+            heap_.front() = heap_.back();
+            heap_.pop_back();
+            sift_down(0);
+        } else {
+            heap_.pop_back();
+        }
+        Entry entry{top.time, top.seq, std::move(pool_[top.slot])};
+        free_slots_.push_back(top.slot);
+        return entry;
+    }
+
+    void clear() noexcept {
+        heap_.clear();
+        pool_.clear();
+        free_slots_.clear();
+    }
+
+    /// Total events ever pushed (also the next sequence number).
+    [[nodiscard]] std::uint64_t pushed() const noexcept { return next_seq_; }
+
+private:
+    /// The heap orders lightweight 16-byte handles; the (large) callables
+    /// stay put in a slot pool. Sift operations therefore move handles, not
+    /// 100+-byte closures (Per.14/Per.19: cheap moves on the hot path).
+    struct Handle {
+        SimTime time;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    [[nodiscard]] static bool before(const Handle& a, const Handle& b) noexcept {
+        return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+    }
+
+    void sift_up(std::size_t i) noexcept {
+        const Handle item = heap_[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(item, heap_[parent])) break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = item;
+    }
+
+    void sift_down(std::size_t i) noexcept {
+        const std::size_t n = heap_.size();
+        const Handle item = heap_[i];
+        while (true) {
+            const std::size_t left = 2 * i + 1;
+            const std::size_t right = left + 1;
+            std::size_t smallest = i;
+            const Handle* best = &item;
+            if (left < n && before(heap_[left], *best)) {
+                smallest = left;
+                best = &heap_[left];
+            }
+            if (right < n && before(heap_[right], *best)) {
+                smallest = right;
+                best = &heap_[right];
+            }
+            if (smallest == i) break;
+            heap_[i] = heap_[smallest];
+            i = smallest;
+        }
+        heap_[i] = item;
+    }
+
+    std::vector<Handle> heap_;
+    std::vector<EventFn> pool_;
+    std::vector<std::uint32_t> free_slots_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace kadsim::sim
+
+#endif  // KADSIM_SIM_EVENT_QUEUE_H

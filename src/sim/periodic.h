@@ -1,0 +1,65 @@
+// Periodic process helper: re-schedules itself every `period` until cancelled.
+// Used for churn ticks, traffic ticks, bucket-refresh timers and snapshots.
+#ifndef KADSIM_SIM_PERIODIC_H
+#define KADSIM_SIM_PERIODIC_H
+
+#include <memory>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace kadsim::sim {
+
+/// Handle for a repeating task. Destroying the handle (or calling cancel())
+/// stops future firings; an in-flight event becomes a no-op.
+class PeriodicTask {
+public:
+    using TickFn = util::InplaceFunction<void(SimTime), 40>;
+
+    /// Starts a task firing at start, start+period, ... `tick` receives the
+    /// firing time.
+    static std::unique_ptr<PeriodicTask> start(Simulator& sim, SimTime first,
+                                               SimTime period, TickFn tick) {
+        KADSIM_ASSERT(period > 0);
+        auto task = std::unique_ptr<PeriodicTask>(new PeriodicTask(sim, period, std::move(tick)));
+        task->arm(first);
+        return task;
+    }
+
+    ~PeriodicTask() { cancel(); }
+
+    PeriodicTask(const PeriodicTask&) = delete;
+    PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+    void cancel() noexcept { *alive_ = false; }
+    [[nodiscard]] bool active() const noexcept { return *alive_; }
+
+private:
+    PeriodicTask(Simulator& sim, SimTime period, TickFn tick)
+        : sim_(sim), period_(period), tick_(std::move(tick)),
+          alive_(std::make_shared<bool>(true)) {}
+
+    void arm(SimTime at) {
+        // The event captures a weak liveness token, not `this` alone, so a
+        // destroyed task never dereferences freed memory.
+        std::weak_ptr<bool> token = alive_;
+        PeriodicTask* self = this;
+        sim_.schedule_at(at, [self, token] {
+            const auto alive = token.lock();
+            if (!alive || !*alive) return;
+            const SimTime t = self->sim_.now();
+            self->tick_(t);
+            // tick_ may have cancelled the task.
+            if (*alive) self->arm(t + self->period_);
+        });
+    }
+
+    Simulator& sim_;
+    SimTime period_;
+    TickFn tick_;
+    std::shared_ptr<bool> alive_;
+};
+
+}  // namespace kadsim::sim
+
+#endif  // KADSIM_SIM_PERIODIC_H

@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+namespace kadsim::sim {
+
+std::uint64_t Simulator::run_until(SimTime end) {
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.next_time() <= end) {
+        EventQueue::Entry entry = queue_.pop();
+        KADSIM_ASSERT_MSG(entry.time >= now_, "time went backwards");
+        now_ = entry.time;
+        entry.fn();
+        ++executed;
+    }
+    // Advance the clock to the horizon even if the queue drained earlier, so
+    // consecutive run_until calls observe monotone time.
+    if (now_ < end) now_ = end;
+    events_executed_ += executed;
+    return executed;
+}
+
+std::uint64_t Simulator::run_all() {
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+        EventQueue::Entry entry = queue_.pop();
+        KADSIM_ASSERT_MSG(entry.time >= now_, "time went backwards");
+        now_ = entry.time;
+        entry.fn();
+        ++executed;
+    }
+    events_executed_ += executed;
+    return executed;
+}
+
+}  // namespace kadsim::sim

@@ -1,0 +1,27 @@
+// Simulated time. The paper reports everything in simulated minutes; the
+// engine runs on integer milliseconds so message latencies (tens of ms) and
+// phase boundaries (minutes) share one exact representation.
+#ifndef KADSIM_SIM_TIME_H
+#define KADSIM_SIM_TIME_H
+
+#include <cstdint>
+
+namespace kadsim::sim {
+
+/// Milliseconds of simulated time since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMillisecond = 1;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+constexpr SimTime minutes(std::int64_t m) noexcept { return m * kMinute; }
+constexpr SimTime seconds(std::int64_t s) noexcept { return s * kSecond; }
+constexpr double to_minutes(SimTime t) noexcept {
+    return static_cast<double>(t) / static_cast<double>(kMinute);
+}
+
+}  // namespace kadsim::sim
+
+#endif  // KADSIM_SIM_TIME_H

@@ -1,0 +1,52 @@
+// (time, value) series with range summaries — the carrier for every
+// per-snapshot metric (connectivity, network size, ...).
+#ifndef KADSIM_STATS_TIMESERIES_H
+#define KADSIM_STATS_TIMESERIES_H
+
+#include <vector>
+
+#include "stats/summary.h"
+#include "util/assert.h"
+
+namespace kadsim::stats {
+
+class TimeSeries {
+public:
+    void add(double t, double value) {
+        KADSIM_ASSERT_MSG(times_.empty() || t >= times_.back(),
+                          "time series must be appended in order");
+        times_.push_back(t);
+        values_.push_back(value);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return times_.empty(); }
+    [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+    [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+    [[nodiscard]] double time_at(std::size_t i) const { return times_.at(i); }
+    [[nodiscard]] double value_at(std::size_t i) const { return values_.at(i); }
+
+    /// Summary of values with t in [t_begin, t_end).
+    [[nodiscard]] Summary summarize_between(double t_begin, double t_end) const {
+        Summary s;
+        for (std::size_t i = 0; i < times_.size(); ++i) {
+            if (times_[i] >= t_begin && times_[i] < t_end) s.add(values_[i]);
+        }
+        return s;
+    }
+
+    [[nodiscard]] Summary summarize() const {
+        Summary s;
+        for (const double v : values_) s.add(v);
+        return s;
+    }
+
+private:
+    std::vector<double> times_;
+    std::vector<double> values_;
+};
+
+}  // namespace kadsim::stats
+
+#endif  // KADSIM_STATS_TIMESERIES_H

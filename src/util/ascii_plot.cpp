@@ -1,0 +1,86 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace kadsim::util {
+
+void AsciiPlot::add_series(PlotSeries series) {
+    KADSIM_ASSERT(series.x.size() == series.y.size());
+    series_.push_back(std::move(series));
+}
+
+void AsciiPlot::set_y_range(double lo, double hi) {
+    KADSIM_ASSERT(lo < hi);
+    fixed_range_ = true;
+    y_lo_ = lo;
+    y_hi_ = hi;
+}
+
+void AsciiPlot::set_title(std::string title) { title_ = std::move(title); }
+
+std::string AsciiPlot::render() const {
+    double x_lo = std::numeric_limits<double>::infinity();
+    double x_hi = -x_lo;
+    double y_lo = fixed_range_ ? y_lo_ : std::numeric_limits<double>::infinity();
+    double y_hi = fixed_range_ ? y_hi_ : -std::numeric_limits<double>::infinity();
+    for (const auto& s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            x_lo = std::min(x_lo, s.x[i]);
+            x_hi = std::max(x_hi, s.x[i]);
+            if (!fixed_range_) {
+                y_lo = std::min(y_lo, s.y[i]);
+                y_hi = std::max(y_hi, s.y[i]);
+            }
+        }
+    }
+    if (!std::isfinite(x_lo) || !std::isfinite(y_lo)) return "(no data)\n";
+    if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+    if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+
+    std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                    std::string(static_cast<std::size_t>(width_), ' '));
+    for (const auto& s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            const double xf = (s.x[i] - x_lo) / (x_hi - x_lo);
+            double yf = (s.y[i] - y_lo) / (y_hi - y_lo);
+            yf = std::clamp(yf, 0.0, 1.0);
+            const int col = std::min(width_ - 1, static_cast<int>(xf * (width_ - 1) + 0.5));
+            const int row =
+                (height_ - 1) - std::min(height_ - 1, static_cast<int>(yf * (height_ - 1) + 0.5));
+            canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = s.glyph;
+        }
+    }
+
+    std::string out;
+    if (!title_.empty()) out += title_ + "\n";
+    char label[32];
+    for (int r = 0; r < height_; ++r) {
+        const double yv = y_hi - (y_hi - y_lo) * r / (height_ - 1);
+        std::snprintf(label, sizeof(label), "%8.1f |", yv);
+        out += label;
+        out += canvas[static_cast<std::size_t>(r)];
+        out += '\n';
+    }
+    out += std::string(9, ' ') + '+' + std::string(static_cast<std::size_t>(width_), '-') + '\n';
+    std::snprintf(label, sizeof(label), "%-10.0f", x_lo);
+    out += std::string(10, ' ') + label;
+    std::snprintf(label, sizeof(label), "%10.0f", x_hi);
+    out += std::string(static_cast<std::size_t>(std::max(0, width_ - 30)), ' ');
+    out += label;
+    out += "  (x)\n";
+    out += "  legend:";
+    for (const auto& s : series_) {
+        out += " [";
+        out += s.glyph;
+        out += "] " + s.name;
+    }
+    out += '\n';
+    return out;
+}
+
+}  // namespace kadsim::util

@@ -1,0 +1,45 @@
+// Terminal line plots so every figure bench can render the paper's figure
+// shape directly in the run log (EXPERIMENTS.md embeds these).
+#ifndef KADSIM_UTIL_ASCII_PLOT_H
+#define KADSIM_UTIL_ASCII_PLOT_H
+
+#include <string>
+#include <vector>
+
+namespace kadsim::util {
+
+/// One named series of (x, y) points; x is typically simulated minutes.
+struct PlotSeries {
+    std::string name;
+    char glyph = '*';
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/// Renders series onto a width×height character canvas with y-axis labels,
+/// shared x-range, and a legend line. Values are linearly binned; later
+/// series overwrite earlier ones on collisions.
+class AsciiPlot {
+public:
+    AsciiPlot(int width, int height) : width_(width), height_(height) {}
+
+    void add_series(PlotSeries series);
+    /// Optional fixed y-range (otherwise auto-scaled to data).
+    void set_y_range(double lo, double hi);
+    void set_title(std::string title);
+
+    [[nodiscard]] std::string render() const;
+
+private:
+    int width_;
+    int height_;
+    bool fixed_range_ = false;
+    double y_lo_ = 0.0;
+    double y_hi_ = 1.0;
+    std::string title_;
+    std::vector<PlotSeries> series_;
+};
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_ASCII_PLOT_H

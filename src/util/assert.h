@@ -1,0 +1,33 @@
+// Lightweight always-on assertions (Core Guidelines I.6/E.12: express
+// preconditions and invariants; we keep them enabled in Release because the
+// simulator must never silently produce wrong science).
+#ifndef KADSIM_UTIL_ASSERT_H
+#define KADSIM_UTIL_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kadsim::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) noexcept {
+    std::fprintf(stderr, "kadsim assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+                 line, msg != nullptr ? msg : "");
+    std::abort();
+}
+
+}  // namespace kadsim::util
+
+// The only macros in the project (Core Guidelines permit assertion macros as
+// the established mechanism for capturing file/line).
+#define KADSIM_ASSERT(expr)                                                          \
+    (static_cast<bool>(expr)                                                         \
+         ? static_cast<void>(0)                                                      \
+         : ::kadsim::util::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define KADSIM_ASSERT_MSG(expr, msg)                                                 \
+    (static_cast<bool>(expr)                                                         \
+         ? static_cast<void>(0)                                                      \
+         : ::kadsim::util::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#endif  // KADSIM_UTIL_ASSERT_H

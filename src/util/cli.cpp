@@ -1,0 +1,66 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace kadsim::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            options_[body] = argv[++i];
+        } else {
+            options_[body] = "true";
+        }
+    }
+}
+
+bool CliArgs::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::string CliArgs::get(const std::string& key, std::string def) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? std::move(def) : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t def) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return def;
+    try {
+        return std::stoll(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                    it->second + "'");
+    }
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return def;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                    it->second + "'");
+    }
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return def;
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+    throw std::invalid_argument("--" + key + " expects a boolean, got '" + v + "'");
+}
+
+}  // namespace kadsim::util

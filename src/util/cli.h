@@ -1,0 +1,38 @@
+// Tiny command-line parser for examples and benches: --key=value, --key value
+// and boolean --flag forms, with typed accessors and defaults.
+#ifndef KADSIM_UTIL_CLI_H
+#define KADSIM_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kadsim::util {
+
+class CliArgs {
+public:
+    CliArgs(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    [[nodiscard]] std::string get(const std::string& key, std::string def) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+    [[nodiscard]] double get_double(const std::string& key, double def) const;
+    [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+    /// Arguments that were not --options (e.g. subcommands).
+    [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+        return positional_;
+    }
+
+    [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_CLI_H

@@ -1,0 +1,76 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+namespace kadsim::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    out_.open(path, std::ios::trunc);
+    if (!out_) {
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+    }
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+    bool first = true;
+    for (const auto f : fields) {
+        if (!first) out_ << ',';
+        first = false;
+        write_escaped(f);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+    bool first = true;
+    for (const auto& f : fields) {
+        if (!first) out_ << ',';
+        first = false;
+        write_escaped(f);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::write_escaped(std::string_view field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string_view::npos;
+    if (!needs_quotes) {
+        out_ << field;
+        return;
+    }
+    out_ << '"';
+    for (const char c : field) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+    }
+    out_ << '"';
+}
+
+std::string CsvWriter::field(double value) {
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value,
+                                   std::chars_format::general, 10);
+    return std::string(buf, res.ptr);
+}
+
+std::string CsvWriter::field(long long value) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    return std::string(buf, res.ptr);
+}
+
+bool ensure_directory(const std::string& path) {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    return !ec || std::filesystem::exists(path);
+}
+
+}  // namespace kadsim::util

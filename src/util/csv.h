@@ -1,0 +1,42 @@
+// Minimal CSV writer used by every bench to dump figure/table series so the
+// plots can be regenerated outside the terminal.
+#ifndef KADSIM_UTIL_CSV_H
+#define KADSIM_UTIL_CSV_H
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kadsim::util {
+
+/// Writes rows of comma-separated values; fields containing commas/quotes are
+/// quoted per RFC 4180.
+class CsvWriter {
+public:
+    /// Opens (truncates) `path`; throws std::runtime_error on failure.
+    explicit CsvWriter(const std::string& path);
+
+    void write_row(std::initializer_list<std::string_view> fields);
+    void write_row(const std::vector<std::string>& fields);
+
+    /// Convenience: formats doubles with enough digits to round-trip.
+    static std::string field(double value);
+    static std::string field(long long value);
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    void write_escaped(std::string_view field);
+
+    std::ofstream out_;
+    std::string path_;
+};
+
+/// Creates the directory (and parents) if missing. Returns true on success.
+bool ensure_directory(const std::string& path);
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_CSV_H

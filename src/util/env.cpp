@@ -1,0 +1,62 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace kadsim::util {
+
+std::optional<std::string> env_string(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t def) {
+    const auto s = env_string(name);
+    if (!s) return def;
+    try {
+        return std::stoll(*s);
+    } catch (const std::exception&) {
+        return def;
+    }
+}
+
+double env_double(const char* name, double def) {
+    const auto s = env_string(name);
+    if (!s) return def;
+    try {
+        return std::stod(*s);
+    } catch (const std::exception&) {
+        return def;
+    }
+}
+
+ReproScale repro_scale() {
+    const auto s = env_string("REPRO_SCALE");
+    if (s && (*s == "paper" || *s == "full")) return ReproScale::kPaper;
+    return ReproScale::kQuick;
+}
+
+std::uint64_t repro_seed() {
+    return static_cast<std::uint64_t>(env_int("REPRO_SEED", 20170327));
+}
+
+int repro_threads() {
+    const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+    const auto def = hw > 0 ? hw : 2;
+    return static_cast<int>(env_int("REPRO_THREADS", def));
+}
+
+double repro_sample_c() { return env_double("REPRO_SAMPLE_C", 0.02); }
+
+int repro_size_small() {
+    const std::int64_t def = 250;  // paper-exact at both scales
+    return static_cast<int>(env_int("REPRO_SIZE_SMALL", def));
+}
+
+int repro_size_large() {
+    const std::int64_t def = repro_scale() == ReproScale::kPaper ? 2500 : 400;
+    return static_cast<int>(env_int("REPRO_SIZE_LARGE", def));
+}
+
+}  // namespace kadsim::util

@@ -1,0 +1,29 @@
+// Environment-based scale knobs shared by all benches (see DESIGN.md §6).
+#ifndef KADSIM_UTIL_ENV_H
+#define KADSIM_UTIL_ENV_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace kadsim::util {
+
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t def);
+[[nodiscard]] double env_double(const char* name, double def);
+
+/// Reproduction scale selected via REPRO_SCALE (quick | paper).
+enum class ReproScale { kQuick, kPaper };
+
+[[nodiscard]] ReproScale repro_scale();
+[[nodiscard]] std::uint64_t repro_seed();       // REPRO_SEED, default 20170327
+[[nodiscard]] int repro_threads();              // REPRO_THREADS, default hw
+[[nodiscard]] double repro_sample_c();          // REPRO_SAMPLE_C, default 0.02
+
+/// Network sizes: paper uses 250 / 2500; quick scale uses 250 / 500.
+[[nodiscard]] int repro_size_small();
+[[nodiscard]] int repro_size_large();
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_ENV_H

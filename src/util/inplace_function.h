@@ -1,0 +1,99 @@
+// Move-only, small-buffer-optimized callable. The event queue schedules tens
+// of millions of events per run; std::function would heap-allocate for every
+// lambda capturing more than two words (Per.14/Per.15: minimize allocations,
+// don't allocate on a critical branch). InplaceFunction stores the callable
+// inline and refuses (at compile time) anything that does not fit.
+#ifndef KADSIM_UTIL_INPLACE_FUNCTION_H
+#define KADSIM_UTIL_INPLACE_FUNCTION_H
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace kadsim::util {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+public:
+    InplaceFunction() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callable too large for InplaceFunction capacity");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t));
+        ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+        invoke_ = [](void* storage, Args... args) -> R {
+            return (*static_cast<Fn*>(storage))(std::forward<Args>(args)...);
+        };
+        destroy_ = [](void* storage) noexcept { static_cast<Fn*>(storage)->~Fn(); };
+        relocate_ = [](void* dst, void* src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+        };
+    }
+
+    InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+    InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction&) = delete;
+    InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+    ~InplaceFunction() { reset(); }
+
+    void reset() noexcept {
+        if (destroy_ != nullptr) {
+            destroy_(storage_);
+            invoke_ = nullptr;
+            destroy_ = nullptr;
+            relocate_ = nullptr;
+        }
+    }
+
+    [[nodiscard]] bool has_value() const noexcept { return invoke_ != nullptr; }
+    explicit operator bool() const noexcept { return has_value(); }
+
+    R operator()(Args... args) {
+        KADSIM_ASSERT_MSG(invoke_ != nullptr, "calling empty InplaceFunction");
+        return invoke_(storage_, std::forward<Args>(args)...);
+    }
+
+private:
+    void move_from(InplaceFunction& other) noexcept {
+        if (other.invoke_ != nullptr) {
+            other.relocate_(storage_, other.storage_);
+            invoke_ = other.invoke_;
+            destroy_ = other.destroy_;
+            relocate_ = other.relocate_;
+            other.invoke_ = nullptr;
+            other.destroy_ = nullptr;
+            other.relocate_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[Capacity]{};
+    R (*invoke_)(void*, Args...) = nullptr;
+    void (*destroy_)(void*) noexcept = nullptr;
+    void (*relocate_)(void*, void*) noexcept = nullptr;
+};
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_INPLACE_FUNCTION_H

@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace kadsim::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO ";
+        case LogLevel::kWarn: return "WARN ";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+void log(LogLevel level, const char* fmt, ...) {
+    if (static_cast<int>(level) < static_cast<int>(g_level) ||
+        g_level == LogLevel::kOff) {
+        return;
+    }
+    std::fprintf(stderr, "[%s] ", level_tag(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace kadsim::util

@@ -1,0 +1,23 @@
+// Leveled logging. Benches run with kWarn by default so hot loops stay quiet;
+// examples raise to kInfo to narrate what the system does.
+#ifndef KADSIM_UTIL_LOGGING_H
+#define KADSIM_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string_view>
+
+namespace kadsim::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (process-wide; the simulator is single-threaded and
+/// analysis workers do not log).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style logging; a '\n' is appended. No-op below the threshold.
+void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_LOGGING_H

@@ -1,0 +1,10 @@
+// rng is header-only; this translation unit anchors the library target and
+// provides a home for future out-of-line additions.
+#include "util/rng.h"
+
+namespace kadsim::util {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+
+}  // namespace kadsim::util

@@ -1,0 +1,130 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Design: a single master seed is split (SplitMix64) into independent
+// per-component streams (xoshiro256++). Every node, churn process and traffic
+// process owns its own stream, so adding instrumentation or reordering
+// unrelated components never perturbs an experiment.
+#ifndef KADSIM_UTIL_RNG_H
+#define KADSIM_UTIL_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace kadsim::util {
+
+/// SplitMix64: used for seeding / deriving sub-streams (Vigna's recommended
+/// seeder for xoshiro family).
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256++ — fast, high-quality 64-bit PRNG. Not cryptographic; ids that
+/// need hash-quality distribution go through SHA-1 (see sha1.h), mirroring the
+/// paper's "cryptographically secure hash function" for identifier creation.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words via SplitMix64 (never all-zero).
+    explicit Rng(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& word : state_) word = sm.next();
+    }
+
+    /// Derives an independent sub-stream; `salt` distinguishes siblings.
+    [[nodiscard]] Rng split(std::uint64_t salt) const noexcept {
+        SplitMix64 sm(state_[0] ^ (state_[3] + 0x632BE59BD9B4E019ULL * (salt + 1)));
+        return Rng(sm.next());
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept { return next_u64(); }
+
+    std::uint64_t next_u64() noexcept {
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound). bound must be > 0. Uses Lemire's rejection-free
+    /// multiply-shift with rejection only in the biased band.
+    std::uint64_t next_below(std::uint64_t bound) noexcept {
+        KADSIM_ASSERT(bound > 0);
+        while (true) {
+            const std::uint64_t x = next_u64();
+            const unsigned __int128 m =
+                static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+            const auto low = static_cast<std::uint64_t>(m);
+            if (low >= bound || low >= (0ULL - bound) % bound) {
+                return static_cast<std::uint64_t>(m >> 64);
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+        KADSIM_ASSERT(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        // span == 0 means the full 64-bit range.
+        const std::uint64_t off = (span == 0) ? next_u64() : next_below(span);
+        return lo + static_cast<std::int64_t>(off);
+    }
+
+    /// Uniform double in [0, 1) with 53 bits of entropy.
+    double next_double() noexcept {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool next_bool(double p) noexcept {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return next_double() < p;
+    }
+
+    /// Fisher–Yates shuffle of a random-access range.
+    template <typename RandomIt>
+    void shuffle(RandomIt first, RandomIt last) noexcept {
+        const auto n = static_cast<std::uint64_t>(last - first);
+        for (std::uint64_t i = n; i > 1; --i) {
+            const std::uint64_t j = next_below(i);
+            using std::swap;
+            swap(first[i - 1], first[j]);
+        }
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_RNG_H

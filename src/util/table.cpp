@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace kadsim::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    KADSIM_ASSERT(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    KADSIM_ASSERT_MSG(row.size() == header_.size(), "row width != header width");
+    rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+
+    auto render_line = [&](const std::vector<std::string>& cells) {
+        std::string line;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            line += (i == 0) ? "| " : " | ";
+            line += cells[i];
+            line.append(widths[i] - cells[i].size(), ' ');
+        }
+        line += " |\n";
+        return line;
+    };
+    auto render_rule = [&] {
+        std::string line;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            line += (i == 0) ? "+-" : "-+-";
+            line.append(widths[i], '-');
+        }
+        line += "-+\n";
+        return line;
+    };
+
+    std::string out = render_rule() + render_line(header_) + render_rule();
+    for (const auto& row : rows_) {
+        out += row.empty() ? render_rule() : render_line(row);
+    }
+    out += render_rule();
+    return out;
+}
+
+std::string TextTable::num(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string TextTable::num(long long value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+}  // namespace kadsim::util

@@ -1,0 +1,35 @@
+// Aligned ASCII tables: benches print the paper's tables (e.g. Table 2) in a
+// layout directly comparable with the publication.
+#ifndef KADSIM_UTIL_TABLE_H
+#define KADSIM_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace kadsim::util {
+
+/// Column-aligned text table with a header row and optional separators.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+    /// Inserts a horizontal rule before the next added row.
+    void add_separator();
+
+    /// Renders with single-space-padded columns, header underline, and '|'
+    /// separators.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Formats a double with `digits` decimal places.
+    static std::string num(double value, int digits = 2);
+    static std::string num(long long value);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace kadsim::util
+
+#endif  // KADSIM_UTIL_TABLE_H

@@ -1,0 +1,136 @@
+// Digraph container, reciprocity, SCC oracle.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace kadsim::graph {
+namespace {
+
+TEST(Digraph, BuildFinalizeQuery) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 1);  // duplicate, deduplicated by finalize
+    g.finalize();
+    EXPECT_EQ(g.vertex_count(), 4);
+    EXPECT_EQ(g.edge_count(), 2);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 2));
+    EXPECT_FALSE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(Digraph, DegreesAndReversal) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 2);
+    g.finalize();
+    EXPECT_EQ(g.out_degree(0), 2);
+    EXPECT_EQ(g.out_degree(2), 0);
+    const auto in = g.in_degrees();
+    EXPECT_EQ(in[0], 0);
+    EXPECT_EQ(in[2], 2);
+
+    const Digraph r = g.reversed();
+    EXPECT_TRUE(r.has_edge(1, 0));
+    EXPECT_TRUE(r.has_edge(2, 0));
+    EXPECT_TRUE(r.has_edge(2, 1));
+    EXPECT_EQ(r.edge_count(), 3);
+}
+
+TEST(Digraph, Reciprocity) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    g.add_edge(1, 2);  // unreciprocated
+    g.finalize();
+    EXPECT_DOUBLE_EQ(g.reciprocity(), 2.0 / 3.0);
+
+    Digraph empty(3);
+    empty.finalize();
+    EXPECT_DOUBLE_EQ(empty.reciprocity(), 1.0);
+}
+
+TEST(Digraph, CompleteDetection) {
+    Digraph g(3);
+    for (int u = 0; u < 3; ++u) {
+        for (int v = 0; v < 3; ++v) {
+            if (u != v) g.add_edge(u, v);
+        }
+    }
+    g.finalize();
+    EXPECT_TRUE(g.is_complete());
+
+    Digraph h(3);
+    h.add_edge(0, 1);
+    h.finalize();
+    EXPECT_FALSE(h.is_complete());
+}
+
+TEST(Scc, SingleComponentCycle) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    g.add_edge(3, 0);
+    g.finalize();
+    EXPECT_EQ(strongly_connected_components(g), 1);
+    EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, ChainHasOneComponentPerVertex) {
+    Digraph g(5);
+    for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+    g.finalize();
+    EXPECT_EQ(strongly_connected_components(g), 5);
+    EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, TwoCyclesWithBridge) {
+    Digraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(5, 3);
+    g.add_edge(2, 3);  // one-way bridge
+    g.finalize();
+    std::vector<int> ids;
+    EXPECT_EQ(strongly_connected_components(g, &ids), 2);
+    EXPECT_EQ(ids[0], ids[1]);
+    EXPECT_EQ(ids[1], ids[2]);
+    EXPECT_EQ(ids[3], ids[4]);
+    EXPECT_EQ(ids[4], ids[5]);
+    EXPECT_NE(ids[0], ids[3]);
+}
+
+TEST(Scc, IsolatedVerticesAreOwnComponents) {
+    Digraph g(3);
+    g.finalize();
+    EXPECT_EQ(strongly_connected_components(g), 3);
+}
+
+TEST(Scc, EmptyAndSingleton) {
+    Digraph g0(0);
+    g0.finalize();
+    EXPECT_EQ(strongly_connected_components(g0), 0);
+    Digraph g1(1);
+    g1.finalize();
+    EXPECT_EQ(strongly_connected_components(g1), 1);
+    EXPECT_TRUE(is_strongly_connected(g1));
+}
+
+TEST(Scc, DeepChainNoStackOverflow) {
+    // Iterative Tarjan must handle paths far deeper than the C stack allows
+    // for recursion.
+    const int n = 200000;
+    Digraph g(n);
+    for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+    g.finalize();
+    EXPECT_EQ(strongly_connected_components(g), n);
+}
+
+}  // namespace
+}  // namespace kadsim::graph

@@ -1,0 +1,122 @@
+// Even's transformation (paper §4.3, Figure 1): structure and the worked
+// example from the paper — max-flow 3 on the raw graph vs κ(a,i) = 1 on the
+// transformed one.
+#include <gtest/gtest.h>
+
+#include "flow/dinic.h"
+#include "flow/even_transform.h"
+#include "graph/digraph.h"
+
+namespace kadsim::flow {
+namespace {
+
+/// The paper's Figure 1 graph: a fans out to {b,c,d}, all funnel through e,
+/// which fans out to {f,g,h}, all reaching i. 9 vertices, 12 edges.
+graph::Digraph figure1_graph() {
+    enum { a, b, c, d, e, f, g, h, i };
+    graph::Digraph gr(9);
+    gr.add_edge(a, b);
+    gr.add_edge(a, c);
+    gr.add_edge(a, d);
+    gr.add_edge(b, e);
+    gr.add_edge(c, e);
+    gr.add_edge(d, e);
+    gr.add_edge(e, f);
+    gr.add_edge(e, g);
+    gr.add_edge(e, h);
+    gr.add_edge(f, i);
+    gr.add_edge(g, i);
+    gr.add_edge(h, i);
+    gr.finalize();
+    return gr;
+}
+
+TEST(EvenTransform, ProducesTwoNVerticesAndMPlusNArcs) {
+    const graph::Digraph g = figure1_graph();
+    const FlowNetwork net = even_transform(g);
+    EXPECT_EQ(net.vertex_count(), 2 * g.vertex_count());
+    // add_arc stores forward+reverse, so forward arcs = arc_count()/2.
+    EXPECT_EQ(net.arc_count() / 2,
+              static_cast<int>(g.edge_count()) + g.vertex_count());
+}
+
+TEST(EvenTransform, InternalArcsHaveCapacityOne) {
+    const graph::Digraph g = figure1_graph();
+    const FlowNetwork net = even_transform(g);
+    // Internal arc of vertex v was added first (index 2v), capacity 1.
+    for (int v = 0; v < g.vertex_count(); ++v) {
+        const auto& arc = net.arc(2 * v);
+        EXPECT_EQ(arc.to, out_vertex(v));
+        EXPECT_EQ(net.original_cap(2 * v), 1);
+    }
+}
+
+TEST(EvenTransform, DegreesArePreserved) {
+    const graph::Digraph g = figure1_graph();
+    const FlowNetwork net = even_transform(g);
+    const auto in_degrees = g.in_degrees();
+    for (int v = 0; v < g.vertex_count(); ++v) {
+        // v' has in-degree din(v) (+ its internal arc's reverse);
+        // v'' has out-degree dout(v) (+ its internal arc's reverse).
+        int forward_out_of_vpp = 0;
+        for (const int ai : net.arcs_of(out_vertex(v))) {
+            if (ai % 2 == 0) ++forward_out_of_vpp;
+        }
+        EXPECT_EQ(forward_out_of_vpp, g.out_degree(v)) << "v=" << v;
+
+        int forward_into_vp = 0;
+        for (const int ai : net.arcs_of(in_vertex(v))) {
+            if (ai % 2 == 0 && net.arc(ai).to == out_vertex(v)) continue;
+            if (ai % 2 == 1) ++forward_into_vp;  // reverse stubs of incoming arcs
+        }
+        EXPECT_EQ(forward_into_vp, in_degrees[static_cast<std::size_t>(v)]) << "v=" << v;
+    }
+}
+
+TEST(EvenTransform, PaperFigure1MaxFlowVsVertexConnectivity) {
+    const graph::Digraph g = figure1_graph();
+
+    // Raw graph with unit edge capacities: max flow a→i is 3 ...
+    FlowNetwork raw(g.vertex_count());
+    for (int u = 0; u < g.vertex_count(); ++u) {
+        for (const int v : g.out(u)) raw.add_arc(u, v, 1);
+    }
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(raw, 0, 8), 3);
+
+    // ... but the vertex connectivity κ(a,i) is 1 (every path passes e).
+    FlowNetwork transformed = even_transform(g);
+    Dinic solver2;
+    EXPECT_EQ(solver2.max_flow(transformed, out_vertex(0), in_vertex(8)), 1);
+}
+
+TEST(EvenTransform, TwoVertexDisjointPathsGadget) {
+    // 0→1→3, 0→2→3: two internally disjoint paths, κ(0,3) = 2.
+    graph::Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 3);
+    g.add_edge(0, 2);
+    g.add_edge(2, 3);
+    g.finalize();
+    FlowNetwork net = even_transform(g);
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, out_vertex(0), in_vertex(3)), 2);
+}
+
+TEST(EvenTransform, SourceAndSinkInternalArcsDoNotCapFlow) {
+    // Flow starts at v'' and ends at w', so the endpoints' own internal arcs
+    // are not on any path: a high-degree pair can carry flow > 1.
+    graph::Digraph g(5);
+    // 0 and 4 joined via three middle vertices.
+    for (int mid = 1; mid <= 3; ++mid) {
+        g.add_edge(0, mid);
+        g.add_edge(mid, 4);
+    }
+    g.finalize();
+    FlowNetwork net = even_transform(g);
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, out_vertex(0), in_vertex(4)), 3);
+}
+
+}  // namespace
+}  // namespace kadsim::flow

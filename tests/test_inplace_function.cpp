@@ -1,0 +1,93 @@
+// The SBO callable that carries every simulator event.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "util/inplace_function.h"
+
+namespace kadsim::util {
+namespace {
+
+TEST(InplaceFunction, EmptyByDefault) {
+    InplaceFunction<int()> f;
+    EXPECT_FALSE(f.has_value());
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunction, CallsLambda) {
+    InplaceFunction<int(int)> f = [](int x) { return x * 2; };
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f(21), 42);
+}
+
+TEST(InplaceFunction, CapturesState) {
+    int base = 10;
+    InplaceFunction<int(int)> f = [base](int x) { return base + x; };
+    EXPECT_EQ(f(5), 15);
+}
+
+TEST(InplaceFunction, MoveTransfersCallable) {
+    InplaceFunction<int()> f = [] { return 7; };
+    InplaceFunction<int()> g = std::move(f);
+    EXPECT_FALSE(f.has_value());  // NOLINT(bugprone-use-after-move): asserting the move
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g(), 7);
+}
+
+TEST(InplaceFunction, MoveOnlyCapture) {
+    auto p = std::make_unique<int>(99);
+    InplaceFunction<int()> f = [p = std::move(p)] { return *p; };
+    InplaceFunction<int()> g = std::move(f);
+    EXPECT_EQ(g(), 99);
+}
+
+TEST(InplaceFunction, DestructorRunsExactlyOnce) {
+    struct Probe {
+        int* counter;
+        explicit Probe(int* c) : counter(c) {}
+        Probe(Probe&& other) noexcept : counter(other.counter) { other.counter = nullptr; }
+        Probe(const Probe&) = delete;
+        ~Probe() {
+            if (counter != nullptr) ++*counter;
+        }
+        int operator()() const { return 1; }
+    };
+    int destroyed = 0;
+    {
+        InplaceFunction<int()> f = Probe(&destroyed);
+        InplaceFunction<int()> g = std::move(f);
+        EXPECT_EQ(g(), 1);
+    }
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InplaceFunction, ResetDestroysCallable) {
+    auto p = std::make_shared<int>(5);
+    InplaceFunction<long()> f = [p] { return static_cast<long>(*p); };
+    EXPECT_EQ(p.use_count(), 2);
+    f.reset();
+    EXPECT_EQ(p.use_count(), 1);
+    EXPECT_FALSE(f.has_value());
+}
+
+TEST(InplaceFunction, MoveAssignReplacesExisting) {
+    auto a = std::make_shared<int>(1);
+    auto b = std::make_shared<int>(2);
+    InplaceFunction<int()> f = [a] { return *a; };
+    InplaceFunction<int()> g = [b] { return *b; };
+    f = std::move(g);
+    EXPECT_EQ(a.use_count(), 1);  // old callable destroyed
+    EXPECT_EQ(f(), 2);
+}
+
+TEST(InplaceFunction, VoidSignature) {
+    int called = 0;
+    InplaceFunction<void()> f = [&called] { ++called; };
+    f();
+    f();
+    EXPECT_EQ(called, 2);
+}
+
+}  // namespace
+}  // namespace kadsim::util

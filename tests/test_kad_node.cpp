@@ -1,0 +1,284 @@
+// KademliaNode protocol behaviour on small hand-built networks: join,
+// lookup correctness against a global oracle, dissemination/retrieval,
+// staleness eviction, crash semantics, ping-evict policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kad/node.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace kadsim::kad {
+namespace {
+
+class MiniNetwork : public NodeDirectory {
+public:
+    explicit MiniNetwork(KademliaConfig config, std::uint64_t seed = 11,
+                         net::LossModel loss = {})
+        : config_(config), sim_(seed), net_(sim_, net::LatencyModel{5, 25}, loss) {}
+
+    KademliaNode* add_node(std::optional<std::size_t> bootstrap_index) {
+        const net::Address address = net_.register_endpoint();
+        auto id = NodeId::hash_of("mini-node-" + std::to_string(address), config_.b);
+        nodes_.push_back(std::make_unique<KademliaNode>(id, address, config_, sim_,
+                                                        net_, *this));
+        KademliaNode* node = nodes_.back().get();
+        std::optional<Contact> bootstrap;
+        if (bootstrap_index.has_value()) {
+            bootstrap = nodes_[*bootstrap_index]->contact();
+        }
+        node->join(bootstrap);
+        return node;
+    }
+
+    /// Builds `count` nodes, each bootstrapping from node 0, spaced 2 s apart.
+    void build(int count) {
+        add_node(std::nullopt);
+        for (int i = 1; i < count; ++i) {
+            run_for(sim::seconds(2));
+            add_node(0);
+        }
+        run_for(sim::minutes(2));  // settle
+    }
+
+    void run_for(sim::SimTime d) { sim_.run_until(sim_.now() + d); }
+
+    KademliaNode* node_at(net::Address address) noexcept override {
+        return address < nodes_.size() ? nodes_[address].get() : nullptr;
+    }
+
+    [[nodiscard]] KademliaNode& node(std::size_t i) { return *nodes_[i]; }
+    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+    [[nodiscard]] sim::Simulator& sim() { return sim_; }
+    [[nodiscard]] net::Network& network() { return net_; }
+
+    /// Global oracle: the k live node-ids closest to `target`.
+    [[nodiscard]] std::vector<NodeId> global_closest(const NodeId& target,
+                                                     std::size_t k) const {
+        std::vector<NodeId> ids;
+        for (const auto& n : nodes_) {
+            if (n->alive()) ids.push_back(n->id());
+        }
+        std::sort(ids.begin(), ids.end(), [&target](const NodeId& a, const NodeId& b) {
+            return target.distance_to(a) < target.distance_to(b);
+        });
+        ids.resize(std::min(k, ids.size()));
+        return ids;
+    }
+
+private:
+    KademliaConfig config_;
+    sim::Simulator sim_;
+    net::Network net_;
+    std::vector<std::unique_ptr<KademliaNode>> nodes_;
+};
+
+KademliaConfig small_config(int k = 8, int s = 2) {
+    KademliaConfig cfg;
+    cfg.k = k;
+    cfg.alpha = 3;
+    cfg.s = s;
+    return cfg;
+}
+
+TEST(KademliaNode, JoinPopulatesRoutingTables) {
+    MiniNetwork mini(small_config());
+    mini.build(20);
+    for (std::size_t i = 0; i < mini.size(); ++i) {
+        EXPECT_GT(mini.node(i).routing_table().size(), 0u) << "node " << i;
+        EXPECT_TRUE(mini.node(i).routing_table().check_invariants());
+    }
+}
+
+TEST(KademliaNode, LookupFindsGloballyClosestNodes) {
+    MiniNetwork mini(small_config(8));
+    mini.build(24);
+    mini.run_for(sim::minutes(5));
+
+    const NodeId target = NodeId::hash_of("lookup-target", 160);
+    std::vector<Contact> result;
+    bool done = false;
+    mini.node(3).lookup_node(target, [&](const NodeId&, bool,
+                                         const std::vector<Contact>& closest) {
+        result = closest;
+        done = true;
+    });
+    mini.run_for(sim::minutes(2));
+    ASSERT_TRUE(done);
+    ASSERT_FALSE(result.empty());
+
+    // With the paper's no-progress termination a lookup contacts fewer than k
+    // nodes once it stops getting closer, but it always reaches the globally
+    // closest node, and its results come back in true distance order.
+    const auto oracle = mini.global_closest(target, 8);
+    EXPECT_EQ(result[0].id, oracle[0]);
+    for (std::size_t i = 1; i < result.size(); ++i) {
+        EXPECT_LT(target.distance_to(result[i - 1].id),
+                  target.distance_to(result[i].id));
+    }
+}
+
+TEST(KademliaNode, DisseminateThenFindValue) {
+    MiniNetwork mini(small_config(6));
+    mini.build(20);
+
+    const NodeId key = NodeId::hash_of("object-1", 160);
+    mini.node(2).disseminate(key, 4242, {});
+    mini.run_for(sim::minutes(2));
+
+    // Replication: at least one full α-wave of nodes stores the object, and
+    // crucially the *globally closest* node to the key holds a replica —
+    // that is what makes FIND_VALUE (which converges toward the key) succeed.
+    int stored = 0;
+    for (std::size_t i = 0; i < mini.size(); ++i) {
+        if (mini.node(i).stored_value(key).has_value()) ++stored;
+    }
+    EXPECT_GE(stored, 3);
+    const auto closest_id = mini.global_closest(key, 1).at(0);
+    for (std::size_t i = 0; i < mini.size(); ++i) {
+        if (mini.node(i).id() == closest_id) {
+            EXPECT_TRUE(mini.node(i).stored_value(key).has_value());
+        }
+    }
+
+    bool found = false;
+    mini.node(15).lookup_value(key, [&](const NodeId&, bool value_found,
+                                        const std::vector<Contact>&) {
+        found = value_found;
+    });
+    mini.run_for(sim::minutes(2));
+    EXPECT_TRUE(found);
+}
+
+TEST(KademliaNode, FindValueForUnknownKeyReportsNotFound) {
+    MiniNetwork mini(small_config(6));
+    mini.build(12);
+    bool done = false;
+    bool found = true;
+    mini.node(1).lookup_value(NodeId::hash_of("never-stored", 160),
+                              [&](const NodeId&, bool value_found,
+                                  const std::vector<Contact>&) {
+                                  done = true;
+                                  found = value_found;
+                              });
+    mini.run_for(sim::minutes(2));
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(found);
+}
+
+TEST(KademliaNode, StoredValuesExpire) {
+    KademliaConfig cfg = small_config(6);
+    cfg.storage_expiry = sim::minutes(5);
+    MiniNetwork mini(cfg);
+    mini.build(10);
+    const NodeId key = NodeId::hash_of("ephemeral", 160);
+    mini.node(0).disseminate(key, 7, {});
+    mini.run_for(sim::minutes(1));
+    int stored_now = 0;
+    for (std::size_t i = 0; i < mini.size(); ++i) {
+        if (mini.node(i).stored_value(key).has_value()) ++stored_now;
+    }
+    EXPECT_GT(stored_now, 0);
+    mini.run_for(sim::minutes(10));
+    for (std::size_t i = 0; i < mini.size(); ++i) {
+        EXPECT_FALSE(mini.node(i).stored_value(key).has_value()) << "node " << i;
+    }
+}
+
+TEST(KademliaNode, StalenessLimitEvictsCrashedContact) {
+    MiniNetwork mini(small_config(8, 2));  // s = 2
+    mini.build(12);
+    mini.run_for(sim::minutes(3));
+
+    KademliaNode& victim = mini.node(5);
+    const NodeId victim_id = victim.id();
+    // Find a node that knows the victim.
+    KademliaNode* observer = nullptr;
+    for (std::size_t i = 0; i < mini.size(); ++i) {
+        if (i != 5 && mini.node(i).routing_table().contains(victim_id)) {
+            observer = &mini.node(i);
+            break;
+        }
+    }
+    ASSERT_NE(observer, nullptr);
+
+    victim.crash();
+    // Lookups toward the victim's id force RPCs to it; each timeout counts one
+    // failure, and after s=2 consecutive failures the contact is dropped.
+    for (int round = 0; round < 6; ++round) {
+        observer->lookup_node(victim_id, {});
+        mini.run_for(sim::minutes(1));
+        if (!observer->routing_table().contains(victim_id)) break;
+    }
+    EXPECT_FALSE(observer->routing_table().contains(victim_id));
+}
+
+TEST(KademliaNode, CrashMakesNodeInert) {
+    MiniNetwork mini(small_config());
+    mini.build(10);
+    KademliaNode& node = mini.node(4);
+    node.crash();
+    EXPECT_FALSE(node.alive());
+    EXPECT_EQ(node.routing_table().size(), 0u);
+    EXPECT_EQ(node.storage_size(), 0u);
+    const auto rpcs_before = node.counters().rpcs_sent;
+    mini.run_for(sim::minutes(90));  // a full refresh cycle elapses
+    EXPECT_EQ(node.counters().rpcs_sent, rpcs_before);
+    // Crashing twice is harmless.
+    node.crash();
+    EXPECT_FALSE(node.alive());
+}
+
+TEST(KademliaNode, RefreshKeepsTablesPopulatedWithoutTraffic) {
+    MiniNetwork mini(small_config());
+    mini.build(16);
+    const std::size_t before = mini.node(15).routing_table().size();
+    mini.run_for(sim::minutes(70));  // one bucket-refresh cycle for everyone
+    EXPECT_GE(mini.node(15).routing_table().size(), before);
+}
+
+TEST(KademliaNode, JoinWithoutBootstrapIsLonelyButSane) {
+    MiniNetwork mini(small_config());
+    KademliaNode* loner = mini.add_node(std::nullopt);
+    mini.run_for(sim::minutes(5));
+    EXPECT_TRUE(loner->alive());
+    EXPECT_EQ(loner->routing_table().size(), 0u);
+    EXPECT_EQ(loner->counters().lookups_completed, loner->counters().lookups_started);
+}
+
+TEST(KademliaNode, PingEvictKeepsResponsiveLrsContact) {
+    KademliaConfig cfg = small_config(2, 1);  // tiny buckets force fullness
+    cfg.bucket_policy = BucketPolicy::kPingEvict;
+    MiniNetwork mini(cfg);
+    mini.build(16);
+    mini.run_for(sim::minutes(10));
+    // With every node alive, eviction pings succeed and tables stay valid.
+    for (std::size_t i = 0; i < mini.size(); ++i) {
+        EXPECT_TRUE(mini.node(i).routing_table().check_invariants());
+    }
+    // Ping traffic happened (served requests exceed pure lookup load is hard
+    // to assert exactly; at least the network stayed consistent).
+    EXPECT_GT(mini.network().counters().delivered, 0u);
+}
+
+TEST(KademliaNode, CountersTrackActivity) {
+    MiniNetwork mini(small_config());
+    mini.build(10);
+    // Node 0 joined alone: it serves requests but initiates nothing until its
+    // first refresh cycle.
+    const auto& first = mini.node(0).counters();
+    EXPECT_EQ(first.rpcs_sent, 0u);
+    EXPECT_GT(first.requests_served, 0u);
+    // A later joiner actively looked itself up.
+    const auto& later = mini.node(5).counters();
+    EXPECT_GT(later.rpcs_sent, 0u);
+    EXPECT_GE(later.lookups_started, 1u);  // the join lookup
+    EXPECT_EQ(later.lookups_completed, later.lookups_started);
+}
+
+}  // namespace
+}  // namespace kadsim::kad

@@ -1,0 +1,171 @@
+// Max-flow solvers: known values, limits, reuse, and the cross-solver
+// equality property (push-relabel ≡ Dinic ≡ Edmonds–Karp).
+#include <gtest/gtest.h>
+
+#include "flow/dinic.h"
+#include "flow/edmonds_karp.h"
+#include "flow/flow_network.h"
+#include "flow/push_relabel.h"
+#include "util/rng.h"
+
+namespace kadsim::flow {
+namespace {
+
+FlowNetwork diamond() {
+    // s=0 → {1,2} → t=3, plus a cross edge 1→2.
+    FlowNetwork net(4);
+    net.add_arc(0, 1, 3);
+    net.add_arc(0, 2, 2);
+    net.add_arc(1, 3, 2);
+    net.add_arc(2, 3, 3);
+    net.add_arc(1, 2, 5);
+    return net;
+}
+
+TEST(Dinic, DiamondValue) {
+    FlowNetwork net = diamond();
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 3), 5);
+}
+
+TEST(EdmondsKarp, DiamondValue) {
+    FlowNetwork net = diamond();
+    EdmondsKarp solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 3), 5);
+}
+
+TEST(PushRelabel, DiamondValue) {
+    FlowNetwork net = diamond();
+    PushRelabel solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 3), 5);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+    FlowNetwork net(4);
+    net.add_arc(0, 1, 5);
+    net.add_arc(2, 3, 5);
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 3), 0);
+}
+
+TEST(Dinic, FlowLimitStopsEarly) {
+    FlowNetwork net(2);
+    net.add_arc(0, 1, 100);
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 1, 7), 7);
+}
+
+TEST(EdmondsKarp, FlowLimitStopsEarly) {
+    FlowNetwork net(2);
+    net.add_arc(0, 1, 100);
+    EdmondsKarp solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 1, 7), 7);
+}
+
+TEST(FlowNetwork, ResetRestoresCapacities) {
+    FlowNetwork net = diamond();
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 3), 5);
+    net.reset();
+    EXPECT_EQ(solver.max_flow(net, 0, 3), 5);  // identical after reset
+}
+
+TEST(FlowNetwork, FlowOnTracksSaturation) {
+    FlowNetwork net(3);
+    const int a01 = net.add_arc(0, 1, 4);
+    const int a12 = net.add_arc(1, 2, 3);
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 2), 3);
+    EXPECT_EQ(net.flow_on(a01), 3);
+    EXPECT_EQ(net.flow_on(a12), 3);
+}
+
+TEST(Dinic, AntiparallelArcs) {
+    FlowNetwork net(3);
+    net.add_arc(0, 1, 2);
+    net.add_arc(1, 0, 2);
+    net.add_arc(1, 2, 1);
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 2), 1);
+}
+
+TEST(Dinic, ParallelArcsAccumulate) {
+    FlowNetwork net(2);
+    net.add_arc(0, 1, 2);
+    net.add_arc(0, 1, 3);
+    Dinic solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 1), 5);
+}
+
+TEST(PushRelabel, ZeroWhenSinkUnreachable) {
+    FlowNetwork net(3);
+    net.add_arc(1, 0, 4);  // wrong direction
+    net.add_arc(1, 2, 4);
+    PushRelabel solver;
+    EXPECT_EQ(solver.max_flow(net, 0, 2), 0);
+}
+
+TEST(PushRelabel, LongChain) {
+    const int n = 50;
+    FlowNetwork net(n);
+    for (int i = 0; i + 1 < n; ++i) net.add_arc(i, i + 1, 2 + (i % 3));
+    PushRelabel solver;
+    EXPECT_EQ(solver.max_flow(net, 0, n - 1), 2);
+}
+
+/// Random graph generator for cross-solver property tests.
+FlowNetwork random_network(util::Rng& rng, int n, double p, int max_cap) {
+    FlowNetwork net(n);
+    for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+            if (u != v && rng.next_bool(p)) {
+                net.add_arc(u, v, 1 + static_cast<int>(rng.next_below(
+                                          static_cast<std::uint64_t>(max_cap))));
+            }
+        }
+    }
+    return net;
+}
+
+class CrossSolverTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossSolverTest, AllSolversAgreeOnRandomGraphs) {
+    const int seed = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    const int n = 6 + static_cast<int>(rng.next_below(20));
+    const double p = 0.1 + rng.next_double() * 0.4;
+    const FlowNetwork base = random_network(rng, n, p, 5);
+
+    Dinic dinic;
+    EdmondsKarp ek;
+    PushRelabel pr;
+    for (int trial = 0; trial < 4; ++trial) {
+        const int s = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+        int t = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+        if (t == s) t = (t + 1) % n;
+
+        FlowNetwork net1 = base;
+        FlowNetwork net2 = base;
+        FlowNetwork net3 = base;
+        const int f1 = dinic.max_flow(net1, s, t);
+        const int f2 = ek.max_flow(net2, s, t);
+        const int f3 = pr.max_flow(net3, s, t);
+        EXPECT_EQ(f1, f2) << "dinic vs edmonds-karp, seed " << seed;
+        EXPECT_EQ(f1, f3) << "dinic vs push-relabel, seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CrossSolverTest, ::testing::Range(1, 26));
+
+TEST(CrossSolver, UnitCapacityDenseGraph) {
+    util::Rng rng(999);
+    FlowNetwork base = random_network(rng, 30, 0.3, 1);
+    Dinic dinic;
+    PushRelabel pr;
+    FlowNetwork a = base;
+    FlowNetwork b = base;
+    EXPECT_EQ(dinic.max_flow(a, 0, 29), pr.max_flow(b, 0, 29));
+}
+
+}  // namespace
+}  // namespace kadsim::flow

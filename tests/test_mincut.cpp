@@ -1,0 +1,92 @@
+// Minimum vertex cut witnesses: |cut| = κ(v,w) and removal disconnects.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/mincut.h"
+#include "flow/vertex_connectivity.h"
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace kadsim::flow {
+namespace {
+
+bool reachable_avoiding(const graph::Digraph& g, int from, int to,
+                        const std::vector<int>& removed) {
+    std::vector<bool> blocked(static_cast<std::size_t>(g.vertex_count()), false);
+    for (const int r : removed) blocked[static_cast<std::size_t>(r)] = true;
+    std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+    std::vector<int> queue{from};
+    seen[static_cast<std::size_t>(from)] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int u = queue[head];
+        for (const int v : g.out(u)) {
+            if (v == to) return true;
+            const auto vs = static_cast<std::size_t>(v);
+            if (seen[vs] || blocked[vs]) continue;
+            seen[vs] = true;
+            queue.push_back(v);
+        }
+    }
+    return false;
+}
+
+TEST(MinVertexCut, HubIsTheCut) {
+    // 0 → {1,2,3} → 4 → {5,6} → 7: vertex 4 is the unique cut.
+    graph::Digraph g(8);
+    for (int m : {1, 2, 3}) {
+        g.add_edge(0, m);
+        g.add_edge(m, 4);
+    }
+    for (int m : {5, 6}) {
+        g.add_edge(4, m);
+        g.add_edge(m, 7);
+    }
+    g.finalize();
+    const auto cut = min_vertex_cut(g, 0, 7);
+    ASSERT_EQ(cut.size(), 1u);
+    EXPECT_EQ(cut[0], 4);
+    EXPECT_FALSE(reachable_avoiding(g, 0, 7, cut));
+}
+
+TEST(MinVertexCut, SizeEqualsPairConnectivity) {
+    util::Rng rng(7);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 8 + static_cast<int>(rng.next_below(8));
+        graph::Digraph g(n);
+        for (int u = 0; u < n; ++u) {
+            for (int v = 0; v < n; ++v) {
+                if (u != v && rng.next_bool(0.3)) g.add_edge(u, v);
+            }
+        }
+        g.finalize();
+        for (int pair_trial = 0; pair_trial < 5; ++pair_trial) {
+            const int u = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+            int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+            if (u == v || g.has_edge(u, v)) continue;
+            const int kappa = pair_vertex_connectivity(g, u, v);
+            const auto cut = min_vertex_cut(g, u, v);
+            EXPECT_EQ(static_cast<int>(cut.size()), kappa)
+                << "trial " << trial << " pair (" << u << "," << v << ")";
+            // Removing the cut must disconnect the pair.
+            EXPECT_FALSE(reachable_avoiding(g, u, v, cut));
+            // The cut contains neither endpoint.
+            for (const int c : cut) {
+                EXPECT_NE(c, u);
+                EXPECT_NE(c, v);
+            }
+        }
+    }
+}
+
+TEST(MinVertexCut, EmptyCutForDisconnectedPair) {
+    graph::Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    g.finalize();
+    const auto cut = min_vertex_cut(g, 0, 3);
+    EXPECT_TRUE(cut.empty());  // already disconnected: κ = 0
+}
+
+}  // namespace
+}  // namespace kadsim::flow

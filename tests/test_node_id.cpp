@@ -1,0 +1,175 @@
+// Identifiers and the XOR metric (paper §4.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kad/node_id.h"
+#include "util/rng.h"
+
+namespace kadsim::kad {
+namespace {
+
+TEST(NodeId, DefaultIsZero) {
+    NodeId id;
+    EXPECT_TRUE(id.is_zero());
+}
+
+TEST(NodeId, XorMetricIdentity) {
+    util::Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const NodeId a = NodeId::random(rng, 160);
+        EXPECT_TRUE(a.distance_to(a).is_zero());
+    }
+}
+
+TEST(NodeId, XorMetricSymmetry) {
+    util::Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const NodeId a = NodeId::random(rng, 160);
+        const NodeId b = NodeId::random(rng, 160);
+        EXPECT_EQ(a.distance_to(b), b.distance_to(a));
+    }
+}
+
+TEST(NodeId, XorMetricTriangleInequality) {
+    // d(a,c) <= d(a,b) + d(b,c) holds for XOR since x^z = (x^y)^(y^z) and
+    // u^v <= u+v for non-negative integers. Verified on the low limb to avoid
+    // 192-bit addition.
+    util::Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const NodeId a = NodeId::random(rng, 60);
+        const NodeId b = NodeId::random(rng, 60);
+        const NodeId c = NodeId::random(rng, 60);
+        const auto dab = a.distance_to(b).limb(0);
+        const auto dbc = b.distance_to(c).limb(0);
+        const auto dac = a.distance_to(c).limb(0);
+        EXPECT_LE(dac, dab + dbc);
+    }
+}
+
+TEST(NodeId, ComparisonIsIntegerOrder) {
+    const NodeId one = NodeId::from_limbs(1, 0, 0);
+    const NodeId two = NodeId::from_limbs(2, 0, 0);
+    const NodeId big = NodeId::from_limbs(0, 0, 1);  // bit 128
+    EXPECT_LT(one, two);
+    EXPECT_LT(two, big);
+    EXPECT_EQ(one, NodeId::from_limbs(1, 0, 0));
+}
+
+TEST(NodeId, BucketIndexIsFloorLog2OfDistance) {
+    const NodeId zero;
+    for (int bit = 0; bit < 160; ++bit) {
+        NodeId d;
+        d.set_bit(bit, true);
+        if (bit > 0) d.set_bit(bit / 2, true);  // lower bits don't matter
+        EXPECT_EQ(zero.distance_to(d).bucket_index(), bit);
+    }
+}
+
+TEST(NodeId, BucketCondition) {
+    // Contact in bucket i satisfies 2^i <= dist < 2^{i+1} (paper §4.1).
+    util::Rng rng(4);
+    const NodeId self = NodeId::random(rng, 160);
+    for (int i = 0; i < 200; ++i) {
+        const NodeId other = NodeId::random(rng, 160);
+        if (other == self) continue;
+        const NodeId dist = self.distance_to(other);
+        const int bucket = dist.bucket_index();
+        NodeId lower;
+        lower.set_bit(bucket, true);
+        EXPECT_GE(dist, lower);
+        if (bucket + 1 < 160) {
+            NodeId upper;
+            upper.set_bit(bucket + 1, true);
+            EXPECT_LT(dist, upper);
+        }
+    }
+}
+
+TEST(NodeId, RandomRespectsBitLength) {
+    util::Rng rng(5);
+    for (const int b : {1, 8, 63, 64, 65, 80, 127, 128, 160}) {
+        for (int i = 0; i < 50; ++i) {
+            const NodeId id = NodeId::random(rng, b);
+            for (int bit = b; bit < 160; ++bit) {
+                EXPECT_FALSE(id.get_bit(bit)) << "b=" << b << " bit=" << bit;
+            }
+        }
+    }
+}
+
+class RandomInBucketTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInBucketTest, DistanceFallsInBucketRange) {
+    const int bucket = GetParam();
+    util::Rng rng(6 + static_cast<std::uint64_t>(bucket));
+    const NodeId self = NodeId::random(rng, 160);
+    for (int i = 0; i < 100; ++i) {
+        const NodeId target = NodeId::random_in_bucket(self, bucket, rng, 160);
+        const NodeId dist = self.distance_to(target);
+        ASSERT_FALSE(dist.is_zero());
+        EXPECT_EQ(dist.bucket_index(), bucket);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRanges, RandomInBucketTest,
+                         ::testing::Values(0, 1, 5, 63, 64, 65, 100, 127, 128, 159));
+
+TEST(NodeId, FromDigestUsesTopBits) {
+    // Digest with a known leading byte: 0x80... → top bit of a 160-bit id set.
+    util::Sha1Digest digest{};
+    digest[0] = 0x80;
+    const NodeId full = NodeId::from_digest(digest, 160);
+    EXPECT_TRUE(full.get_bit(159));
+    // Truncated to 8 bits the id becomes 0x80 >> 0 == bit 7 of the top byte.
+    const NodeId small = NodeId::from_digest(digest, 8);
+    EXPECT_TRUE(small.get_bit(7));
+    for (int bit = 8; bit < 160; ++bit) EXPECT_FALSE(small.get_bit(bit));
+}
+
+TEST(NodeId, HashOfIsDeterministicAndSpread) {
+    const NodeId a = NodeId::hash_of("node-1", 160);
+    const NodeId b = NodeId::hash_of("node-1", 160);
+    const NodeId c = NodeId::hash_of("node-2", 160);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(NodeId, HashOfRespectsBitLength) {
+    const NodeId a = NodeId::hash_of("x", 80);
+    for (int bit = 80; bit < 160; ++bit) EXPECT_FALSE(a.get_bit(bit));
+}
+
+TEST(NodeId, UniquenessOverManyIds) {
+    std::set<std::string> seen;
+    for (int i = 0; i < 5000; ++i) {
+        seen.insert(NodeId::hash_of("node-" + std::to_string(i), 160).to_hex());
+    }
+    EXPECT_EQ(seen.size(), 5000u);
+}
+
+TEST(NodeId, ToHexRoundTripKnownValue) {
+    const NodeId id = NodeId::from_limbs(0xdeadbeefULL, 0, 0);
+    EXPECT_EQ(id.to_hex(), "deadbeef");
+    EXPECT_EQ(NodeId().to_hex(), "0");
+}
+
+TEST(NodeId, CloserHelper) {
+    const NodeId origin;
+    const NodeId near = NodeId::from_limbs(1, 0, 0);
+    const NodeId far = NodeId::from_limbs(0xFF, 0, 0);
+    EXPECT_TRUE(origin.closer(near, far));
+    EXPECT_FALSE(origin.closer(far, near));
+}
+
+TEST(NodeIdHash, SpreadsUniformIds) {
+    util::Rng rng(7);
+    std::set<std::size_t> hashes;
+    for (int i = 0; i < 1000; ++i) {
+        hashes.insert(NodeIdHash{}(NodeId::random(rng, 160)));
+    }
+    EXPECT_GT(hashes.size(), 995u);
+}
+
+}  // namespace
+}  // namespace kadsim::kad

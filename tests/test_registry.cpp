@@ -1,0 +1,132 @@
+// Scenario registry: the paper's parameter rules for simulations A–L.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/registry.h"
+
+namespace kadsim::core {
+namespace {
+
+ReproScale test_scale() {
+    ReproScale s;
+    s.size_small = 100;
+    s.size_large = 200;
+    s.churn_figs_end = sim::minutes(480);
+    s.seed = 9;
+    return s;
+}
+
+TEST(Registry, SimA_NoTrafficChurn01_StalenessOne) {
+    const PaperScenarios reg(test_scale());
+    const auto cfg = reg.sim_a(20);
+    EXPECT_EQ(cfg.scenario.initial_size, 100);
+    EXPECT_FALSE(cfg.scenario.traffic.enabled);
+    EXPECT_EQ(cfg.scenario.churn.adds_per_minute, 0);
+    EXPECT_EQ(cfg.scenario.churn.removes_per_minute, 1);
+    EXPECT_EQ(cfg.scenario.kad.k, 20);
+    // §5.3: churn simulations with loss none use s=1.
+    EXPECT_EQ(cfg.scenario.kad.s, 1);
+    EXPECT_EQ(cfg.scenario.kad.b, 160);
+    EXPECT_EQ(cfg.scenario.kad.alpha, 3);
+    EXPECT_EQ(cfg.scenario.loss, net::LossLevel::kNone);
+    // 0/1 churn: runs until the network drains (120 + size minutes).
+    EXPECT_EQ(cfg.scenario.phases.end, sim::minutes(220));
+    EXPECT_NE(cfg.scenario.name.find("A:"), std::string::npos);
+}
+
+TEST(Registry, SimCD_HaveTraffic) {
+    const PaperScenarios reg(test_scale());
+    EXPECT_TRUE(reg.sim_c(10).scenario.traffic.enabled);
+    EXPECT_TRUE(reg.sim_d(10).scenario.traffic.enabled);
+    EXPECT_EQ(reg.sim_c(10).scenario.initial_size, 100);
+    EXPECT_EQ(reg.sim_d(10).scenario.initial_size, 200);
+    EXPECT_EQ(reg.sim_c(10).scenario.traffic.lookups_per_minute, 10);
+    EXPECT_EQ(reg.sim_c(10).scenario.traffic.disseminations_per_minute, 1);
+}
+
+TEST(Registry, SimEFGH_SymmetricChurn) {
+    const PaperScenarios reg(test_scale());
+    EXPECT_EQ(reg.sim_e(5).scenario.churn.label(), "1/1");
+    EXPECT_EQ(reg.sim_f(5).scenario.churn.label(), "1/1");
+    EXPECT_EQ(reg.sim_g(5).scenario.churn.label(), "10/10");
+    EXPECT_EQ(reg.sim_h(5).scenario.churn.label(), "10/10");
+    EXPECT_EQ(reg.sim_e(5).scenario.phases.end, sim::minutes(480));
+    EXPECT_EQ(reg.sim_g(5).scenario.kad.s, 1);
+}
+
+TEST(Registry, AlphaVariantsForFigure10) {
+    const PaperScenarios reg(test_scale());
+    EXPECT_EQ(reg.sim_g(10).scenario.kad.alpha, 3);
+    EXPECT_EQ(reg.sim_g(10, 5).scenario.kad.alpha, 5);
+    EXPECT_EQ(reg.sim_h(10, 5).scenario.kad.alpha, 5);
+}
+
+TEST(Registry, SimI_StalenessSweep) {
+    const PaperScenarios reg(test_scale());
+    const auto cfg = reg.sim_i(5, scen::ChurnSpec{10, 10});
+    EXPECT_EQ(cfg.scenario.kad.s, 5);
+    EXPECT_EQ(cfg.scenario.kad.k, 20);
+    EXPECT_EQ(cfg.scenario.churn.label(), "10/10");
+    EXPECT_EQ(cfg.scenario.loss, net::LossLevel::kNone);
+    EXPECT_TRUE(cfg.scenario.traffic.enabled);
+}
+
+TEST(Registry, SimJKL_LossAndChurnMatrix) {
+    const PaperScenarios reg(test_scale());
+    const auto j = reg.sim_j(net::LossLevel::kMedium, 1);
+    EXPECT_EQ(j.scenario.loss, net::LossLevel::kMedium);
+    EXPECT_EQ(j.scenario.kad.s, 1);
+    EXPECT_FALSE(j.scenario.churn.any());
+
+    const auto k = reg.sim_k(net::LossLevel::kHigh, 5);
+    EXPECT_EQ(k.scenario.churn.label(), "1/1");
+    EXPECT_EQ(k.scenario.kad.s, 5);
+
+    const auto l = reg.sim_l(net::LossLevel::kLow, 1);
+    EXPECT_EQ(l.scenario.churn.label(), "10/10");
+    EXPECT_EQ(l.scenario.loss, net::LossLevel::kLow);
+}
+
+TEST(Registry, BitLengthVariants) {
+    const PaperScenarios reg(test_scale());
+    EXPECT_EQ(reg.sim_c(20).scenario.kad.b, 160);
+    EXPECT_EQ(reg.sim_c_b80(20).scenario.kad.b, 80);
+    EXPECT_EQ(reg.sim_d_b80(20).scenario.kad.b, 80);
+    EXPECT_NE(reg.sim_c_b80(20).scenario.name.find("b=80"), std::string::npos);
+}
+
+TEST(Registry, ScaleFromEnvDefaults) {
+    ::unsetenv("REPRO_SCALE");
+    ::unsetenv("REPRO_SIZE_SMALL");
+    ::unsetenv("REPRO_SIZE_LARGE");
+    ::unsetenv("REPRO_END_MIN");
+    ::unsetenv("REPRO_SEED");
+    const auto s = ReproScale::from_env();
+    EXPECT_EQ(s.size_small, 250);  // paper-exact at quick scale
+    EXPECT_EQ(s.size_large, 400);
+    EXPECT_EQ(s.churn_figs_end, sim::minutes(360));
+    EXPECT_EQ(s.seed, 20170327u);
+}
+
+TEST(Registry, ScaleFromEnvPaperMode) {
+    ::setenv("REPRO_SCALE", "paper", 1);
+    const auto s = ReproScale::from_env();
+    EXPECT_EQ(s.size_small, 250);
+    EXPECT_EQ(s.size_large, 2500);
+    EXPECT_EQ(s.churn_figs_end, sim::minutes(1400));
+    ::unsetenv("REPRO_SCALE");
+}
+
+TEST(Registry, AllScenariosValidate) {
+    const PaperScenarios reg(test_scale());
+    EXPECT_NO_THROW(reg.sim_a(5).scenario.validate());
+    EXPECT_NO_THROW(reg.sim_b(30).scenario.validate());
+    EXPECT_NO_THROW(reg.sim_h(10, 5).scenario.validate());
+    EXPECT_NO_THROW(reg.sim_i(1, scen::ChurnSpec{1, 1}).scenario.validate());
+    EXPECT_NO_THROW(reg.sim_l(net::LossLevel::kHigh, 5).scenario.validate());
+    EXPECT_NO_THROW(reg.sim_d_b80(20).scenario.validate());
+}
+
+}  // namespace
+}  // namespace kadsim::core

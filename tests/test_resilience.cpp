@@ -1,0 +1,43 @@
+// Eq. 2 resilience calculus (paper §4.5).
+#include <gtest/gtest.h>
+
+#include "core/resilience.h"
+
+namespace kadsim::core {
+namespace {
+
+TEST(Resilience, FromConnectivity) {
+    EXPECT_EQ(resilience_from_connectivity(0), -1);  // disconnected
+    EXPECT_EQ(resilience_from_connectivity(1), 0);
+    EXPECT_EQ(resilience_from_connectivity(20), 19);
+}
+
+TEST(Resilience, ToleratesFollowsEq2) {
+    // κ(D) > r ≥ a.
+    EXPECT_TRUE(tolerates(5, 4));
+    EXPECT_FALSE(tolerates(5, 5));
+    EXPECT_FALSE(tolerates(0, 0));
+    EXPECT_TRUE(tolerates(1, 0));
+}
+
+TEST(Resilience, RequiredConnectivity) {
+    EXPECT_EQ(required_connectivity(0), 1);
+    EXPECT_EQ(required_connectivity(10), 11);
+}
+
+TEST(Resilience, RecommendedBucketSize) {
+    // Stable network: k > a suffices.
+    EXPECT_EQ(recommended_bucket_size(10, false), 11);
+    // Strong churn: slack, since κ_min dips below k (§5.5.4).
+    EXPECT_GE(recommended_bucket_size(10, true), 16);
+    EXPECT_GT(recommended_bucket_size(1, true), 2);
+}
+
+TEST(Resilience, VerdictStrings) {
+    EXPECT_NE(resilience_verdict(0, 3).find("DISCONNECTED"), std::string::npos);
+    EXPECT_NE(resilience_verdict(5, 3).find("resilient"), std::string::npos);
+    EXPECT_NE(resilience_verdict(3, 5).find("NOT resilient"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kadsim::core

@@ -1,0 +1,293 @@
+// k-bucket routing table: capacity, LRU order, staleness limit s, closest-k
+// correctness against brute force, ping-evict replacement cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "kad/routing_table.h"
+#include "util/rng.h"
+
+namespace kadsim::kad {
+namespace {
+
+KademliaConfig make_config(int k = 4, int s = 2,
+                           BucketPolicy policy = BucketPolicy::kDropNew) {
+    KademliaConfig cfg;
+    cfg.k = k;
+    cfg.s = s;
+    cfg.bucket_policy = policy;
+    return cfg;
+}
+
+Contact make_contact(util::Rng& rng, net::Address addr, int b = 160) {
+    return Contact{NodeId::random(rng, b), addr};
+}
+
+TEST(RoutingTable, InsertAndContains) {
+    const KademliaConfig cfg = make_config();
+    util::Rng rng(1);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    const Contact c = make_contact(rng, 1);
+    EXPECT_EQ(table.observe(c, 100), ObserveResult::kInserted);
+    EXPECT_TRUE(table.contains(c.id));
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_TRUE(table.check_invariants());
+}
+
+TEST(RoutingTable, SelfIsNeverInserted) {
+    const KademliaConfig cfg = make_config();
+    util::Rng rng(2);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    EXPECT_EQ(table.observe(Contact{self, 9}, 1), ObserveResult::kSelf);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, ReobserveUpdatesRecencyAndResetsFailures) {
+    const KademliaConfig cfg = make_config(4, 3);
+    util::Rng rng(3);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    const Contact c = make_contact(rng, 1);
+    table.observe(c, 10);
+    EXPECT_FALSE(table.record_failure(c.id, 11));  // 1 of 3
+    EXPECT_FALSE(table.record_failure(c.id, 12));  // 2 of 3
+    table.observe(c, 13);                          // resets the streak
+    EXPECT_FALSE(table.record_failure(c.id, 14));
+    EXPECT_FALSE(table.record_failure(c.id, 15));
+    EXPECT_TRUE(table.contains(c.id));
+    EXPECT_TRUE(table.record_failure(c.id, 16));  // 3rd consecutive: removed
+    EXPECT_FALSE(table.contains(c.id));
+}
+
+TEST(RoutingTable, StalenessLimitOneRemovesImmediately) {
+    const KademliaConfig cfg = make_config(4, 1);
+    util::Rng rng(4);
+    RoutingTable table(NodeId::random(rng, 160), cfg);
+    const Contact c = make_contact(rng, 1);
+    table.observe(c, 10);
+    EXPECT_TRUE(table.record_failure(c.id, 11));
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, BucketCapacityEnforced) {
+    const KademliaConfig cfg = make_config(3);
+    util::Rng rng(5);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+
+    // Generate many contacts in the same bucket (the top one is easiest).
+    std::vector<Contact> bucket_mates;
+    net::Address addr = 1;
+    while (bucket_mates.size() < 10) {
+        const Contact c = make_contact(rng, addr++);
+        if (self.distance_to(c.id).bucket_index() == 159) bucket_mates.push_back(c);
+    }
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(table.observe(bucket_mates[static_cast<std::size_t>(i)], i),
+                  ObserveResult::kInserted);
+    }
+    EXPECT_EQ(table.observe(bucket_mates[3], 99), ObserveResult::kBucketFull);
+    EXPECT_EQ(table.size(), 3u);
+    EXPECT_TRUE(table.check_invariants());
+}
+
+TEST(RoutingTable, LruOrderFrontIsLeastRecentlySeen) {
+    const KademliaConfig cfg = make_config(3);
+    util::Rng rng(6);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    std::vector<Contact> mates;
+    net::Address addr = 1;
+    while (mates.size() < 3) {
+        const Contact c = make_contact(rng, addr++);
+        if (self.distance_to(c.id).bucket_index() == 159) mates.push_back(c);
+    }
+    table.observe(mates[0], 10);
+    table.observe(mates[1], 20);
+    table.observe(mates[2], 30);
+    auto lrs = table.least_recently_seen(mates[0].id);
+    ASSERT_TRUE(lrs.has_value());
+    EXPECT_EQ(lrs->id, mates[0].id);
+    // Touching mates[0] moves it to the back.
+    table.observe(mates[0], 40);
+    lrs = table.least_recently_seen(mates[0].id);
+    ASSERT_TRUE(lrs.has_value());
+    EXPECT_EQ(lrs->id, mates[1].id);
+}
+
+TEST(RoutingTable, PingEvictParksReplacementAndPromotesOnRemoval) {
+    const KademliaConfig cfg = make_config(2, 1, BucketPolicy::kPingEvict);
+    util::Rng rng(7);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    std::vector<Contact> mates;
+    net::Address addr = 1;
+    while (mates.size() < 3) {
+        const Contact c = make_contact(rng, addr++);
+        if (self.distance_to(c.id).bucket_index() == 159) mates.push_back(c);
+    }
+    table.observe(mates[0], 10);
+    table.observe(mates[1], 20);
+    EXPECT_EQ(table.observe(mates[2], 30), ObserveResult::kBucketFull);
+    // mates[2] parked; failing mates[0] (s=1) promotes it.
+    EXPECT_TRUE(table.record_failure(mates[0].id, 40));
+    EXPECT_FALSE(table.contains(mates[0].id));
+    EXPECT_TRUE(table.contains(mates[2].id));
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_TRUE(table.check_invariants());
+}
+
+TEST(RoutingTable, DropNewPolicyDiscardsCandidate) {
+    const KademliaConfig cfg = make_config(2, 1, BucketPolicy::kDropNew);
+    util::Rng rng(8);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    std::vector<Contact> mates;
+    net::Address addr = 1;
+    while (mates.size() < 3) {
+        const Contact c = make_contact(rng, addr++);
+        if (self.distance_to(c.id).bucket_index() == 159) mates.push_back(c);
+    }
+    table.observe(mates[0], 10);
+    table.observe(mates[1], 20);
+    EXPECT_EQ(table.observe(mates[2], 30), ObserveResult::kBucketFull);
+    EXPECT_TRUE(table.record_failure(mates[0].id, 40));
+    // No replacement cache under kDropNew: slot stays free.
+    EXPECT_FALSE(table.contains(mates[2].id));
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, RecordFailureOnUnknownContactIsNoop) {
+    const KademliaConfig cfg = make_config();
+    util::Rng rng(9);
+    RoutingTable table(NodeId::random(rng, 160), cfg);
+    EXPECT_FALSE(table.record_failure(NodeId::random(rng, 160), 1));
+}
+
+class ClosestBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (b, want)
+
+TEST_P(ClosestBruteForceTest, ClosestMatchesBruteForce) {
+    // Property check for the bucket-pruned exact selection (the per-bucket
+    // XOR distance ranges are disjoint): must agree with a full sort for any
+    // bit-length and result width, including targets equal to stored ids.
+    const auto [b, want] = GetParam();
+    KademliaConfig cfg = make_config(20, 5);
+    cfg.b = b;
+    util::Rng rng(10 + static_cast<std::uint64_t>(b + want));
+    const NodeId self = NodeId::random(rng, b);
+    RoutingTable table(self, cfg);
+    std::vector<Contact> inserted;
+    for (net::Address a = 1; a <= 300; ++a) {
+        const Contact c = make_contact(rng, a, b);
+        if (table.observe(c, a) == ObserveResult::kInserted) inserted.push_back(c);
+    }
+    ASSERT_GT(inserted.size(), 40u);
+
+    for (int trial = 0; trial < 25; ++trial) {
+        // Every 5th trial targets a stored id or the owner's own id.
+        NodeId target = NodeId::random(rng, b);
+        if (trial % 5 == 1) target = inserted[trial % inserted.size()].id;
+        if (trial % 5 == 3) target = self;
+        std::vector<Contact> got;
+        table.closest(target, static_cast<std::size_t>(want), got);
+        ASSERT_EQ(got.size(), std::min<std::size_t>(static_cast<std::size_t>(want),
+                                                    inserted.size()));
+
+        auto expected = inserted;
+        std::sort(expected.begin(), expected.end(),
+                  [&target](const Contact& x, const Contact& y) {
+                      return target.distance_to(x.id) < target.distance_to(y.id);
+                  });
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].id, expected[i].id) << "trial " << trial << " pos " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitLengthsAndWidths, ClosestBruteForceTest,
+                         ::testing::Combine(::testing::Values(80, 160),
+                                            ::testing::Values(1, 10, 40)));
+
+TEST(RoutingTable, ClosestExcludesRequestedId) {
+    const KademliaConfig cfg = make_config(20, 5);
+    util::Rng rng(11);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    std::vector<Contact> inserted;
+    for (net::Address a = 1; a <= 50; ++a) {
+        const Contact c = make_contact(rng, a);
+        if (table.observe(c, a) == ObserveResult::kInserted) inserted.push_back(c);
+    }
+    const NodeId& excluded = inserted.front().id;
+    std::vector<Contact> got;
+    table.closest(excluded, 20, got, &excluded);
+    for (const auto& c : got) EXPECT_NE(c.id, excluded);
+}
+
+TEST(RoutingTable, ClosestWithFewerContactsReturnsAll) {
+    const KademliaConfig cfg = make_config();
+    util::Rng rng(12);
+    RoutingTable table(NodeId::random(rng, 160), cfg);
+    table.observe(make_contact(rng, 1), 1);
+    table.observe(make_contact(rng, 2), 2);
+    std::vector<Contact> got;
+    table.closest(NodeId::random(rng, 160), 10, got);
+    EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(RoutingTable, ClearEmptiesEverything) {
+    const KademliaConfig cfg = make_config();
+    util::Rng rng(13);
+    RoutingTable table(NodeId::random(rng, 160), cfg);
+    for (net::Address a = 1; a <= 50; ++a) table.observe(make_contact(rng, a), a);
+    EXPECT_GT(table.size(), 0u);
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.nonempty_bucket_count(), 0);
+    EXPECT_TRUE(table.check_invariants());
+}
+
+TEST(RoutingTable, ForEachEntryVisitsEveryContact) {
+    const KademliaConfig cfg = make_config(20, 5);
+    util::Rng rng(14);
+    RoutingTable table(NodeId::random(rng, 160), cfg);
+    std::size_t expected = 0;
+    for (net::Address a = 1; a <= 100; ++a) {
+        if (table.observe(make_contact(rng, a), a) == ObserveResult::kInserted) {
+            ++expected;
+        }
+    }
+    std::size_t visited = 0;
+    table.for_each_entry([&visited](const RoutingTable::Entry&) { ++visited; });
+    EXPECT_EQ(visited, expected);
+    EXPECT_EQ(visited, table.size());
+}
+
+TEST(RoutingTable, InvariantsHoldUnderRandomWorkload) {
+    const KademliaConfig cfg = make_config(5, 2);
+    util::Rng rng(15);
+    const NodeId self = NodeId::random(rng, 160);
+    RoutingTable table(self, cfg);
+    std::vector<Contact> pool;
+    for (net::Address a = 1; a <= 80; ++a) pool.push_back(make_contact(rng, a));
+    for (int step = 0; step < 5000; ++step) {
+        const auto& c = pool[rng.next_below(pool.size())];
+        switch (rng.next_below(3)) {
+            case 0: table.observe(c, step); break;
+            case 1: table.record_failure(c.id, step); break;
+            default: {
+                std::vector<Contact> out;
+                table.closest(pool[rng.next_below(pool.size())].id, 5, out);
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(table.check_invariants());
+}
+
+}  // namespace
+}  // namespace kadsim::kad

@@ -1,0 +1,71 @@
+// SHA-1 against the FIPS 180-1 reference vectors, plus incremental API.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/sha1.h"
+
+namespace kadsim::util {
+namespace {
+
+TEST(Sha1, EmptyString) {
+    EXPECT_EQ(to_hex(sha1(std::string_view{})),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+    EXPECT_EQ(to_hex(sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+    EXPECT_EQ(to_hex(sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+    Sha1 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(to_hex(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+    const std::string message =
+        "The quick brown fox jumps over the lazy dog, repeatedly and with vigour.";
+    for (std::size_t split = 0; split <= message.size(); split += 7) {
+        Sha1 h;
+        h.update(std::string_view(message).substr(0, split));
+        h.update(std::string_view(message).substr(split));
+        EXPECT_EQ(h.finish(), sha1(message)) << "split at " << split;
+    }
+}
+
+TEST(Sha1, BoundaryLengths) {
+    // 55/56/57/63/64/65 bytes hit the padding edge cases.
+    const std::string base(70, 'x');
+    for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+        const auto d1 = sha1(std::string_view(base).substr(0, len));
+        Sha1 h;
+        for (std::size_t i = 0; i < len; ++i) {
+            h.update(std::string_view(base).substr(i, 1));
+        }
+        EXPECT_EQ(h.finish(), d1) << "length " << len;
+    }
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+    Sha1 h;
+    h.update("garbage");
+    (void)h.finish();
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(to_hex(h.finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+    EXPECT_NE(sha1("node-1"), sha1("node-2"));
+    EXPECT_NE(sha1("a"), sha1("b"));
+}
+
+}  // namespace
+}  // namespace kadsim::util

@@ -1,0 +1,82 @@
+// Routing snapshots → connectivity graphs; text round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/snapshot.h"
+
+namespace kadsim::graph {
+namespace {
+
+TEST(RoutingSnapshot, ToDigraphCompactsAddresses) {
+    RoutingSnapshot snap;
+    snap.time_ms = 60000;
+    snap.nodes.push_back({100, {200, 300}});
+    snap.nodes.push_back({200, {100}});
+    snap.nodes.push_back({300, {200}});
+    const Digraph g = snap.to_digraph();
+    EXPECT_EQ(g.vertex_count(), 3);
+    EXPECT_EQ(g.edge_count(), 4);
+    EXPECT_TRUE(g.has_edge(0, 1));  // 100 → 200
+    EXPECT_TRUE(g.has_edge(0, 2));  // 100 → 300
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(RoutingSnapshot, DeadContactsAreFilteredOut) {
+    // Node 7 appears in routing tables but is not part of the snapshot
+    // (it left the network): edges toward it must vanish.
+    RoutingSnapshot snap;
+    snap.nodes.push_back({1, {2, 7}});
+    snap.nodes.push_back({2, {1, 7}});
+    const Digraph g = snap.to_digraph();
+    EXPECT_EQ(g.vertex_count(), 2);
+    EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(RoutingSnapshot, SelfReferencesAreDropped) {
+    RoutingSnapshot snap;
+    snap.nodes.push_back({1, {1, 2}});
+    snap.nodes.push_back({2, {}});
+    const Digraph g = snap.to_digraph();
+    EXPECT_EQ(g.edge_count(), 1);
+}
+
+TEST(RoutingSnapshot, SaveParseRoundTrip) {
+    RoutingSnapshot snap;
+    snap.time_ms = 123456;
+    snap.nodes.push_back({5, {6, 7, 8}});
+    snap.nodes.push_back({6, {}});
+    snap.nodes.push_back({7, {5}});
+    snap.nodes.push_back({8, {5, 6}});
+
+    std::stringstream buffer;
+    snap.save(buffer);
+    const RoutingSnapshot parsed = RoutingSnapshot::parse(buffer);
+    EXPECT_EQ(parsed.time_ms, snap.time_ms);
+    ASSERT_EQ(parsed.nodes.size(), snap.nodes.size());
+    for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+        EXPECT_EQ(parsed.nodes[i].address, snap.nodes[i].address);
+        EXPECT_EQ(parsed.nodes[i].contacts, snap.nodes[i].contacts);
+    }
+}
+
+TEST(RoutingSnapshot, ParseRejectsMalformedLine) {
+    std::istringstream in("t 5\nn 1\ngarbage without colon\n");
+    EXPECT_THROW((void)RoutingSnapshot::parse(in), std::runtime_error);
+}
+
+TEST(RoutingSnapshot, ParseRejectsCountMismatch) {
+    std::istringstream in("t 5\nn 3\n1: 2\n2: 1\n");
+    EXPECT_THROW((void)RoutingSnapshot::parse(in), std::runtime_error);
+}
+
+TEST(RoutingSnapshot, EmptySnapshotYieldsEmptyGraph) {
+    RoutingSnapshot snap;
+    const Digraph g = snap.to_digraph();
+    EXPECT_EQ(g.vertex_count(), 0);
+    EXPECT_EQ(g.edge_count(), 0);
+}
+
+}  // namespace
+}  // namespace kadsim::graph

@@ -1,0 +1,89 @@
+// Summary statistics and time series (Table 2's mean / relative variance).
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace kadsim::stats {
+namespace {
+
+TEST(Summary, MeanVarianceKnownValues) {
+    Summary s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.relative_variance(), 0.8);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.relative_variance(), 0.0);
+}
+
+TEST(Summary, ZeroMeanHasZeroRelativeVariance) {
+    // Table 2's size-2500/k=5 row: κ_min identically 0 → mean 0, RV 0.
+    Summary s;
+    for (int i = 0; i < 10; ++i) s.add(0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.relative_variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+    Summary s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, WelfordMatchesDirectComputation) {
+    Summary s;
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        const double x = std::sin(i) * 10.0 + i * 0.01;
+        s.add(x);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(TimeSeries, AppendsAndQueries) {
+    TimeSeries ts;
+    ts.add(0.0, 10.0);
+    ts.add(1.0, 20.0);
+    ts.add(2.0, 30.0);
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_DOUBLE_EQ(ts.time_at(1), 1.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(2), 30.0);
+}
+
+TEST(TimeSeries, SummarizeBetweenIsHalfOpen) {
+    TimeSeries ts;
+    for (int t = 0; t < 10; ++t) ts.add(t, t * 1.0);
+    const Summary s = ts.summarize_between(2.0, 5.0);  // values 2,3,4
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(TimeSeries, SummarizeAll) {
+    TimeSeries ts;
+    ts.add(0.0, 1.0);
+    ts.add(5.0, 3.0);
+    const Summary s = ts.summarize();
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace kadsim::stats

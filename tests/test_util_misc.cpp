@@ -1,0 +1,141 @@
+// CSV writer, text tables, CLI parsing, env knobs, ASCII plots.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii_plot.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace kadsim::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Csv, WritesRowsAndEscapes) {
+    const std::string path = "/tmp/kadsim_test_csv.csv";
+    {
+        CsvWriter csv(path);
+        csv.write_row({"a", "b,c", "d\"e"});
+        csv.write_row({CsvWriter::field(1.5), CsvWriter::field(42LL)});
+    }
+    const std::string content = read_file(path);
+    EXPECT_NE(content.find("a,\"b,c\",\"d\"\"e\"\n"), std::string::npos);
+    EXPECT_NE(content.find("1.5,42\n"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(Csv, CreatesParentDirectories) {
+    const std::string dir = "/tmp/kadsim_csv_dir/nested";
+    const std::string path = dir + "/out.csv";
+    std::filesystem::remove_all("/tmp/kadsim_csv_dir");
+    {
+        CsvWriter csv(path);
+        csv.write_row({"x"});
+    }
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove_all("/tmp/kadsim_csv_dir");
+}
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"name", "value"});
+    t.add_row({"k", "20"});
+    t.add_row({"alpha", "3"});
+    const std::string rendered = t.to_string();
+    EXPECT_NE(rendered.find("| name "), std::string::npos);
+    EXPECT_NE(rendered.find("| alpha"), std::string::npos);
+    // Every line has the same width.
+    std::stringstream ss(rendered);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(ss, line)) {
+        if (width == 0) width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TextTable, NumFormatting) {
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+    EXPECT_EQ(TextTable::num(12345LL), "12345");
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+    // A bare flag followed by a non-option consumes it as its value, so the
+    // positional argument goes first.
+    const char* argv[] = {"prog", "run", "--size=250", "--k", "20", "--verbose"};
+    CliArgs args(6, argv);
+    EXPECT_EQ(args.get_int("size", 0), 250);
+    EXPECT_EQ(args.get_int("k", 0), 20);
+    EXPECT_TRUE(args.get_bool("verbose", false));
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "run");
+    EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, TypedErrors) {
+    const char* argv[] = {"prog", "--n=abc"};
+    CliArgs args(2, argv);
+    EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Env, IntAndDoubleParsing) {
+    ::setenv("KADSIM_TEST_ENV_INT", "123", 1);
+    EXPECT_EQ(env_int("KADSIM_TEST_ENV_INT", 0), 123);
+    ::setenv("KADSIM_TEST_ENV_INT", "garbage", 1);
+    EXPECT_EQ(env_int("KADSIM_TEST_ENV_INT", 55), 55);
+    ::unsetenv("KADSIM_TEST_ENV_INT");
+    EXPECT_EQ(env_int("KADSIM_TEST_ENV_INT", -1), -1);
+
+    ::setenv("KADSIM_TEST_ENV_DBL", "0.25", 1);
+    EXPECT_DOUBLE_EQ(env_double("KADSIM_TEST_ENV_DBL", 0.0), 0.25);
+    ::unsetenv("KADSIM_TEST_ENV_DBL");
+}
+
+TEST(Env, ScaleKnobs) {
+    ::unsetenv("REPRO_SCALE");
+    EXPECT_EQ(repro_scale(), ReproScale::kQuick);
+    ::setenv("REPRO_SCALE", "paper", 1);
+    EXPECT_EQ(repro_scale(), ReproScale::kPaper);
+    ::unsetenv("REPRO_SCALE");
+
+    ::setenv("REPRO_SEED", "77", 1);
+    EXPECT_EQ(repro_seed(), 77u);
+    ::unsetenv("REPRO_SEED");
+    EXPECT_EQ(repro_seed(), 20170327u);
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+    AsciiPlot plot(40, 10);
+    PlotSeries s;
+    s.name = "kappa";
+    s.glyph = 'o';
+    for (int i = 0; i <= 10; ++i) {
+        s.x.push_back(i);
+        s.y.push_back(i * i);
+    }
+    plot.add_series(std::move(s));
+    plot.set_title("demo");
+    const std::string out = plot.render();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("legend: [o] kappa"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotDoesNotCrash) {
+    AsciiPlot plot(20, 5);
+    EXPECT_EQ(plot.render(), "(no data)\n");
+}
+
+}  // namespace
+}  // namespace kadsim::util
