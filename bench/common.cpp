@@ -72,6 +72,43 @@ void store_cached(const std::string& path, const std::string& key,
     }
 }
 
+std::string json_escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/// Machine-readable run summary next to the CSV: bench_out/BENCH_<id>.json.
+std::string write_bench_json(const FigureSpec& spec) {
+    const std::string path = output_dir() + "/BENCH_" + spec.id + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return path;
+    out << "{\n"
+        << "  \"id\": \"" << json_escape(spec.id) << "\",\n"
+        << "  \"paper_ref\": \"" << json_escape(spec.paper_ref) << "\",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < spec.runs.size(); ++i) {
+        const auto& run = spec.runs[i];
+        const auto s = run.series.kappa_min_summary(
+            spec.churn_start_min >= 0.0 ? spec.churn_start_min : 0.0, 1e18);
+        const auto a = run.series.kappa_avg_summary(
+            spec.churn_start_min >= 0.0 ? spec.churn_start_min : 0.0, 1e18);
+        out << "    {\"label\": \"" << json_escape(run.label) << "\", "
+            << "\"samples\": " << run.series.samples.size() << ", "
+            << "\"kappa_min_mean\": " << s.mean() << ", "
+            << "\"kappa_min_rv\": " << s.relative_variance() << ", "
+            << "\"kappa_avg_mean\": " << a.mean() << ", "
+            << "\"wall_seconds\": " << run.wall_seconds << "}"
+            << (i + 1 < spec.runs.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    return path;
+}
+
 }  // namespace
 
 std::string output_dir() {
@@ -221,6 +258,7 @@ int run_figure(FigureSpec& spec) {
         }
     }
     std::printf("csv: %s\n", csv_path.c_str());
+    std::printf("json: %s\n", write_bench_json(spec).c_str());
     double total = 0.0;
     for (const auto& run : spec.runs) total += run.wall_seconds;
     std::printf("wall time: %.1f s\n", total);

@@ -5,7 +5,8 @@
 // it from the deterministic on-disk cache — figures share simulations, e.g.
 // Table 2 aggregates the runs behind Figures 6–9), prints the paper-style
 // series table, ASCII renderings of the figure, churn-phase summaries, and
-// writes CSV next to the binary under bench_out/.
+// writes CSV plus a machine-readable BENCH_<id>.json summary under
+// bench_out/.
 #ifndef KADSIM_BENCH_COMMON_H
 #define KADSIM_BENCH_COMMON_H
 

@@ -1,7 +1,7 @@
 // Quickstart: build a Kademlia overlay, let it stabilize, measure its vertex
 // connectivity, and turn that into a resilience statement (Eq. 2).
 //
-//   ./build/examples/quickstart [--nodes 100] [--k 20] [--minutes 180]
+//   ./build/quickstart [--nodes 100] [--k 20] [--minutes 180]
 #include <cstdio>
 
 #include "core/analyzer.h"
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     scenario.kad.k = k;
     scenario.kad.s = 1;               // evict unresponsive contacts quickly
     scenario.traffic.enabled = true;  // 10 lookups + 1 dissemination /node-min
-    scenario.phases.end = sim::minutes(minutes);
+    scenario.phases.set_end(sim::minutes(minutes));
 
     // 2. Run it.
     scen::Runner runner(scenario);

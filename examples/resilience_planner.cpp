@@ -3,8 +3,8 @@
 // the bucket size k, simulate each candidate, and recommend the smallest k
 // whose *churn-phase minimum* connectivity still tolerates the budget.
 //
-//   ./build/examples/resilience_planner --nodes 150 --attackers 6 \
-//       --loss low --churn 1 --minutes 240
+//   ./build/resilience_planner --nodes 150 --attackers 6 --loss low
+//       --churn 1 --minutes 240
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
         cfg.scenario.loss = loss;
         cfg.scenario.traffic.enabled = true;
         cfg.scenario.churn = scen::ChurnSpec{churn_rate, churn_rate};
-        cfg.scenario.phases.end = sim::minutes(minutes);
+        cfg.scenario.phases.set_end(sim::minutes(minutes));
         cfg.snapshot_interval = sim::minutes(30);
         cfg.analyzer.sample_c = 0.05;
         cfg.analyzer.min_sources = 4;

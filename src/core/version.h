@@ -1,0 +1,21 @@
+// Library identity constants: version and the paper this tree reproduces.
+#ifndef KADSIM_CORE_VERSION_H
+#define KADSIM_CORE_VERSION_H
+
+namespace kadsim::core {
+
+inline constexpr int kVersionMajor = 0;
+inline constexpr int kVersionMinor = 1;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "0.1.0";
+
+/// The study this repository reproduces (ICDCS 2017).
+inline constexpr const char* kPaperTitle =
+    "Evaluating Connection Resilience for the Overlay Network Kademlia";
+inline constexpr const char* kPaperArxivId = "1703.09171";
+/// Companion CPS-resilience study referenced by docs/figures.md.
+inline constexpr const char* kCompanionArxivId = "1605.08002";
+
+}  // namespace kadsim::core
+
+#endif  // KADSIM_CORE_VERSION_H

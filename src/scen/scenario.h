@@ -5,6 +5,7 @@
 #ifndef KADSIM_SCEN_SCENARIO_H
 #define KADSIM_SCEN_SCENARIO_H
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -44,6 +45,14 @@ struct PhasePlan {
     sim::SimTime setup_end = sim::minutes(30);
     sim::SimTime stabilization_end = sim::minutes(120);
     sim::SimTime end = sim::minutes(400);
+
+    /// Sets the horizon and clamps the earlier boundaries so horizons
+    /// shorter than the §5.4 defaults still satisfy setup <= stab <= end.
+    void set_end(sim::SimTime t) noexcept {
+        end = t;
+        stabilization_end = std::min(stabilization_end, end);
+        setup_end = std::min(setup_end, stabilization_end);
+    }
 };
 
 struct ScenarioConfig {

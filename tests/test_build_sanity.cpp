@@ -1,0 +1,51 @@
+// Build sanity: library identity constants and the paper's default protocol
+// parameters (§4.1 / §5.3). A regression here means the build wired up a
+// stale library or someone changed the defaults the figure benches rely on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/version.h"
+#include "kad/config.h"
+#include "sim/time.h"
+
+namespace kadsim {
+namespace {
+
+TEST(BuildSanity, VersionConstantsAreConsistent) {
+    const std::string expected = std::to_string(core::kVersionMajor) + "." +
+                                 std::to_string(core::kVersionMinor) + "." +
+                                 std::to_string(core::kVersionPatch);
+    EXPECT_EQ(expected, core::kVersionString);
+    EXPECT_STREQ(core::kPaperArxivId, "1703.09171");
+    EXPECT_STREQ(core::kCompanionArxivId, "1605.08002");
+}
+
+TEST(BuildSanity, KademliaDefaultsMatchPaper) {
+    const kad::KademliaConfig cfg;
+    EXPECT_EQ(cfg.b, 160);    // id bit-length (paper also sweeps 80, §5.7)
+    EXPECT_EQ(cfg.k, 20);     // bucket size / lookup width
+    EXPECT_EQ(cfg.alpha, 3);  // lookup parallelism
+    EXPECT_EQ(cfg.s, 5);      // staleness limit before removal
+    EXPECT_EQ(cfg.rpc_timeout, 2 * sim::kSecond);
+    EXPECT_EQ(cfg.refresh_interval, 60 * sim::kMinute);
+    EXPECT_EQ(cfg.bucket_policy, kad::BucketPolicy::kDropNew);
+    EXPECT_EQ(cfg.refresh_policy, kad::RefreshPolicy::kAllBuckets);
+    EXPECT_EQ(cfg.advertise_per_refresh, 0);  // paper behaviour, no extension
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(BuildSanity, ConfigValidateRejectsOutOfRange) {
+    kad::KademliaConfig cfg;
+    cfg.b = kad::kMaxBits + 1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = {};
+    cfg.k = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = {};
+    cfg.alpha = -1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kadsim

@@ -9,16 +9,6 @@
 namespace kadsim::flow {
 namespace {
 
-graph::Digraph undirected(int n, std::initializer_list<std::pair<int, int>> edges) {
-    graph::Digraph g(n);
-    for (const auto& [u, v] : edges) {
-        g.add_edge(u, v);
-        g.add_edge(v, u);
-    }
-    g.finalize();
-    return g;
-}
-
 graph::Digraph complete_graph(int n) {
     graph::Digraph g(n);
     for (int u = 0; u < n; ++u) {

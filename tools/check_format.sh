@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Dry-run clang-format over the C++ tree against the repo .clang-format.
+# Advisory: exits 0 with a notice when clang-format is unavailable, so CI
+# images without LLVM tooling don't fail the build on style.
+#
+#   tools/check_format.sh          # report violations (exit 1 if any)
+#   tools/check_format.sh --fix    # rewrite files in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+clang_format="${CLANG_FORMAT:-}"
+if [[ -z "${clang_format}" ]]; then
+    for candidate in clang-format clang-format-18 clang-format-17 clang-format-16 \
+                     clang-format-15 clang-format-14; do
+        if command -v "${candidate}" >/dev/null 2>&1; then
+            clang_format="${candidate}"
+            break
+        fi
+    done
+fi
+if [[ -z "${clang_format}" ]]; then
+    echo "notice: clang-format not found; skipping format check (set CLANG_FORMAT to override)"
+    exit 0
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cpp' 'tests/*.cpp' \
+    'bench/*.h' 'bench/*.cpp' 'examples/*.cpp' 'tools/*.cpp')
+
+if [[ "${1:-}" == "--fix" ]]; then
+    "${clang_format}" -i "${files[@]}"
+    echo "formatted ${#files[@]} files"
+    exit 0
+fi
+
+"${clang_format}" --dry-run -Werror "${files[@]}" \
+    && echo "format OK (${#files[@]} files)"

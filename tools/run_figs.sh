@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs only the figNN_* binaries — the paper's Figures 1–14 — in order.
+# See tools/run_all_benches.sh for the tables/ablations/extension benches
+# and the REPRO_* environment knobs.
+#
+#   tools/run_figs.sh [build-dir]
+set -euo pipefail
+
+# Figure sources are globbed from the repo root; the build dir and bench_out/
+# stay relative to the caller's working directory.
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+build_dir="${1:-build}"
+if [[ ! -d "${build_dir}" ]]; then
+    echo "error: build dir '${build_dir}' not found; run: cmake --preset release && cmake --build --preset release" >&2
+    exit 1
+fi
+
+failed=0
+for src in "${repo_root}"/bench/fig*.cpp; do
+    name="$(basename "${src}" .cpp)"
+    bin="${build_dir}/${name}"
+    if [[ ! -x "${bin}" ]]; then
+        echo "error: ${bin} not built" >&2
+        failed=1
+        continue
+    fi
+    echo
+    echo "##### ${name}"
+    if ! "${bin}"; then
+        echo "FAILED: ${name}" >&2
+        failed=1
+    fi
+done
+exit "${failed}"
