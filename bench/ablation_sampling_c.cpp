@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "core/analyzer.h"
+#include "exec/thread_pool.h"
 #include "flow/vertex_connectivity.h"
 #include "scen/runner.h"
 #include "util/csv.h"
@@ -29,6 +30,7 @@ int main() {
     scenario.traffic.enabled = true;
     scenario.phases.end = sim::minutes(240);
     scen::Runner runner(scenario);
+    exec::ThreadPool pool(util::repro_threads());
 
     util::TextTable table({"t(min)", "n", "exact kappa", "c=0.01", "c=0.02", "c=0.05",
                            "c=0.10", "smallest sufficient c"});
@@ -43,7 +45,7 @@ int main() {
         const graph::Digraph g = snap.to_digraph();
 
         flow::ConnectivityOptions exact_opts;
-        exact_opts.threads = util::repro_threads();
+        exact_opts.pool = &pool;
         const auto exact = flow::vertex_connectivity(g, exact_opts);
 
         const double cs[] = {0.01, 0.02, 0.05, 0.10};
@@ -53,7 +55,7 @@ int main() {
             flow::ConnectivityOptions opts;
             opts.sample_fraction = cs[i];
             opts.min_sources = 1;
-            opts.threads = util::repro_threads();
+            opts.pool = &pool;
             sampled[i] = flow::vertex_connectivity(g, opts).kappa_min;
             if (smallest_sufficient < 0 && sampled[i] == exact.kappa_min) {
                 smallest_sufficient = cs[i];

@@ -1,11 +1,16 @@
 #include "bench/common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
+#include "exec/thread_pool.h"
 #include "util/ascii_plot.h"
+#include "util/assert.h"
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/sha1.h"
@@ -34,6 +39,24 @@ std::string cache_key(const core::ExperimentConfig& cfg) {
 
 std::string cache_path(const std::string& key) {
     return output_dir() + "/cache/" + util::to_hex(util::sha1(key)) + ".csv";
+}
+
+bool load_cached(const std::string& path, const std::string& key,
+                 core::ExperimentSeries& out);
+void store_cached(const std::string& path, const std::string& key,
+                  const core::ExperimentSeries& series);
+
+/// The cache protocol, config-keyed: every load/store goes through these two.
+bool try_load_cached(const core::ExperimentConfig& config,
+                     core::ExperimentSeries& out) {
+    const std::string key = cache_key(config);
+    return load_cached(cache_path(key), key, out);
+}
+
+void store_to_cache(const core::ExperimentConfig& config,
+                    const core::ExperimentSeries& series) {
+    const std::string key = cache_key(config);
+    store_cached(cache_path(key), key, series);
 }
 
 bool load_cached(const std::string& path, const std::string& key,
@@ -90,6 +113,8 @@ std::string write_bench_json(const FigureSpec& spec) {
     out << "{\n"
         << "  \"id\": \"" << json_escape(spec.id) << "\",\n"
         << "  \"paper_ref\": \"" << json_escape(spec.paper_ref) << "\",\n"
+        << "  \"threads\": " << spec.threads << ",\n"
+        << "  \"wall_seconds\": " << spec.wall_seconds << ",\n"
         << "  \"runs\": [\n";
     for (std::size_t i = 0; i < spec.runs.size(); ++i) {
         const auto& run = spec.runs[i];
@@ -117,30 +142,66 @@ std::string output_dir() {
     return dir;
 }
 
+void ProgressSink::line(const std::string& label, const std::string& text) {
+    std::lock_guard lock(mutex_);
+    std::printf("  [%s] %s\n", label.c_str(), text.c_str());
+    std::fflush(stdout);
+}
+
+void ProgressSink::sample(const std::string& label,
+                          const core::ConnectivitySample& s) {
+    std::lock_guard lock(mutex_);
+    std::printf("  [%s] t=%6.0f min  n=%5d  kappa_min=%4d  kappa_avg=%7.2f\n",
+                label.c_str(), s.time_min, s.n, s.kappa_min, s.kappa_avg);
+    std::fflush(stdout);
+}
+
 core::ExperimentSeries run_cached(const core::ExperimentConfig& config,
                                   const std::string& narrate_label) {
-    const std::string key = cache_key(config);
-    const std::string path = cache_path(key);
-    core::ExperimentSeries cached;
-    cached.name = config.scenario.name;
-    if (load_cached(path, key, cached)) {
-        std::printf("  [%s] loaded %zu snapshots from cache\n", narrate_label.c_str(),
-                    cached.samples.size());
-        return cached;
-    }
+    return std::move(run_cached_batch({config}, {narrate_label}, 1).front());
+}
 
-    std::printf("  [%s] simulating: %s\n", narrate_label.c_str(),
-                config.scenario.name.c_str());
-    std::fflush(stdout);
-    core::ExperimentSeries series =
-        core::run_experiment(config, [&](const core::ConnectivitySample& s) {
-            std::printf("  [%s] t=%6.0f min  n=%5d  kappa_min=%4d  kappa_avg=%7.2f\n",
-                        narrate_label.c_str(), s.time_min, s.n, s.kappa_min,
-                        s.kappa_avg);
-            std::fflush(stdout);
+std::vector<core::ExperimentSeries> run_cached_batch(
+    const std::vector<core::ExperimentConfig>& configs,
+    const std::vector<std::string>& labels, int threads) {
+    KADSIM_ASSERT(configs.size() == labels.size());
+    std::vector<core::ExperimentSeries> results(configs.size());
+    ProgressSink sink;
+
+    // Resolve the deterministic cache first; everything it misses runs as
+    // one concurrent batch (the configs are independent simulations).
+    std::vector<std::size_t> missing;
+    std::vector<core::ExperimentConfig> to_run;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        results[i].name = configs[i].scenario.name;
+        if (try_load_cached(configs[i], results[i])) {
+            sink.line(labels[i], "loaded " + std::to_string(results[i].samples.size()) +
+                                     " snapshots from cache");
+        } else {
+            sink.line(labels[i], "simulating: " + configs[i].scenario.name);
+            missing.push_back(i);
+            to_run.push_back(configs[i]);
+        }
+    }
+    if (to_run.empty()) return results;
+
+    // The pool exists only while there are misses to execute — pure cache
+    // replays never spawn a thread. Stores happen as each experiment
+    // completes, so a mid-batch failure keeps the finished configs cached.
+    std::optional<exec::ThreadPool> pool;
+    if (threads > 1) pool.emplace(threads);
+    auto fresh = core::run_experiment_batch(
+        to_run, pool ? &*pool : nullptr,
+        [&](std::size_t index, const core::ConnectivitySample& s) {
+            sink.sample(labels[missing[index]], s);
+        },
+        [&](std::size_t index, const core::ExperimentSeries& series) {
+            store_to_cache(configs[missing[index]], series);
         });
-    store_cached(path, key, series);
-    return series;
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+        results[missing[j]] = std::move(fresh[j]);
+    }
+    return results;
 }
 
 void print_header(const FigureSpec& spec, const core::ReproScale& scale) {
@@ -161,14 +222,27 @@ void print_header(const FigureSpec& spec, const core::ReproScale& scale) {
 int run_figure(FigureSpec& spec) {
     const auto scale = core::ReproScale::from_env();
     print_header(spec, scale);
+    spec.threads = std::max(1, scale.threads);
 
-    for (auto& run : spec.runs) {
-        const auto start = std::chrono::steady_clock::now();
-        run.series = run_cached(run.config, run.label);
-        run.wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                .count();
+    const auto batch_start = std::chrono::steady_clock::now();
+    {
+        std::vector<core::ExperimentConfig> configs;
+        std::vector<std::string> labels;
+        configs.reserve(spec.runs.size());
+        labels.reserve(spec.runs.size());
+        for (const auto& run : spec.runs) {
+            configs.push_back(run.config);
+            labels.push_back(run.label);
+        }
+        auto series = run_cached_batch(configs, labels, spec.threads);
+        for (std::size_t i = 0; i < spec.runs.size(); ++i) {
+            spec.runs[i].series = std::move(series[i]);
+        }
     }
+    for (auto& run : spec.runs) run.wall_seconds = run.series.wall_seconds;
+    spec.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_start)
+            .count();
 
     // --- combined series table -------------------------------------------
     std::vector<std::string> header{"t(min)"};
@@ -259,9 +333,10 @@ int run_figure(FigureSpec& spec) {
     }
     std::printf("csv: %s\n", csv_path.c_str());
     std::printf("json: %s\n", write_bench_json(spec).c_str());
-    double total = 0.0;
-    for (const auto& run : spec.runs) total += run.wall_seconds;
-    std::printf("wall time: %.1f s\n", total);
+    double serial = 0.0;
+    for (const auto& run : spec.runs) serial += run.wall_seconds;
+    std::printf("wall time: %.1f s elapsed (%.1f s of simulation across %d threads)\n",
+                spec.wall_seconds, serial, spec.threads);
     return 0;
 }
 

@@ -7,9 +7,17 @@
 // series table, ASCII renderings of the figure, churn-phase summaries, and
 // writes CSV plus a machine-readable BENCH_<id>.json summary under
 // bench_out/.
+//
+// Multi-config figures (k/α/s sweeps, loss×s grids) execute their uncached
+// configs concurrently through core::run_experiment_batch on one
+// exec::ThreadPool sized by REPRO_THREADS; narration goes through a
+// thread-safe ProgressSink so interleaved runs still emit whole lines. The
+// series data is bit-identical to a sequential run — only the wall clock
+// changes, and BENCH_<id>.json records it alongside the thread count.
 #ifndef KADSIM_BENCH_COMMON_H
 #define KADSIM_BENCH_COMMON_H
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,15 +41,40 @@ struct FigureSpec {
     std::vector<SeriesRun> runs;
     /// Churn-phase start for the summary table (minutes; <0 = no summary).
     double churn_start_min = 120.0;
+    /// Filled by run_figure, recorded in BENCH_<id>.json: elapsed wall clock
+    /// across the whole (concurrent) batch, and the worker count used.
+    double wall_seconds = 0.0;
+    int threads = 1;
 };
 
-/// Runs (or loads cached) simulations, prints everything, writes CSV.
-/// Returns 0 on success (bench main() convention).
+/// Thread-safe narration: serializes whole lines onto stdout so concurrent
+/// experiment tasks never interleave characters.
+class ProgressSink {
+public:
+    /// `[label] <text>` as one atomic line.
+    void line(const std::string& label, const std::string& text);
+    /// The standard per-snapshot narration line.
+    void sample(const std::string& label, const core::ConnectivitySample& s);
+
+private:
+    std::mutex mutex_;
+};
+
+/// Runs (or loads cached) simulations — uncached configs concurrently on one
+/// pool — prints everything, writes CSV. Returns 0 (bench main() convention).
 int run_figure(FigureSpec& spec);
 
 /// Runs one experiment through the cache (bench_out/cache/<key>.csv).
 core::ExperimentSeries run_cached(const core::ExperimentConfig& config,
                                   const std::string& narrate_label);
+
+/// Runs a set of experiments through the cache, executing the misses
+/// concurrently on an execution pool of `threads` workers (created only if
+/// anything actually missed; 1 = one experiment at a time). Series are
+/// returned in config order; `labels` (same length) prefix the narration.
+std::vector<core::ExperimentSeries> run_cached_batch(
+    const std::vector<core::ExperimentConfig>& configs,
+    const std::vector<std::string>& labels, int threads);
 
 /// Prints the standard bench header (scale, seed, env knobs).
 void print_header(const FigureSpec& spec, const core::ReproScale& scale);

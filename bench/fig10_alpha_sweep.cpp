@@ -1,6 +1,7 @@
 // Figures 10a/10b: means of the minimum connectivity during churn, as a
 // function of bucket size k, for churn 1/1 (α=3), churn 10/10 (α=3) and
 // churn 10/10 (α=5) — small network (a) and large network (b).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -26,6 +27,7 @@ int main() {
     util::CsvWriter csv(bench::output_dir() + "/fig10.csv");
     csv.write_row({"subfigure", "curve", "k", "mean_min_connectivity"});
 
+    const int threads = std::max(1, scale.threads);
     for (const bool large : {false, true}) {
         const char* sub = large ? "10b (large network)" : "10a (small network)";
         std::printf("---- Figure %s ----\n", sub);
@@ -40,18 +42,27 @@ int main() {
                                      {"churn 10/10 (a=5)", '+', {}}};
         const std::vector<int> ks = {5, 10, 20, 30};
 
+        // The full k × churn/α grid runs as one concurrent cached batch;
+        // series come back in config order (3 curves per k, k-major).
+        std::vector<core::ExperimentConfig> configs;
+        std::vector<std::string> labels;
         for (const int k : ks) {
-            const auto e_cfg = large ? reg.sim_f(k) : reg.sim_e(k);
-            const auto g_cfg = large ? reg.sim_h(k) : reg.sim_g(k);
-            const auto g5_cfg = large ? reg.sim_h(k, 5) : reg.sim_g(k, 5);
             const std::string tag = std::string(large ? "L" : "S") + ",k=" +
                                     std::to_string(k);
-            curves[0].means.push_back(
-                bench::run_cached(e_cfg, tag + ",1/1").kappa_min_summary(churn_start, 1e18).mean());
-            curves[1].means.push_back(
-                bench::run_cached(g_cfg, tag + ",10/10").kappa_min_summary(churn_start, 1e18).mean());
-            curves[2].means.push_back(
-                bench::run_cached(g5_cfg, tag + ",10/10,a5").kappa_min_summary(churn_start, 1e18).mean());
+            configs.push_back(large ? reg.sim_f(k) : reg.sim_e(k));
+            labels.push_back(tag + ",1/1");
+            configs.push_back(large ? reg.sim_h(k) : reg.sim_g(k));
+            labels.push_back(tag + ",10/10");
+            configs.push_back(large ? reg.sim_h(k, 5) : reg.sim_g(k, 5));
+            labels.push_back(tag + ",10/10,a5");
+        }
+        const auto grid = bench::run_cached_batch(configs, labels, threads);
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+            for (std::size_t curve = 0; curve < curves.size(); ++curve) {
+                curves[curve].means.push_back(grid[i * curves.size() + curve]
+                                                  .kappa_min_summary(churn_start, 1e18)
+                                                  .mean());
+            }
         }
 
         util::TextTable table({"k", curves[0].name, curves[1].name, curves[2].name});

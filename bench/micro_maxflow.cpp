@@ -4,6 +4,7 @@
 // model of §5.2.
 #include <benchmark/benchmark.h>
 
+#include "exec/thread_pool.h"
 #include "flow/dinic.h"
 #include "flow/edmonds_karp.h"
 #include "flow/even_transform.h"
@@ -74,18 +75,40 @@ BENCHMARK(BM_PushRelabel)->Arg(250)->Arg(500);
 BENCHMARK(BM_EdmondsKarp)->Arg(250);
 
 void BM_SampledConnectivity(benchmark::State& state) {
-    // One full κ(D) evaluation with the paper's c = 0.02 sampling.
+    // One full κ(D) evaluation with the paper's c = 0.02 sampling, inline on
+    // the calling thread (the parallel baseline is BM_SampledConnectivityPool).
     const auto g = kademlia_like_graph(static_cast<int>(state.range(0)), 40, 1);
     flow::ConnectivityOptions opts;
     opts.sample_fraction = 0.02;
     opts.min_sources = 4;
-    opts.threads = 2;
     for (auto _ : state) {
         const auto r = flow::vertex_connectivity(g, opts);
         benchmark::DoNotOptimize(r.kappa_min);
     }
 }
 BENCHMARK(BM_SampledConnectivity)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void BM_SampledConnectivityPool(benchmark::State& state) {
+    // Same evaluation with per-source flow jobs on a persistent pool of
+    // range(1) workers (plus the caller): the per-snapshot cost inside the
+    // experiment pipeline. Compare against BM_SampledConnectivity for the
+    // parallel speedup.
+    const auto g = kademlia_like_graph(static_cast<int>(state.range(0)), 40, 1);
+    exec::ThreadPool pool(static_cast<int>(state.range(1)));
+    flow::ConnectivityOptions opts;
+    opts.sample_fraction = 0.02;
+    opts.min_sources = 4;
+    opts.pool = &pool;
+    for (auto _ : state) {
+        const auto r = flow::vertex_connectivity(g, opts);
+        benchmark::DoNotOptimize(r.kappa_min);
+    }
+}
+BENCHMARK(BM_SampledConnectivityPool)
+    ->Args({250, 1})
+    ->Args({250, 2})
+    ->Args({250, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SccCheck(benchmark::State& state) {
     const auto g = kademlia_like_graph(static_cast<int>(state.range(0)), 40, 1);

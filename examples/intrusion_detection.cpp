@@ -15,6 +15,7 @@
 
 #include "core/analyzer.h"
 #include "core/resilience.h"
+#include "exec/thread_pool.h"
 #include "scen/runner.h"
 #include "util/cli.h"
 #include "util/env.h"
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
 
     util::TextTable table({"s", "kappa_min", "kappa_avg", "r = kappa-1",
                            "alerts found", "rpc failure rate"});
+    exec::ThreadPool pool(util::repro_threads());
     for (const int s : {1, 5}) {
         scen::ScenarioConfig scenario;
         scenario.name = "ids-s" + std::to_string(s);
@@ -61,9 +63,8 @@ int main(int argc, char** argv) {
 
         core::AnalyzerOptions options;
         options.sample_c = 0.05;
-        options.threads = util::repro_threads();
         const auto sample =
-            core::ConnectivityAnalyzer(options).analyze(runner.snapshot());
+            core::ConnectivityAnalyzer(options).analyze(runner.snapshot(), &pool);
         const auto totals = runner.totals();
         const double fail_rate =
             totals.protocol.rpcs_sent == 0

@@ -6,6 +6,7 @@
 
 #include "core/analyzer.h"
 #include "core/resilience.h"
+#include "exec/thread_pool.h"
 #include "scen/runner.h"
 #include "util/cli.h"
 #include "util/env.h"
@@ -45,9 +46,9 @@ int main(int argc, char** argv) {
     //    (Even's transformation + max-flow, sampled per the paper's §5.2).
     core::AnalyzerOptions options;
     options.sample_c = 0.05;
-    options.threads = util::repro_threads();
     const core::ConnectivityAnalyzer analyzer(options);
-    const auto sample = analyzer.analyze(runner.snapshot());
+    exec::ThreadPool pool(util::repro_threads());
+    const auto sample = analyzer.analyze(runner.snapshot(), &pool);
 
     std::printf("\nconnectivity graph: n=%d, m=%lld, reciprocity=%.3f\n", sample.n,
                 static_cast<long long>(sample.m), sample.reciprocity);

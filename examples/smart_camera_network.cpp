@@ -14,6 +14,7 @@
 
 #include "core/analyzer.h"
 #include "core/resilience.h"
+#include "exec/thread_pool.h"
 #include "flow/mincut.h"
 #include "flow/vertex_connectivity.h"
 #include "scen/runner.h"
@@ -47,14 +48,14 @@ int main(int argc, char** argv) {
     scen::Runner runner(scenario);
     core::AnalyzerOptions options;
     options.sample_c = 0.05;
-    options.threads = util::repro_threads();
     const core::ConnectivityAnalyzer analyzer(options);
+    exec::ThreadPool pool(util::repro_threads());
 
     std::printf("%8s %8s %10s %10s  verdict (a=%d)\n", "t(min)", "cameras",
                 "kappa_min", "kappa_avg", attackers);
     for (const long long t : {60LL, 120LL, 180LL, 240LL, 300LL}) {
         runner.step_to(sim::minutes(t));
-        const auto sample = analyzer.analyze(runner.snapshot());
+        const auto sample = analyzer.analyze(runner.snapshot(), &pool);
         std::printf("%8lld %8d %10d %10.1f  %s\n", t, sample.n, sample.kappa_min,
                     sample.kappa_avg,
                     core::tolerates(sample.kappa_min, attackers) ? "OK"
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
     flow::ConnectivityOptions copts;
     copts.sample_fraction = 0.05;
     copts.min_sources = 4;
-    copts.threads = util::repro_threads();
+    copts.pool = &pool;
     const auto result = flow::vertex_connectivity(g, copts);
 
     // Find one pair realizing the minimum and extract its cut. The minimum is

@@ -2,8 +2,8 @@
 
 namespace kadsim::core {
 
-ConnectivitySample ConnectivityAnalyzer::analyze(
-    const graph::RoutingSnapshot& snap) const {
+ConnectivitySample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& snap,
+                                                 exec::ThreadPool* pool) const {
     ConnectivitySample sample;
     sample.time_min = static_cast<double>(snap.time_ms) / 60000.0;
     const graph::Digraph g = snap.to_digraph();
@@ -14,7 +14,7 @@ ConnectivitySample ConnectivityAnalyzer::analyze(
     sample.scc_count = graph::strongly_connected_components(g);
     sample.reciprocity = g.reciprocity();
 
-    const flow::ConnectivityResult r = analyze_graph(g);
+    const flow::ConnectivityResult r = analyze_graph(g, pool);
     sample.kappa_min = r.kappa_min;
     sample.kappa_avg = r.kappa_avg;
     sample.pairs_evaluated = r.pairs_evaluated;
@@ -22,11 +22,11 @@ ConnectivitySample ConnectivityAnalyzer::analyze(
 }
 
 flow::ConnectivityResult ConnectivityAnalyzer::analyze_graph(
-    const graph::Digraph& g) const {
+    const graph::Digraph& g, exec::ThreadPool* pool) const {
     flow::ConnectivityOptions options;
     options.sample_fraction = options_.sample_c;
     options.min_sources = options_.min_sources;
-    options.threads = options_.threads;
+    options.pool = pool;
     options.use_push_relabel = options_.use_push_relabel;
     return flow::vertex_connectivity(g, options);
 }

@@ -9,6 +9,10 @@
 #include "flow/vertex_connectivity.h"
 #include "graph/snapshot.h"
 
+namespace kadsim::exec {
+class ThreadPool;
+}  // namespace kadsim::exec
+
 namespace kadsim::core {
 
 struct AnalyzerOptions {
@@ -17,7 +21,9 @@ struct AnalyzerOptions {
     double sample_c = 0.02;
     /// At least this many sources even in small graphs.
     int min_sources = 4;
-    /// Max-flow worker threads.
+    /// Desired analysis parallelism. The experiment engine sizes its
+    /// exec::ThreadPool from this (1 = fully inline); results are
+    /// bit-identical for any value.
     int threads = 1;
     /// Solve with the HIPR-style push-relabel instead of Dinic.
     bool use_push_relabel = false;
@@ -39,11 +45,14 @@ class ConnectivityAnalyzer {
 public:
     explicit ConnectivityAnalyzer(AnalyzerOptions options) : options_(options) {}
 
-    /// Full pipeline on a routing snapshot.
-    [[nodiscard]] ConnectivitySample analyze(const graph::RoutingSnapshot& snap) const;
+    /// Full pipeline on a routing snapshot. `pool` (optional) runs the
+    /// per-source flow jobs on a persistent execution pool instead of inline.
+    [[nodiscard]] ConnectivitySample analyze(const graph::RoutingSnapshot& snap,
+                                             exec::ThreadPool* pool = nullptr) const;
 
     /// κ on an already-built connectivity graph.
-    [[nodiscard]] flow::ConnectivityResult analyze_graph(const graph::Digraph& g) const;
+    [[nodiscard]] flow::ConnectivityResult analyze_graph(
+        const graph::Digraph& g, exec::ThreadPool* pool = nullptr) const;
 
     [[nodiscard]] const AnalyzerOptions& options() const noexcept { return options_; }
 

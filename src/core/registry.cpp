@@ -1,8 +1,12 @@
 #include "core/registry.h"
 
+#include <algorithm>
+
 #include "util/env.h"
 
 namespace kadsim::core {
+
+int default_thread_count() { return std::max(1, util::repro_threads()); }
 
 ReproScale ReproScale::from_env() {
     ReproScale s;
@@ -13,7 +17,7 @@ ReproScale ReproScale::from_env() {
         sim::minutes(util::env_int("REPRO_END_MIN", paper ? 1400 : 360));
     s.snapshot_interval = sim::minutes(util::env_int("REPRO_SNAPSHOT_MIN", 30));
     s.sample_c = util::repro_sample_c();
-    s.threads = util::repro_threads();
+    s.threads = default_thread_count();
     s.seed = util::repro_seed();
     return s;
 }

@@ -28,6 +28,10 @@
 
 namespace kadsim::core {
 
+/// Default worker count for analysis/bench execution: REPRO_THREADS if set,
+/// otherwise all hardware threads (never less than 1).
+[[nodiscard]] int default_thread_count();
+
 /// Scale-resolved experiment defaults, all REPRO_* env overridable.
 struct ReproScale {
     int size_small = 250;
@@ -36,7 +40,7 @@ struct ReproScale {
     sim::SimTime snapshot_interval = sim::minutes(30);
     double sample_c = 0.02;
     int min_sources = 4;
-    int threads = 2;
+    int threads = default_thread_count();
     std::uint64_t seed = 20170327;
 
     /// Reads REPRO_SCALE / REPRO_* environment knobs.

@@ -1,0 +1,120 @@
+// Bounded blocking queue: the hand-off primitive of the execution engine.
+//
+// Designed for the pipeline shapes in this codebase — a single deterministic
+// producer (scen::Runner) feeding multiple analyzer workers, and multiple
+// producers feeding one collector (MPSC). `push` applies backpressure by
+// blocking while the queue is full, which is what keeps the simulator from
+// racing arbitrarily far ahead of the analysis and holding every pending
+// snapshot in memory at once.
+//
+// Shutdown follows the channel idiom: `close()` wakes everyone, pending
+// items are still drained, and `pop()` returns nullopt only once the queue
+// is both closed and empty.
+#ifndef KADSIM_EXEC_BOUNDED_QUEUE_H
+#define KADSIM_EXEC_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace kadsim::exec {
+
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+        KADSIM_ASSERT_MSG(capacity > 0, "BoundedQueue capacity must be positive");
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocks while the queue is at capacity. Returns false (dropping `item`)
+    /// if the queue is or becomes closed before space is available.
+    bool push(T item) {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push; fails when full or closed.
+    bool try_push(T item) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks while the queue is empty. Returns nullopt once the queue is
+    /// closed AND fully drained — pending items are always delivered.
+    std::optional<T> pop() {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Non-blocking pop; nullopt when currently empty (closed or not).
+    std::optional<T> try_pop() {
+        std::optional<T> item;
+        {
+            std::lock_guard lock(mutex_);
+            if (items_.empty()) return std::nullopt;
+            item = std::move(items_.front());
+            items_.pop_front();
+        }
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Idempotent: wakes all blocked producers/consumers. Blocked and future
+    /// pushes fail; pops keep succeeding until the queue is drained.
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace kadsim::exec
+
+#endif  // KADSIM_EXEC_BOUNDED_QUEUE_H

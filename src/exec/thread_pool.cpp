@@ -1,0 +1,73 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace kadsim::exec {
+
+namespace {
+thread_local bool tl_in_pool_task = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+    const int count = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_worker() noexcept { return tl_in_pool_task; }
+
+void ThreadPool::enqueue(Task task) {
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+}
+
+void ThreadPool::run_task(Task task) {
+    // Flag helping callers as workers too, so re-entrancy guards hold on any
+    // thread currently inside a pool task.
+    const bool was_in_task = tl_in_pool_task;
+    tl_in_pool_task = true;
+    task();  // packaged_task: exceptions land in the future, never escape
+    tl_in_pool_task = was_in_task;
+}
+
+bool ThreadPool::try_run_one() {
+    Task task;
+    {
+        std::lock_guard lock(mutex_);
+        if (queue_.empty()) return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    run_task(std::move(task));
+    return true;
+}
+
+void ThreadPool::worker_loop() {
+    while (true) {
+        Task task;
+        {
+            std::unique_lock lock(mutex_);
+            ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        run_task(std::move(task));
+    }
+}
+
+}  // namespace kadsim::exec

@@ -1,0 +1,136 @@
+// Persistent worker pool shared by the flow, experiment and bench layers.
+//
+// One pool is created per process scope (a bench run, an experiment, a
+// test) and reused across snapshots and experiments, replacing the
+// per-snapshot std::thread spawn/join the analyzer used to pay. Tasks are
+// submitted as futures; callers that block on a result are expected to call
+// `wait_get`, which *helps* — it steals queued tasks and runs them on the
+// waiting thread instead of idling. That rule is what makes nested use
+// (an experiment task waiting on flow jobs in the same pool) deadlock-free:
+// a waiting thread is always also a worker.
+//
+// Determinism contract: the pool schedules tasks in FIFO order but makes no
+// ordering promise between workers. Every client in this codebase therefore
+// keeps its *aggregation* deterministic (per-task local accumulation,
+// integer sums, index-addressed result slots) so results are bit-identical
+// for any worker count — the property the experiment tests pin.
+#ifndef KADSIM_EXEC_THREAD_POOL_H
+#define KADSIM_EXEC_THREAD_POOL_H
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/inplace_function.h"
+
+namespace kadsim::exec {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` persistent workers (clamped to at least 1).
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads (excluding helping callers).
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+    /// Enqueues `f` and returns its future. Exceptions thrown by `f` are
+    /// captured and rethrown from `future::get` / `wait_get`.
+    template <typename F>
+    [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        std::packaged_task<R()> task(std::forward<F>(f));
+        std::future<R> future = task.get_future();
+        enqueue(Task([t = std::move(task)]() mutable { t(); }));
+        return future;
+    }
+
+    /// Blocks until `future` is ready, running queued tasks on the calling
+    /// thread while waiting (cooperative "work-stealing" wait; see file doc).
+    /// With the queue empty it parks on the future in bounded slices, so an
+    /// idle wait costs wakeups only at millisecond granularity.
+    template <typename R>
+    R wait_get(std::future<R>& future) {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!try_run_one()) future.wait_for(std::chrono::milliseconds(1));
+        }
+        return future.get();
+    }
+
+    /// Runs `body(i)` for every i in [begin, end), partitioned into
+    /// contiguous chunks across the workers plus the calling thread. Blocks
+    /// until every index ran; the first exception (if any) is rethrown.
+    template <typename F>
+    void parallel_for(int begin, int end, F&& body) {
+        if (begin >= end) return;
+        const int count = end - begin;
+        const int chunks = std::min(size() + 1, count);
+        std::vector<std::future<void>> futures;
+        futures.reserve(static_cast<std::size_t>(chunks - 1));
+        // Chunk c covers [begin + c*count/chunks, begin + (c+1)*count/chunks).
+        for (int c = 1; c < chunks; ++c) {
+            const int lo = begin + static_cast<int>(
+                                       static_cast<long long>(c) * count / chunks);
+            const int hi = begin + static_cast<int>(
+                                       static_cast<long long>(c + 1) * count / chunks);
+            futures.push_back(submit([lo, hi, &body] {
+                for (int i = lo; i < hi; ++i) body(i);
+            }));
+        }
+        std::exception_ptr first_error;
+        try {
+            const int hi = begin + count / chunks;
+            for (int i = begin; i < hi; ++i) body(i);
+        } catch (...) {
+            first_error = std::current_exception();
+        }
+        for (auto& future : futures) {
+            try {
+                wait_get(future);
+            } catch (...) {
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+        if (first_error) std::rethrow_exception(first_error);
+    }
+
+    /// Runs one queued task on the calling thread, if any. Returns whether a
+    /// task ran. The hook behind `wait_get`; also usable directly.
+    bool try_run_one();
+
+    /// True while the calling thread is executing a pool task (worker thread
+    /// or helping caller). Lets re-entrant clients fall back to inline
+    /// execution instead of submitting blocking work from inside the pool.
+    [[nodiscard]] static bool in_worker() noexcept;
+
+private:
+    // Tasks only carry a packaged_task (whose callable state lives on the
+    // heap in the shared state), so a small inline buffer always fits.
+    using Task = util::InplaceFunction<void(), 64>;
+
+    void enqueue(Task task);
+    void worker_loop();
+    static void run_task(Task task);
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Task> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace kadsim::exec
+
+#endif  // KADSIM_EXEC_THREAD_POOL_H

@@ -17,6 +17,10 @@
 #include "flow/flow_network.h"
 #include "graph/digraph.h"
 
+namespace kadsim::exec {
+class ThreadPool;
+}  // namespace kadsim::exec
+
 namespace kadsim::flow {
 
 struct ConnectivityOptions {
@@ -24,8 +28,10 @@ struct ConnectivityOptions {
     double sample_fraction = 1.0;
     /// Lower bound on the number of sampled sources.
     int min_sources = 1;
-    /// Worker threads (each owns a private copy of the transformed network).
-    int threads = 1;
+    /// Execution engine for the per-source flow jobs (each job owns a private
+    /// copy of the transformed network). nullptr = inline on the caller;
+    /// results are bit-identical either way (integer min/sum aggregation).
+    exec::ThreadPool* pool = nullptr;
     /// Use the HIPR-style push-relabel solver instead of Dinic (results are
     /// identical; provided for fidelity runs and benchmarking).
     bool use_push_relabel = false;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/analyzer.h"
+#include "exec/thread_pool.h"
 
 namespace kadsim::core {
 namespace {
@@ -66,6 +67,17 @@ TEST(ConnectivityAnalyzer, AsymmetricTablesLowerReciprocity) {
     const auto sample = analyzer.analyze(snap);
     EXPECT_LT(sample.reciprocity, 1.0);
     EXPECT_GT(sample.reciprocity, 0.5);
+}
+
+TEST(ConnectivityAnalyzer, PooledAnalysisMatchesInline) {
+    const ConnectivityAnalyzer analyzer(exact_options());
+    const auto snap = ring_snapshot(12);
+    exec::ThreadPool pool(3);
+    const auto pooled = analyzer.analyze(snap, &pool);
+    const auto inline_sample = analyzer.analyze(snap);
+    EXPECT_EQ(pooled.kappa_min, inline_sample.kappa_min);
+    EXPECT_DOUBLE_EQ(pooled.kappa_avg, inline_sample.kappa_avg);
+    EXPECT_EQ(pooled.pairs_evaluated, inline_sample.pairs_evaluated);
 }
 
 TEST(ConnectivityAnalyzer, SampledModeEvaluatesFewerPairs) {

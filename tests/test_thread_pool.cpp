@@ -1,0 +1,193 @@
+// Execution engine: ThreadPool task submission/exceptions/reuse and
+// BoundedQueue backpressure/close semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/bounded_queue.h"
+#include "exec/thread_pool.h"
+
+namespace kadsim::exec {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(pool.wait_get(future), 42);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    auto future = pool.submit([] { return 1; });
+    EXPECT_EQ(pool.wait_get(future), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+    ThreadPool pool(2);
+    auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait_get(future), std::runtime_error);
+    // The pool survives a throwing task.
+    auto ok = pool.submit([] { return 7; });
+    EXPECT_EQ(pool.wait_get(ok), 7);
+}
+
+TEST(ThreadPool, ExceptionsPropagateFromParallelFor) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [](int i) {
+                                       if (i == 63) throw std::runtime_error("63");
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossSubmissionRounds) {
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::vector<std::future<int>> futures;
+        for (int i = 0; i < 16; ++i) {
+            futures.push_back(pool.submit([i] { return i * i; }));
+        }
+        int sum = 0;
+        for (auto& future : futures) sum += pool.wait_get(future);
+        EXPECT_EQ(sum, 1240);  // sum of squares 0..15
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, 1000, [&hits](int i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTinyRanges) {
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallel_for(5, 5, [&calls](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    std::atomic<int> single{0};
+    pool.parallel_for(7, 8, [&single](int i) { single += i; });
+    EXPECT_EQ(single.load(), 7);
+}
+
+TEST(ThreadPool, InWorkerFlagVisibleInsideTasks) {
+    ThreadPool pool(1);
+    EXPECT_FALSE(ThreadPool::in_worker());
+    auto future = pool.submit([] { return ThreadPool::in_worker(); });
+    EXPECT_TRUE(pool.wait_get(future));
+    EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, WaitGetHelpsRunQueuedTasks) {
+    // Park the only worker on a gate, then wait_get a queued task: the sole
+    // way its future can become ready is the waiting caller stealing and
+    // running it itself — deterministic proof of the cooperative wait.
+    ThreadPool pool(1);
+    std::promise<void> started;
+    std::promise<void> gate;
+    auto blocker = pool.submit([&started, opened = gate.get_future().share()] {
+        started.set_value();
+        opened.wait();
+    });
+    started.get_future().wait();  // the worker owns the blocker before we help
+    std::thread::id ran_on{};
+    auto stolen = pool.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+    pool.wait_get(stolen);
+    EXPECT_EQ(ran_on, std::this_thread::get_id());
+    gate.set_value();
+    pool.wait_get(blocker);
+}
+
+TEST(BoundedQueue, FifoThroughOneConsumer) {
+    BoundedQueue<int> queue(4);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.push(i));
+    queue.close();
+    for (int i = 0; i < 4; ++i) {
+        const auto item = queue.pop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(*item, i);
+    }
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+    BoundedQueue<int> queue(2);
+    EXPECT_TRUE(queue.try_push(1));
+    EXPECT_TRUE(queue.try_push(2));
+    EXPECT_FALSE(queue.try_push(3));  // full
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(*queue.try_pop(), 1);
+    EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceAvailable) {
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+
+    std::atomic<bool> second_push_done{false};
+    std::thread producer([&] {
+        queue.push(1);  // must block: capacity 1, queue full
+        second_push_done = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(second_push_done.load());  // backpressure held the producer
+
+    EXPECT_EQ(*queue.pop(), 0);  // frees the slot, unblocking the producer
+    producer.join();
+    EXPECT_TRUE(second_push_done.load());
+    EXPECT_EQ(*queue.pop(), 1);
+}
+
+TEST(BoundedQueue, CloseUnblocksProducerAndFailsPush) {
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    std::atomic<bool> push_result{true};
+    std::thread producer([&] { push_result = queue.push(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    producer.join();
+    EXPECT_FALSE(push_result.load());
+    // The pending item is still delivered; then the closed queue drains out.
+    EXPECT_EQ(*queue.pop(), 0);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, ManyProducersOneConsumer) {
+    // The MPSC shape: 4 producers × 250 items through a capacity-8 queue.
+    BoundedQueue<int> queue(8);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 250;
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(queue.push(p * kPerProducer + i));
+            }
+        });
+    }
+    std::vector<int> seen;
+    std::thread consumer([&] {
+        while (auto item = queue.pop()) seen.push_back(*item);
+    });
+    for (auto& producer : producers) producer.join();
+    queue.close();
+    consumer.join();
+
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+    std::sort(seen.begin(), seen.end());
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+    }
+}
+
+}  // namespace
+}  // namespace kadsim::exec

@@ -2,6 +2,7 @@
 // soundness (paper §4.4 and §5.2).
 #include <gtest/gtest.h>
 
+#include "exec/thread_pool.h"
 #include "flow/vertex_connectivity.h"
 #include "graph/digraph.h"
 #include "util/rng.h"
@@ -222,7 +223,7 @@ TEST(VertexConnectivity, SmallestOutDegreeSamplingFindsMinimumOnNearUndirected) 
     EXPECT_EQ(vertex_connectivity(h).kappa_min, 1);
 }
 
-TEST(VertexConnectivity, ThreadedMatchesSequential) {
+TEST(VertexConnectivity, PooledMatchesInline) {
     util::Rng rng(45);
     graph::Digraph g(24);
     for (int u = 0; u < 24; ++u) {
@@ -231,15 +232,37 @@ TEST(VertexConnectivity, ThreadedMatchesSequential) {
         }
     }
     g.finalize();
-    ConnectivityOptions seq;
-    seq.threads = 1;
-    ConnectivityOptions par;
-    par.threads = 4;
-    const auto a = vertex_connectivity(g, seq);
-    const auto b = vertex_connectivity(g, par);
+    const ConnectivityOptions inline_opts;
+    exec::ThreadPool pool(4);
+    ConnectivityOptions pooled_opts;
+    pooled_opts.pool = &pool;
+    const auto a = vertex_connectivity(g, inline_opts);
+    const auto b = vertex_connectivity(g, pooled_opts);
     EXPECT_EQ(a.kappa_min, b.kappa_min);
     EXPECT_EQ(a.kappa_sum, b.kappa_sum);
     EXPECT_EQ(a.pairs_evaluated, b.pairs_evaluated);
+}
+
+TEST(VertexConnectivity, PoolIsReusableAcrossSnapshots) {
+    // The experiment pipeline hands the same pool to every snapshot's
+    // analysis; three consecutive computations must agree with inline runs.
+    exec::ThreadPool pool(3);
+    util::Rng rng(47);
+    for (int round = 0; round < 3; ++round) {
+        graph::Digraph g(18);
+        for (int u = 0; u < 18; ++u) {
+            for (int v = 0; v < 18; ++v) {
+                if (u != v && rng.next_bool(0.3)) g.add_edge(u, v);
+            }
+        }
+        g.finalize();
+        ConnectivityOptions pooled_opts;
+        pooled_opts.pool = &pool;
+        const auto pooled = vertex_connectivity(g, pooled_opts);
+        const auto inline_result = vertex_connectivity(g);
+        EXPECT_EQ(pooled.kappa_min, inline_result.kappa_min) << "round " << round;
+        EXPECT_EQ(pooled.kappa_sum, inline_result.kappa_sum) << "round " << round;
+    }
 }
 
 TEST(VertexConnectivity, PushRelabelBackendMatchesDinic) {

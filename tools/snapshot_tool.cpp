@@ -16,6 +16,7 @@
 
 #include "core/analyzer.h"
 #include "core/resilience.h"
+#include "exec/thread_pool.h"
 #include "flow/dimacs.h"
 #include "flow/even_transform.h"
 #include "flow/mincut.h"
@@ -66,8 +67,8 @@ int cmd_analyze(const util::CliArgs& args) {
     const auto snap = load_snapshot(args.get(std::string("in"), "snapshot.txt"));
     core::AnalyzerOptions options;
     options.sample_c = args.has("exact") ? 1.0 : args.get_double("c", 0.02);
-    options.threads = util::repro_threads();
-    const auto sample = core::ConnectivityAnalyzer(options).analyze(snap);
+    exec::ThreadPool pool(util::repro_threads());
+    const auto sample = core::ConnectivityAnalyzer(options).analyze(snap, &pool);
 
     const auto g = snap.to_digraph();
     const auto out_deg = graph::out_degree_summary(g);
