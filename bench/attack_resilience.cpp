@@ -1,0 +1,77 @@
+// Extension bench (headline figure of the fault subsystem): κ_min/κ_avg
+// degradation under adversarial node removal, targeted vs random, at equal
+// removal budgets.
+//
+// Four fault models on the small network (see src/fault/models.h and
+// core::PaperScenarios::attack_*): uniformly random removal (the baseline),
+// highest-in-degree removal, κ-pin starvation, and one correlated XOR-region
+// cut. random/degree/kappa share the same removal schedule (same rate, no
+// arrivals), so equal simulated time = equal removal budget and their κ
+// curves are directly comparable per snapshot.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+    using namespace kadsim;
+    const auto scale = core::ReproScale::from_env();
+    const core::PaperScenarios reg(scale);
+
+    bench::FigureSpec spec;
+    spec.id = "attack_resilience";
+    spec.paper_ref = "Extension (fault subsystem): attack resilience";
+    spec.description =
+        "small network, k=20, no repair traffic, removals with no arrivals "
+        "from t=120: random vs degree-targeted vs kappa-targeted vs region cut";
+    spec.expectation =
+        "the kappa-guided attack collapses the minimum connectivity to 0 well "
+        "before half the budget while random removal degrades it gradually — "
+        "targeted <= random at every equal budget; degree-targeting only "
+        "separates from random once in-degrees spread (large networks); the "
+        "region cut drops n in one step";
+    spec.runs.push_back({"random", reg.attack_random(), {}, 0.0});
+    spec.runs.push_back({"degree", reg.attack_degree(), {}, 0.0});
+    spec.runs.push_back({"kappa", reg.attack_kappa(), {}, 0.0});
+    spec.runs.push_back({"region", reg.attack_region(), {}, 0.0});
+    const int rc = bench::run_figure(spec);
+
+    // --- equal-budget comparison: targeted vs random ------------------------
+    // random/degree/kappa share one removal schedule, so the i-th snapshot of
+    // each run sits at the same removal budget.
+    const auto& random_run = spec.runs[0].series;
+    util::TextTable table({"t(min)", "budget", "Min random", "Min degree",
+                           "Min kappa", "targeted<=random"});
+    bool all_hold = true;
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < random_run.samples.size(); ++i) {
+        const auto& r = random_run.samples[i];
+        if (r.removed_total == 0) continue;  // attack not started yet
+        if (i >= spec.runs[1].series.samples.size() ||
+            i >= spec.runs[2].series.samples.size()) {
+            break;
+        }
+        const auto& degree = spec.runs[1].series.samples[i];
+        const auto& kappa = spec.runs[2].series.samples[i];
+        // The strict every-budget claim is checked on the κ-guided attack;
+        // degree-targeting is printed as context (at small scale in-degrees
+        // are nearly uniform, so it tracks the random baseline within noise).
+        const bool holds = kappa.kappa_min <= r.kappa_min;
+        all_hold = all_hold && holds;
+        ++compared;
+        table.add_row({util::TextTable::num(static_cast<long long>(r.time_min)),
+                       util::TextTable::num(static_cast<long long>(r.removed_total)),
+                       util::TextTable::num(static_cast<long long>(r.kappa_min)),
+                       util::TextTable::num(static_cast<long long>(degree.kappa_min)),
+                       util::TextTable::num(static_cast<long long>(kappa.kappa_min)),
+                       holds ? "yes" : "NO"});
+    }
+    std::printf("equal-budget comparison (targeted vs random):\n%s\n",
+                table.to_string().c_str());
+    std::printf("shape check: kappa-targeted kappa_min <= random kappa_min at "
+                "every equal removal budget (%zu snapshots): %s\n",
+                compared, all_hold ? "PASS" : "FAIL");
+    // The shape check is the acceptance gate: a regression must fail the run.
+    return rc != 0 ? rc : (all_hold ? 0 : 1);
+}

@@ -27,7 +27,7 @@ std::string cache_key(const core::ExperimentConfig& cfg) {
     key << s.name << "|n=" << s.initial_size << "|seed=" << s.seed
         << "|k=" << s.kad.k << "|b=" << s.kad.b << "|a=" << s.kad.alpha
         << "|s=" << s.kad.s << "|loss=" << net::to_string(s.loss)
-        << "|churn=" << s.churn.label() << "|traffic=" << s.traffic.enabled
+        << "|fault=" << s.fault.label() << "|traffic=" << s.traffic.enabled
         << "|lpm=" << s.traffic.lookups_per_minute
         << "|dpm=" << s.traffic.disseminations_per_minute
         << "|end=" << s.phases.end << "|snap=" << cfg.snapshot_interval
@@ -71,11 +71,14 @@ bool load_cached(const std::string& path, const std::string& key,
         std::istringstream row(line);
         char comma = 0;
         std::uint64_t pairs = 0;
+        std::uint64_t removed = 0;
         row >> sample.time_min >> comma >> sample.n >> comma >> sample.m >> comma >>
             sample.kappa_min >> comma >> sample.kappa_avg >> comma >>
-            sample.scc_count >> comma >> sample.reciprocity >> comma >> pairs;
+            sample.scc_count >> comma >> sample.reciprocity >> comma >> pairs >>
+            comma >> removed;
         if (!row) return false;
         sample.pairs_evaluated = pairs;
+        sample.removed_total = removed;
         out.samples.push_back(sample);
     }
     return !out.samples.empty();
@@ -87,11 +90,11 @@ void store_cached(const std::string& path, const std::string& key,
     std::ofstream out(path, std::ios::trunc);
     if (!out) return;
     out << "# " << key << '\n';
-    out << "time_min,n,m,kappa_min,kappa_avg,scc,reciprocity,pairs\n";
+    out << "time_min,n,m,kappa_min,kappa_avg,scc,reciprocity,pairs,removed\n";
     for (const auto& s : series.samples) {
         out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
             << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
-            << s.pairs_evaluated << '\n';
+            << s.pairs_evaluated << ',' << s.removed_total << '\n';
     }
 }
 
@@ -122,11 +125,26 @@ std::string write_bench_json(const FigureSpec& spec) {
             spec.churn_start_min >= 0.0 ? spec.churn_start_min : 0.0, 1e18);
         const auto a = run.series.kappa_avg_summary(
             spec.churn_start_min >= 0.0 ? spec.churn_start_min : 0.0, 1e18);
+        // Fault metadata keeps the resilience trajectory comparable across
+        // PRs: the model, its total removal budget, and the cumulative
+        // removed-node count at every snapshot.
+        const auto& fault = run.config.scenario.fault;
+        std::uint64_t budget = 0;
+        for (const auto& sample : run.series.samples) {
+            budget = std::max(budget, sample.removed_total);
+        }
         out << "    {\"label\": \"" << json_escape(run.label) << "\", "
             << "\"samples\": " << run.series.samples.size() << ", "
             << "\"kappa_min_mean\": " << s.mean() << ", "
             << "\"kappa_min_rv\": " << s.relative_variance() << ", "
             << "\"kappa_avg_mean\": " << a.mean() << ", "
+            << "\"fault\": \"" << json_escape(fault.label()) << "\", "
+            << "\"removal_budget\": " << budget << ", "
+            << "\"removed\": [";
+        for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
+            out << (j > 0 ? "," : "") << run.series.samples[j].removed_total;
+        }
+        out << "], "
             << "\"wall_seconds\": " << run.wall_seconds << "}"
             << (i + 1 < spec.runs.size() ? "," : "") << '\n';
     }

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
         cfg.scenario.kad.s = 1;
         cfg.scenario.loss = loss;
         cfg.scenario.traffic.enabled = true;
-        cfg.scenario.churn = scen::ChurnSpec{churn_rate, churn_rate};
+        cfg.scenario.fault.churn = scen::ChurnSpec{churn_rate, churn_rate};
         cfg.scenario.phases.set_end(sim::minutes(minutes));
         cfg.snapshot_interval = sim::minutes(30);
         cfg.analyzer.sample_c = 0.05;

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     scenario.kad.k = k;
     scenario.kad.s = 1;
     scenario.traffic.enabled = true;  // detections + tracking hand-offs
-    scenario.churn = scen::ChurnSpec{1, 1};  // rolling reboots from t=120
+    scenario.fault.churn = scen::ChurnSpec{1, 1};  // rolling reboots from t=120
     scenario.phases.end = sim::minutes(300);
 
     scen::Runner runner(scenario);

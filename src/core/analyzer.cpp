@@ -6,6 +6,7 @@ ConnectivitySample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& s
                                                  exec::ThreadPool* pool) const {
     ConnectivitySample sample;
     sample.time_min = static_cast<double>(snap.time_ms) / 60000.0;
+    sample.removed_total = snap.removed_total;
     const graph::Digraph g = snap.to_digraph();
     sample.n = g.vertex_count();
     sample.m = g.edge_count();

@@ -39,6 +39,9 @@ struct ConnectivitySample {
     std::uint64_t pairs_evaluated = 0;
     int scc_count = 1;        ///< strongly connected components (1 ⇔ κ>0)
     double reciprocity = 1.0; ///< §5.2: graphs are nearly undirected
+    /// Cumulative fault-layer removals when the snapshot was taken (attack
+    /// scenarios read κ degradation against this removal budget).
+    std::uint64_t removed_total = 0;
 };
 
 class ConnectivityAnalyzer {

@@ -35,7 +35,7 @@ ExperimentConfig PaperScenarios::base(const std::string& name, int size, int k,
     // §5.3: churn simulations with loss none (not evaluating s) use s=1.
     cfg.scenario.kad.s = churn.any() ? 1 : 5;
     cfg.scenario.traffic.enabled = traffic;
-    cfg.scenario.churn = churn;
+    cfg.scenario.fault.churn = churn;
     cfg.scenario.phases.end = end;
     cfg.snapshot_interval = scale_.snapshot_interval;
     cfg.analyzer.sample_c = scale_.sample_c;
@@ -157,6 +157,54 @@ ExperimentConfig PaperScenarios::sim_l(net::LossLevel loss, int s) const {
              scale_.size_large, 20, true, scen::ChurnSpec{10, 10},
              scale_.churn_figs_end);
     return with_loss(std::move(cfg), loss, s);
+}
+
+ExperimentConfig PaperScenarios::attack_base(const std::string& name,
+                                             fault::ModelKind model,
+                                             bool large) const {
+    const int size = large ? scale_.size_large : scale_.size_small;
+    // Equal removal budgets across models: `rate` victims per minute, no
+    // arrivals, for the fixed 80-minute attack window after stabilization
+    // (a 64% budget at the default rate). No data traffic: the adversary
+    // strikes a quiescent overlay, so routing tables cannot repair through
+    // per-minute lookups (with repair traffic on, removal at these rates is
+    // outpaced by 10 lookups/node-minute and every model converges to the
+    // random baseline — measured while tuning this family).
+    ExperimentConfig cfg = base(name + ":size=" + std::to_string(size) + ",k=20",
+                                size, 20, false, scen::ChurnSpec{0, attack_rate(size)},
+                                sim::minutes(200));
+    cfg.scenario.kad.s = 1;  // quick reaction to departures, as in §5.3 churn
+    cfg.scenario.fault.model = model;
+    cfg.snapshot_interval = sim::minutes(10);  // resolve the degradation curve
+    return cfg;
+}
+
+int PaperScenarios::attack_rate(int size) { return std::max(1, size / 125); }
+
+ExperimentConfig PaperScenarios::attack_random(bool large) const {
+    return attack_base("ATK-random", fault::ModelKind::kRandomChurn, large);
+}
+
+ExperimentConfig PaperScenarios::attack_degree(bool large) const {
+    return attack_base("ATK-degree", fault::ModelKind::kDegreeAttack, large);
+}
+
+ExperimentConfig PaperScenarios::attack_kappa(bool large) const {
+    return attack_base("ATK-kappa", fault::ModelKind::kKappaAttack, large);
+}
+
+ExperimentConfig PaperScenarios::attack_region(bool large) const {
+    const int size = large ? scale_.size_large : scale_.size_small;
+    ExperimentConfig cfg = base("ATK-region:size=" + std::to_string(size) + ",k=20",
+                                size, 20, false, scen::ChurnSpec{0, 0},
+                                sim::minutes(200));
+    cfg.scenario.kad.s = 1;
+    cfg.scenario.fault.model = fault::ModelKind::kRegionOutage;
+    cfg.scenario.fault.outage_at = sim::minutes(150);
+    cfg.scenario.fault.outage_prefix_bits = 2;  // one quarter of the id space
+    cfg.scenario.fault.outage_prefix = 0;
+    cfg.snapshot_interval = sim::minutes(10);
+    return cfg;
 }
 
 ExperimentConfig PaperScenarios::sim_c_b80(int k) const {

@@ -76,6 +76,19 @@ public:
     [[nodiscard]] ExperimentConfig sim_c_b80(int k) const;
     [[nodiscard]] ExperimentConfig sim_d_b80(int k) const;
 
+    // Adversarial fault family (beyond the paper; see src/fault/models.h):
+    // stabilized network, then removals with no arrivals from minute 120 —
+    // uniformly random (the equal-budget baseline), highest-in-degree,
+    // κ-pin starvation, or one correlated XOR-region cut at minute 150.
+    // `large` selects the paper's large network size, else the small one.
+    [[nodiscard]] ExperimentConfig attack_random(bool large = false) const;
+    [[nodiscard]] ExperimentConfig attack_degree(bool large = false) const;
+    [[nodiscard]] ExperimentConfig attack_kappa(bool large = false) const;
+    [[nodiscard]] ExperimentConfig attack_region(bool large = false) const;
+
+    /// Removal budget per minute the per-minute attack scenarios use.
+    [[nodiscard]] static int attack_rate(int size);
+
     /// Churn-phase start in minutes (Table 2 aggregates from here on).
     [[nodiscard]] static double churn_start_min() { return 120.0; }
 
@@ -83,6 +96,9 @@ private:
     [[nodiscard]] ExperimentConfig base(const std::string& name, int size, int k,
                                         bool traffic, scen::ChurnSpec churn,
                                         sim::SimTime end) const;
+    [[nodiscard]] ExperimentConfig attack_base(const std::string& name,
+                                               fault::ModelKind model,
+                                               bool large) const;
 
     ReproScale scale_;
 };

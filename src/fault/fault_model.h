@@ -1,0 +1,81 @@
+// Pluggable fault-injection layer: the scenario runner delegates every
+// membership decision (who leaves, who arrives, and when) to a FaultModel.
+//
+// Determinism contract: models are pure functions of (view, rng, own state).
+// For a fixed seed, a model must consume `rng` in exactly the same order on
+// every run — the runner interleaves model draws with traffic and bootstrap
+// draws on one stream, so an extra or missing draw perturbs the whole
+// simulation. RandomChurn reproduces the pre-fault-layer inlined churn draw
+// order bit-for-bit (pinned by tests/test_fault_equivalence.cpp).
+//
+// Scheduling protocol, mirroring §5.3 ("per-minute actions at random
+// instants within the minute"): at every fault-phase minute boundary the
+// runner calls removal_times()/arrivals() for the sub-minute delays at which
+// events fire; at each fired removal instant it calls select_removals() for
+// the victims. Deferring victim selection to the fired instant keeps
+// RandomChurn's RNG order intact and lets targeted models act on the
+// *current* overlay state rather than a minute-old view.
+#ifndef KADSIM_FAULT_FAULT_MODEL_H
+#define KADSIM_FAULT_FAULT_MODEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/spec.h"
+#include "graph/snapshot.h"
+#include "kad/node_id.h"
+#include "net/network.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace kadsim::fault {
+
+/// Read-only window onto the live overlay, handed to fault models. The
+/// routing snapshot is built lazily (models that never look at routing
+/// state — RandomChurn — cost nothing extra).
+class FaultView {
+public:
+    virtual ~FaultView() = default;
+
+    [[nodiscard]] virtual sim::SimTime now() const = 0;
+    /// Live addresses in the runner's canonical order (RandomChurn indexes
+    /// into this exactly like the pre-refactor inline code did).
+    [[nodiscard]] virtual const std::vector<net::Address>& live() const = 0;
+    [[nodiscard]] virtual bool is_live(net::Address address) const = 0;
+    [[nodiscard]] virtual kad::NodeId node_id(net::Address address) const = 0;
+    /// Identifier bit-length b of the scenario (region membership tests).
+    [[nodiscard]] virtual int id_bits() const = 0;
+    /// Routing tables of all live nodes at this instant; built on first call
+    /// and cached for the lifetime of the view (one fault event).
+    [[nodiscard]] virtual const graph::RoutingSnapshot& routing() const = 0;
+};
+
+class FaultModel {
+public:
+    virtual ~FaultModel() = default;
+
+    /// Sub-minute delays (from now) at which removal events fire during the
+    /// coming minute; the runner schedules one select_removals() per entry.
+    [[nodiscard]] virtual std::vector<sim::SimTime> removal_times(
+        const FaultView& view, util::Rng& rng) = 0;
+
+    /// Sub-minute delays at which one fresh node joins.
+    [[nodiscard]] virtual std::vector<sim::SimTime> arrivals(const FaultView& view,
+                                                             util::Rng& rng) = 0;
+
+    /// Victims to crash at one fired removal instant (may be empty, e.g. on
+    /// an already-drained network).
+    [[nodiscard]] virtual std::vector<net::Address> select_removals(
+        const FaultView& view, util::Rng& rng) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Builds the model a spec describes (fresh state per runner, so identically
+/// seeded reruns are identical).
+[[nodiscard]] std::unique_ptr<FaultModel> make_fault_model(const FaultSpec& spec);
+
+}  // namespace kadsim::fault
+
+#endif  // KADSIM_FAULT_FAULT_MODEL_H

@@ -1,0 +1,180 @@
+#include "fault/models.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace kadsim::fault {
+
+namespace {
+
+/// `count` independent uniform instants inside the coming minute — the §5.3
+/// per-minute action schedule. One rng draw per instant, in order.
+std::vector<sim::SimTime> uniform_instants(int count, util::Rng& rng) {
+    std::vector<sim::SimTime> times;
+    times.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        times.push_back(static_cast<sim::SimTime>(
+            rng.next_below(static_cast<std::uint64_t>(sim::kMinute))));
+    }
+    return times;
+}
+
+/// Live out-neighbour count of one snapshot node (its connectivity-graph
+/// out-degree: stale entries pointing at departed nodes don't count, §4.2).
+int live_out_degree(const graph::SnapshotNode& node, const FaultView& view) {
+    int degree = 0;
+    for (const net::Address contact : node.contacts) {
+        if (view.is_live(contact)) ++degree;
+    }
+    return degree;
+}
+
+}  // namespace
+
+std::vector<sim::SimTime> PerMinuteFaultModel::removal_times(const FaultView&,
+                                                             util::Rng& rng) {
+    return uniform_instants(churn_.removes_per_minute, rng);
+}
+
+std::vector<sim::SimTime> PerMinuteFaultModel::arrivals(const FaultView&,
+                                                        util::Rng& rng) {
+    return uniform_instants(churn_.adds_per_minute, rng);
+}
+
+std::vector<net::Address> RandomChurn::select_removals(const FaultView& view,
+                                                       util::Rng& rng) {
+    // Exactly the pre-fault-layer remove_random_node(): no draw on an empty
+    // network, otherwise one uniform index into the live list.
+    const auto& live = view.live();
+    if (live.empty()) return {};
+    const std::uint64_t index = rng.next_below(static_cast<std::uint64_t>(live.size()));
+    return {live[index]};
+}
+
+std::vector<net::Address> TargetedDegreeAttack::select_removals(const FaultView& view,
+                                                                util::Rng&) {
+    const auto& live = view.live();
+    if (live.empty()) return {};
+
+    // In-degree over the connectivity graph: how many live routing tables
+    // reference each live address. Live addresses bound the index space.
+    const net::Address max_live = *std::max_element(live.begin(), live.end());
+    std::vector<std::uint32_t> in_degree(static_cast<std::size_t>(max_live) + 1, 0);
+    for (const auto& node : view.routing().nodes) {
+        for (const net::Address contact : node.contacts) {
+            if (view.is_live(contact)) ++in_degree[contact];
+        }
+    }
+
+    net::Address victim = live.front();
+    std::uint32_t best = 0;
+    bool first = true;
+    for (const net::Address address : live) {
+        const std::uint32_t degree = in_degree[address];
+        if (first || degree > best || (degree == best && address < victim)) {
+            victim = address;
+            best = degree;
+            first = false;
+        }
+    }
+    return {victim};
+}
+
+std::vector<net::Address> TargetedKappaAttack::select_removals(const FaultView& view,
+                                                               util::Rng&) {
+    const auto& live = view.live();
+    if (live.empty()) return {};
+
+    // pick_sources insight (flow/vertex_connectivity.cpp): κ_min is pinned by
+    // the smallest out-degree. Removing the pin itself would *relieve* the
+    // minimum, so the attack severs the pin's remaining out-links instead:
+    // find the lowest-out-degree node that still has live contacts and crash
+    // its smallest-address live contact. Once the pin's out-degree hits 0,
+    // κ_min = 0 and the attack moves to the next-weakest node.
+    const graph::RoutingSnapshot& snap = view.routing();
+    const graph::SnapshotNode* pin = nullptr;
+    int pin_degree = std::numeric_limits<int>::max();
+    for (const auto& node : snap.nodes) {
+        const int degree = live_out_degree(node, view);
+        if (degree == 0) continue;  // already fully starved
+        if (degree < pin_degree ||
+            (degree == pin_degree && node.address < pin->address)) {
+            pin = &node;
+            pin_degree = degree;
+        }
+    }
+    if (pin == nullptr) {
+        // No live edges at all: κ is already 0 everywhere; keep the removal
+        // budget flowing deterministically.
+        return {*std::min_element(live.begin(), live.end())};
+    }
+
+    net::Address victim = 0;
+    bool found = false;
+    for (const net::Address contact : pin->contacts) {
+        if (view.is_live(contact) && (!found || contact < victim)) {
+            victim = contact;
+            found = true;
+        }
+    }
+    KADSIM_ASSERT(found);  // pin_degree > 0 guarantees a live contact
+    return {victim};
+}
+
+std::vector<sim::SimTime> CorrelatedOutage::removal_times(const FaultView& view,
+                                                          util::Rng&) {
+    if (cut_scheduled_) return {};
+    const sim::SimTime now = view.now();
+    if (outage_at_ >= now + sim::kMinute) return {};
+    // Due this minute — or overdue because the first fault tick landed after
+    // `outage_at_` (a non-minute-aligned stabilization boundary): fire now
+    // rather than silently dropping the cut.
+    cut_scheduled_ = true;
+    return {std::max<sim::SimTime>(0, outage_at_ - now)};
+}
+
+std::vector<sim::SimTime> CorrelatedOutage::arrivals(const FaultView&,
+                                                     util::Rng& rng) {
+    return uniform_instants(churn_.adds_per_minute, rng);
+}
+
+std::vector<net::Address> CorrelatedOutage::select_removals(const FaultView& view,
+                                                            util::Rng&) {
+    std::vector<net::Address> victims;
+    for (const net::Address address : view.live()) {
+        if (in_region(view.node_id(address), view.id_bits(), prefix_bits_, prefix_)) {
+            victims.push_back(address);
+        }
+    }
+    return victims;
+}
+
+bool CorrelatedOutage::in_region(const kad::NodeId& id, int id_bits, int prefix_bits,
+                                 std::uint64_t prefix) {
+    const int bits = std::min(prefix_bits, id_bits);
+    std::uint64_t top = 0;
+    for (int i = 0; i < bits; ++i) {
+        top = (top << 1) | (id.get_bit(id_bits - 1 - i) ? 1ULL : 0ULL);
+    }
+    return top == prefix;
+}
+
+std::unique_ptr<FaultModel> make_fault_model(const FaultSpec& spec) {
+    spec.validate();
+    switch (spec.model) {
+        case ModelKind::kRandomChurn:
+            return std::make_unique<RandomChurn>(spec.churn);
+        case ModelKind::kDegreeAttack:
+            return std::make_unique<TargetedDegreeAttack>(spec.churn);
+        case ModelKind::kKappaAttack:
+            return std::make_unique<TargetedKappaAttack>(spec.churn);
+        case ModelKind::kRegionOutage:
+            return std::make_unique<CorrelatedOutage>(spec);
+    }
+    KADSIM_ASSERT_MSG(false, "unknown fault model kind");
+    return nullptr;
+}
+
+}  // namespace kadsim::fault

@@ -1,0 +1,103 @@
+// Concrete fault models. All are deterministic given (seed, view):
+//
+//   RandomChurn          the paper's uniform churn (§5.3), extracted from the
+//                        pre-fault-layer scen::Runner with an identical RNG
+//                        draw order — existing scenarios are bit-identical.
+//   TargetedDegreeAttack an adversary with a global view removes the node
+//                        most referenced by live routing tables (highest
+//                        in-degree in the connectivity graph); ties fall to
+//                        the smallest address.
+//   TargetedKappaAttack  κ-guided attack reusing the pick_sources insight of
+//                        flow/vertex_connectivity.cpp: κ_min is pinned by the
+//                        minimum out-degree, so the attacker severs the
+//                        remaining out-links of the weakest node (removing
+//                        the pin itself would *relieve* the minimum). Victim:
+//                        the smallest-address live contact of the lowest
+//                        out-degree node that still has live contacts.
+//   CorrelatedOutage     models correlated infrastructure failure: at one
+//                        scheduled instant, every live node whose identifier
+//                        lies in a contiguous XOR-prefix region crashes at
+//                        once. The churn arrival intensity still applies
+//                        (per-minute removals do not — the cut is the only
+//                        removal source).
+#ifndef KADSIM_FAULT_MODELS_H
+#define KADSIM_FAULT_MODELS_H
+
+#include "fault/fault_model.h"
+
+namespace kadsim::fault {
+
+/// Shared §5.3 schedule: `removes_per_minute` removal events and
+/// `adds_per_minute` arrivals per minute, each at an independent uniform
+/// instant inside the minute. The draw order (all removal delays, then all
+/// arrival delays) matches the pre-fault-layer churn_tick exactly.
+class PerMinuteFaultModel : public FaultModel {
+public:
+    explicit PerMinuteFaultModel(ChurnSpec churn) : churn_(churn) {}
+
+    [[nodiscard]] std::vector<sim::SimTime> removal_times(const FaultView& view,
+                                                          util::Rng& rng) override;
+    [[nodiscard]] std::vector<sim::SimTime> arrivals(const FaultView& view,
+                                                     util::Rng& rng) override;
+
+    [[nodiscard]] const ChurnSpec& churn() const noexcept { return churn_; }
+
+private:
+    ChurnSpec churn_;
+};
+
+class RandomChurn final : public PerMinuteFaultModel {
+public:
+    using PerMinuteFaultModel::PerMinuteFaultModel;
+    [[nodiscard]] std::vector<net::Address> select_removals(const FaultView& view,
+                                                            util::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "random"; }
+};
+
+class TargetedDegreeAttack final : public PerMinuteFaultModel {
+public:
+    using PerMinuteFaultModel::PerMinuteFaultModel;
+    [[nodiscard]] std::vector<net::Address> select_removals(const FaultView& view,
+                                                            util::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "degree"; }
+};
+
+class TargetedKappaAttack final : public PerMinuteFaultModel {
+public:
+    using PerMinuteFaultModel::PerMinuteFaultModel;
+    [[nodiscard]] std::vector<net::Address> select_removals(const FaultView& view,
+                                                            util::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "kappa"; }
+};
+
+class CorrelatedOutage final : public FaultModel {
+public:
+    explicit CorrelatedOutage(const FaultSpec& spec)
+        : churn_(spec.churn),
+          outage_at_(spec.outage_at),
+          prefix_bits_(spec.outage_prefix_bits),
+          prefix_(spec.outage_prefix) {}
+
+    [[nodiscard]] std::vector<sim::SimTime> removal_times(const FaultView& view,
+                                                          util::Rng& rng) override;
+    [[nodiscard]] std::vector<sim::SimTime> arrivals(const FaultView& view,
+                                                     util::Rng& rng) override;
+    [[nodiscard]] std::vector<net::Address> select_removals(const FaultView& view,
+                                                            util::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "region"; }
+
+    /// True iff `id`'s top `prefix_bits` bits equal `prefix` (the region).
+    [[nodiscard]] static bool in_region(const kad::NodeId& id, int id_bits,
+                                        int prefix_bits, std::uint64_t prefix);
+
+private:
+    ChurnSpec churn_;
+    sim::SimTime outage_at_;
+    int prefix_bits_;
+    std::uint64_t prefix_;
+    bool cut_scheduled_ = false;
+};
+
+}  // namespace kadsim::fault
+
+#endif  // KADSIM_FAULT_MODELS_H

@@ -1,0 +1,113 @@
+// Fault-injection configuration: which failure model drives membership
+// dynamics, at what intensity, and on what schedule.
+//
+// The paper (§5.3) evaluates *random* churn only; the fault layer
+// generalizes that into a family of composable failure models so the same
+// κ_min/κ_avg question can be asked under adversarial failures (the
+// targeted-vs-random distinction of Heck et al. 2016 and Ferretti 2013).
+// `ModelKind::kRandomChurn` reproduces the paper's behavior bit-for-bit.
+#ifndef KADSIM_FAULT_SPEC_H
+#define KADSIM_FAULT_SPEC_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.h"
+
+namespace kadsim::fault {
+
+/// Nodes added/removed per minute of simulated time during the fault phase.
+/// The paper's scenarios: (0/1), (1/1), (10/10).
+struct ChurnSpec {
+    int adds_per_minute = 0;
+    int removes_per_minute = 0;
+
+    [[nodiscard]] bool any() const noexcept {
+        return adds_per_minute > 0 || removes_per_minute > 0;
+    }
+    [[nodiscard]] std::string label() const {
+        return std::to_string(adds_per_minute) + "/" + std::to_string(removes_per_minute);
+    }
+};
+
+/// The concrete failure models (see models.h for behavior and victim rules).
+enum class ModelKind {
+    kRandomChurn,    ///< the paper's uniform churn (§5.3), extracted verbatim
+    kDegreeAttack,   ///< remove the most-referenced node (max in-degree)
+    kKappaAttack,    ///< starve the κ_min-pinning node of its contacts
+    kRegionOutage,   ///< one-shot loss of a contiguous XOR-prefix region
+};
+
+[[nodiscard]] constexpr const char* to_string(ModelKind kind) noexcept {
+    switch (kind) {
+        case ModelKind::kRandomChurn: return "random";
+        case ModelKind::kDegreeAttack: return "degree";
+        case ModelKind::kKappaAttack: return "kappa";
+        case ModelKind::kRegionOutage: return "region";
+    }
+    return "?";
+}
+
+/// Schedule + model + intensity of the membership dynamics of a scenario.
+/// Replaces the bare ChurnSpec plumbing: the per-minute intensity applies to
+/// every per-minute model, while kRegionOutage adds a one-shot cut.
+struct FaultSpec {
+    ModelKind model = ModelKind::kRandomChurn;
+    /// Per-minute removal/arrival intensity (victim *selection* is the
+    /// model's job; the counts and sub-minute instants follow §5.3).
+    ChurnSpec churn;
+    /// kRegionOutage: instant of the cut (must fall inside the fault phase,
+    /// i.e. [stabilization_end, end) — checked by ScenarioConfig::validate).
+    sim::SimTime outage_at = 0;
+    /// kRegionOutage: a node is in the region iff the top `outage_prefix_bits`
+    /// bits of its identifier equal `outage_prefix` (expected region share of
+    /// a uniform id space: 2^-bits).
+    int outage_prefix_bits = 2;
+    std::uint64_t outage_prefix = 0;
+
+    /// True iff the model can ever remove or add a node.
+    [[nodiscard]] bool any() const noexcept {
+        return churn.any() || (model == ModelKind::kRegionOutage && outage_at > 0);
+    }
+
+    /// Stable, parameter-complete label (cache keys, bench JSON, narration):
+    /// two specs that simulate differently must label differently, so the
+    /// outage instant keeps millisecond precision when not minute-aligned.
+    [[nodiscard]] std::string label() const {
+        std::string s = std::string(to_string(model)) + "(" + churn.label();
+        if (model == ModelKind::kRegionOutage) {
+            s += ",t=" + (outage_at % sim::kMinute == 0
+                              ? std::to_string(outage_at / sim::kMinute)
+                              : std::to_string(outage_at) + "ms") +
+                 ",p=" + std::to_string(outage_prefix_bits) + ":" +
+                 std::to_string(outage_prefix);
+        }
+        return s + ")";
+    }
+
+    void validate() const {
+        if (churn.adds_per_minute < 0 || churn.removes_per_minute < 0) {
+            throw std::invalid_argument("churn rates must be >= 0");
+        }
+        if (model == ModelKind::kRegionOutage) {
+            if (outage_prefix_bits < 1 || outage_prefix_bits > 64) {
+                throw std::invalid_argument("outage_prefix_bits must be in [1, 64]");
+            }
+            if (outage_prefix_bits < 64 &&
+                outage_prefix >= (1ULL << outage_prefix_bits)) {
+                throw std::invalid_argument("outage_prefix exceeds its bit width");
+            }
+            if (churn.removes_per_minute > 0) {
+                // The cut is this model's only removal source; a nonzero
+                // per-minute removal rate would be silently ignored.
+                throw std::invalid_argument(
+                    "region outage does not take per-minute removals");
+            }
+        }
+    }
+};
+
+}  // namespace kadsim::fault
+
+#endif  // KADSIM_FAULT_SPEC_H

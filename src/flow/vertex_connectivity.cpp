@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <limits>
 #include <numeric>
@@ -29,7 +30,7 @@ std::vector<int> pick_sources(const graph::Digraph& g, double fraction,
     if (fraction >= 1.0) return order;
 
     const auto want = static_cast<std::size_t>(
-        std::clamp<long long>(static_cast<long long>(fraction * n + 0.999),
+        std::clamp<long long>(static_cast<long long>(std::ceil(fraction * n)),
                               std::max(1, min_sources), n));
     // (out-degree, index) is a strict total order, so selecting the `want`
     // smallest and then ordering that prefix reproduces the stable-sort
@@ -54,13 +55,22 @@ struct PartialResult {
     int min_kappa = std::numeric_limits<int>::max();
     std::uint64_t sum = 0;
     std::uint64_t pairs = 0;
+    std::uint64_t pairs_skipped = 0;
+    std::uint64_t flows_capped = 0;
 };
 
 /// Evaluates all non-adjacent sinks for the sources handed out by `cursor`,
 /// accumulating into a local result (returned by value, so concurrent
 /// workers never write adjacent slots of a shared vector mid-flow).
+///
+/// Degree-bound fast path: κ(u,v) ≤ min(out_degree(u), in_degree(v)) — every
+/// u→v path consumes a distinct out-edge of u and in-edge of v. A zero bound
+/// settles the pair without touching the network; otherwise the bound caps
+/// the Dinic run, which stops augmenting (skipping the final certifying BFS)
+/// the moment the bound is reached. Either way the recorded κ is exact.
 PartialResult worker(const graph::Digraph& g, const FlowNetwork& base,
                      const std::vector<int>& sources,
+                     const std::vector<int>& in_degrees,
                      std::atomic<std::size_t>& cursor, bool use_push_relabel) {
     PartialResult result;
     // Claim a source before paying for the private residual copy: late jobs
@@ -74,13 +84,23 @@ PartialResult worker(const graph::Digraph& g, const FlowNetwork& base,
     for (; index < sources.size();
          index = cursor.fetch_add(1, std::memory_order_relaxed)) {
         const int u = sources[index];
+        const int out_degree = g.out_degree(u);
         for (int v = 0; v < n; ++v) {
             if (v == u || g.has_edge(u, v)) continue;
-            net.reset();
-            const int kappa =
-                use_push_relabel
-                    ? push_relabel.max_flow(net, out_vertex(u), in_vertex(v))
-                    : dinic.max_flow(net, out_vertex(u), in_vertex(v));
+            const int bound = std::min(out_degree, in_degrees[static_cast<std::size_t>(v)]);
+            int kappa = 0;
+            if (bound == 0) {
+                ++result.pairs_skipped;
+            } else {
+                net.reset();
+                if (use_push_relabel) {
+                    // Push-relabel has no cheap early exit; run it exact.
+                    kappa = push_relabel.max_flow(net, out_vertex(u), in_vertex(v));
+                } else {
+                    kappa = dinic.max_flow(net, out_vertex(u), in_vertex(v), bound);
+                    if (kappa == bound) ++result.flows_capped;
+                }
+            }
             result.min_kappa = std::min(result.min_kappa, kappa);
             result.sum += static_cast<std::uint64_t>(kappa);
             ++result.pairs;
@@ -94,12 +114,13 @@ PartialResult worker(const graph::Digraph& g, const FlowNetwork& base,
 /// an integer min/sum over per-job locals: bit-identical for any job count.
 PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
                                const std::vector<int>& sources,
+                               const std::vector<int>& in_degrees,
                                bool use_push_relabel, exec::ThreadPool* pool) {
     std::atomic<std::size_t> cursor{0};
     // Re-entrant calls (a pool task computing connectivity on its own pool)
     // run inline: the calling thread is already one of the pool's lanes.
     if (pool == nullptr || exec::ThreadPool::in_worker()) {
-        return worker(g, base, sources, cursor, use_push_relabel);
+        return worker(g, base, sources, in_degrees, cursor, use_push_relabel);
     }
 
     // The caller is a lane too, so more than sources-1 helper jobs can never
@@ -109,9 +130,9 @@ PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
     std::vector<std::future<PartialResult>> futures;
     futures.reserve(static_cast<std::size_t>(jobs));
     for (int i = 0; i < jobs; ++i) {
-        futures.push_back(pool->submit([&g, &base, &sources, &cursor,
+        futures.push_back(pool->submit([&g, &base, &sources, &in_degrees, &cursor,
                                         use_push_relabel] {
-            return worker(g, base, sources, cursor, use_push_relabel);
+            return worker(g, base, sources, in_degrees, cursor, use_push_relabel);
         }));
     }
     // Every submitted job must be joined before this frame (holding the
@@ -120,7 +141,7 @@ PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
     std::exception_ptr error;
     PartialResult combined;
     try {
-        combined = worker(g, base, sources, cursor, use_push_relabel);
+        combined = worker(g, base, sources, in_degrees, cursor, use_push_relabel);
     } catch (...) {
         error = std::current_exception();
     }
@@ -130,6 +151,8 @@ PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
             combined.min_kappa = std::min(combined.min_kappa, p.min_kappa);
             combined.sum += p.sum;
             combined.pairs += p.pairs;
+            combined.pairs_skipped += p.pairs_skipped;
+            combined.flows_capped += p.flows_capped;
         } catch (...) {
             if (!error) error = std::current_exception();
         }
@@ -158,6 +181,9 @@ ConnectivityResult vertex_connectivity(const graph::Digraph& g,
     }
 
     const FlowNetwork base = even_transform(g);
+    // In-degrees bound each sink's κ from above; one pass per snapshot graph
+    // instead of a recount per (source, sink) pair.
+    const std::vector<int> in_degrees = g.in_degrees();
     std::vector<int> sources =
         pick_sources(g, options.sample_fraction, options.min_sources);
 
@@ -166,11 +192,13 @@ ConnectivityResult vertex_connectivity(const graph::Digraph& g,
     // happens on tiny dense graphs).
     for (int attempt = 0; attempt < 2; ++attempt) {
         const PartialResult combined = evaluate_sources(
-            g, base, sources, options.use_push_relabel, options.pool);
+            g, base, sources, in_degrees, options.use_push_relabel, options.pool);
         if (combined.pairs > 0) {
             result.kappa_min = combined.min_kappa;
             result.kappa_sum = combined.sum;
             result.pairs_evaluated = combined.pairs;
+            result.pairs_skipped = combined.pairs_skipped;
+            result.flows_capped = combined.flows_capped;
             result.kappa_avg = static_cast<double>(combined.sum) /
                                static_cast<double>(combined.pairs);
             result.sources_used = static_cast<int>(sources.size());

@@ -44,6 +44,13 @@ struct ConnectivityResult {
     double kappa_avg = 0.0;       ///< mean κ(v,w) over evaluated pairs
     std::uint64_t kappa_sum = 0;  ///< integer sum (deterministic aggregation)
     std::uint64_t pairs_evaluated = 0;
+    /// Degree-bound fast path: pairs settled as κ = 0 without a flow run
+    /// because min(out_degree(u), in_degree(v)) = 0. Counted in
+    /// pairs_evaluated too — only the max-flow computation was skipped.
+    std::uint64_t pairs_skipped = 0;
+    /// Dinic runs stopped early because the flow reached the degree bound
+    /// (the bound is also the exact κ then, so no certifying phase needed).
+    std::uint64_t flows_capped = 0;
     int sources_used = 0;
     bool complete = false;        ///< complete graph: κ = n−1 without flows
 };

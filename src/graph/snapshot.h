@@ -23,6 +23,9 @@ struct SnapshotNode {
 /// The routing state of every *live* node at one instant of simulated time.
 struct RoutingSnapshot {
     std::int64_t time_ms = 0;
+    /// Cumulative nodes removed by the fault layer when this snapshot was
+    /// taken (scen::Runner fills it; not part of the save()/parse() format).
+    std::uint64_t removed_total = 0;
     std::vector<SnapshotNode> nodes;
 
     /// Compacts addresses to [0, n) and keeps only edges between live nodes:

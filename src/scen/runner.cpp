@@ -1,6 +1,7 @@
 #include "scen/runner.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "util/logging.h"
@@ -14,11 +15,41 @@ constexpr std::uint32_t kNoLivePos = 0xFFFFFFFFu;
 constexpr std::size_t kDataRegistryCap = 4096;
 }  // namespace
 
+/// The read-only overlay window handed to the fault model. One instance per
+/// fault event; the routing snapshot is built on first use and cached for
+/// the lifetime of the view, so models that ignore routing state pay nothing.
+class Runner::FaultViewImpl final : public fault::FaultView {
+public:
+    explicit FaultViewImpl(const Runner& runner) : runner_(runner) {}
+
+    [[nodiscard]] sim::SimTime now() const override { return runner_.sim_.now(); }
+    [[nodiscard]] const std::vector<net::Address>& live() const override {
+        return runner_.live_;
+    }
+    [[nodiscard]] bool is_live(net::Address address) const override {
+        return address < runner_.live_pos_.size() &&
+               runner_.live_pos_[address] != kNoLivePos;
+    }
+    [[nodiscard]] kad::NodeId node_id(net::Address address) const override {
+        return runner_.node(address)->id();
+    }
+    [[nodiscard]] int id_bits() const override { return runner_.config_.kad.b; }
+    [[nodiscard]] const graph::RoutingSnapshot& routing() const override {
+        if (!snapshot_) snapshot_ = runner_.snapshot();
+        return *snapshot_;
+    }
+
+private:
+    const Runner& runner_;
+    mutable std::optional<graph::RoutingSnapshot> snapshot_;
+};
+
 Runner::Runner(ScenarioConfig config)
     : config_(std::move(config)),
       sim_(config_.seed),
       net_(sim_, config_.latency, net::LossModel::from_level(config_.loss)),
-      rng_(sim_.split_rng()) {
+      rng_(sim_.split_rng()),
+      fault_(fault::make_fault_model(config_.fault)) {
     config_.validate();
     schedule_initial_joins();
     start_periodic_tasks();
@@ -60,15 +91,15 @@ void Runner::schedule_initial_joins() {
 }
 
 void Runner::start_periodic_tasks() {
-    // One master minute tick handles churn, traffic and the size series; the
+    // One master minute tick handles faults, traffic and the size series; the
     // per-action instants are drawn uniformly inside each minute (§5.3).
     minute_task_ = sim::PeriodicTask::start(
         sim_, 0, sim::kMinute, [this](sim::SimTime now) {
             size_series_.add(sim::to_minutes(now), live_count());
             if (config_.traffic.enabled) traffic_tick();
-            if (config_.churn.any() && now >= config_.phases.stabilization_end &&
+            if (config_.fault.any() && now >= config_.phases.stabilization_end &&
                 now < config_.phases.end) {
-                churn_tick();
+                fault_tick();
             }
         });
 }
@@ -90,15 +121,14 @@ void Runner::traffic_tick() {
     }
 }
 
-void Runner::churn_tick() {
-    for (int i = 0; i < config_.churn.removes_per_minute; ++i) {
-        const auto delay = static_cast<sim::SimTime>(
-            rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
-        sim_.schedule_in(delay, [this] { remove_random_node(); });
+void Runner::fault_tick() {
+    // Draw order is part of the determinism contract (removal instants, then
+    // arrival instants) — it reproduces the pre-fault-layer inlined churn.
+    const FaultViewImpl view(*this);
+    for (const sim::SimTime delay : fault_->removal_times(view, rng_)) {
+        sim_.schedule_in(delay, [this] { execute_removals(); });
     }
-    for (int i = 0; i < config_.churn.adds_per_minute; ++i) {
-        const auto delay = static_cast<sim::SimTime>(
-            rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
+    for (const sim::SimTime delay : fault_->arrivals(view, rng_)) {
         sim_.schedule_in(delay, [this] { add_node(); });
     }
 }
@@ -127,14 +157,20 @@ void Runner::add_node() {
     fresh->join(bootstrap);
 }
 
-void Runner::remove_random_node() {
-    if (live_.empty()) return;
-    const std::uint64_t index = rng_.next_below(static_cast<std::uint64_t>(live_.size()));
-    const net::Address address = live_[index];
+void Runner::execute_removals() {
+    const FaultViewImpl view(*this);
+    for (const net::Address victim : fault_->select_removals(view, rng_)) {
+        remove_node(victim);
+    }
+}
+
+void Runner::remove_node(net::Address address) {
+    KADSIM_ASSERT(address < live_pos_.size() && live_pos_[address] != kNoLivePos);
+    const std::uint32_t index = live_pos_[address];
 
     // Swap-remove from the live list, keeping positions consistent.
     live_[index] = live_.back();
-    live_pos_[live_[index]] = static_cast<std::uint32_t>(index);
+    live_pos_[live_[index]] = index;
     live_.pop_back();
     live_pos_[address] = kNoLivePos;
     ++crashes_;
@@ -190,6 +226,7 @@ void Runner::run(sim::SimTime snapshot_interval,
 graph::RoutingSnapshot Runner::snapshot() const {
     graph::RoutingSnapshot snap;
     snap.time_ms = sim_.now();
+    snap.removed_total = crashes_;
     snap.nodes.reserve(live_.size());
     for (const net::Address address : live_) {
         graph::SnapshotNode record;

@@ -1,5 +1,10 @@
-// Scenario runner: builds the network, drives bootstrap, churn and traffic,
+// Scenario runner: builds the network, drives bootstrap, faults and traffic,
 // and exposes routing-table snapshots at chosen instants (paper §5.2–§5.4).
+//
+// Membership dynamics are delegated to a pluggable fault::FaultModel: at
+// every fault-phase minute boundary the runner asks the model for this
+// minute's removal/arrival instants, and at each fired removal instant for
+// the victims — the runner itself never decides who leaves.
 #ifndef KADSIM_SCEN_RUNNER_H
 #define KADSIM_SCEN_RUNNER_H
 
@@ -8,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_model.h"
 #include "graph/snapshot.h"
 #include "kad/directory.h"
 #include "kad/node.h"
@@ -79,12 +85,15 @@ public:
     }
 
 private:
+    class FaultViewImpl;
+
     void schedule_initial_joins();
     void start_periodic_tasks();
     void traffic_tick();
-    void churn_tick();
+    void fault_tick();
     void add_node();
-    void remove_random_node();
+    void execute_removals();
+    void remove_node(net::Address address);
     void issue_lookup(net::Address address);
     void issue_dissemination(net::Address address);
     [[nodiscard]] kad::NodeId next_data_id();
@@ -94,6 +103,7 @@ private:
     sim::Simulator sim_;
     net::Network net_;
     util::Rng rng_;
+    std::unique_ptr<fault::FaultModel> fault_;
     std::vector<std::unique_ptr<kad::KademliaNode>> nodes_;  // by address
     std::vector<net::Address> live_;
     std::vector<std::uint32_t> live_pos_;  // address → index into live_

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/spec.h"
 #include "kad/config.h"
 #include "net/latency.h"
 #include "net/loss.h"
@@ -17,19 +18,10 @@
 
 namespace kadsim::scen {
 
-/// Nodes added/removed per minute of simulated time during the churn phase.
-/// The paper's scenarios: (0/1), (1/1), (10/10).
-struct ChurnSpec {
-    int adds_per_minute = 0;
-    int removes_per_minute = 0;
-
-    [[nodiscard]] bool any() const noexcept {
-        return adds_per_minute > 0 || removes_per_minute > 0;
-    }
-    [[nodiscard]] std::string label() const {
-        return std::to_string(adds_per_minute) + "/" + std::to_string(removes_per_minute);
-    }
-};
+/// Membership-dynamics vocabulary now lives in the fault layer; the aliases
+/// keep the established scenario spelling (`scen::ChurnSpec{1, 1}`) working.
+using ChurnSpec = fault::ChurnSpec;
+using FaultSpec = fault::FaultSpec;
 
 /// Data traffic (§5.3): with traffic, every node performs 10 lookups and 1
 /// dissemination per minute at random instants within the minute.
@@ -61,16 +53,22 @@ struct ScenarioConfig {
     kad::KademliaConfig kad;
     net::LossLevel loss = net::LossLevel::kNone;
     net::LatencyModel latency;
-    ChurnSpec churn;
+    /// Membership dynamics: failure model + schedule + per-minute intensity.
+    /// The default (RandomChurn at fault.churn rates) is the paper's churn.
+    FaultSpec fault;
     TrafficSpec traffic;
     PhasePlan phases;
     std::uint64_t seed = 1;
 
     void validate() const {
         kad.validate();
+        fault.validate();
         if (initial_size <= 0) throw std::invalid_argument("initial_size must be > 0");
-        if (churn.adds_per_minute < 0 || churn.removes_per_minute < 0) {
-            throw std::invalid_argument("churn rates must be >= 0");
+        if (fault.model == kadsim::fault::ModelKind::kRegionOutage &&
+            (fault.outage_at < phases.stabilization_end ||
+             fault.outage_at >= phases.end)) {
+            throw std::invalid_argument(
+                "region outage must fall inside the fault phase [stab_end, end)");
         }
         if (!(phases.setup_end <= phases.stabilization_end &&
               phases.stabilization_end <= phases.end)) {

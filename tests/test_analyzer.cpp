@@ -58,6 +58,18 @@ TEST(ConnectivityAnalyzer, EmptySnapshotIsHarmless) {
     EXPECT_EQ(sample.kappa_min, 0);
 }
 
+TEST(ConnectivityAnalyzer, PropagatesFaultLayerRemovalCount) {
+    graph::RoutingSnapshot snap = ring_snapshot(6);
+    snap.removed_total = 37;
+    const ConnectivityAnalyzer analyzer(exact_options());
+    EXPECT_EQ(analyzer.analyze(snap).removed_total, 37u);
+    // Empty snapshots keep the count too (a fully drained network still
+    // reports its removal budget).
+    graph::RoutingSnapshot empty;
+    empty.removed_total = 12;
+    EXPECT_EQ(analyzer.analyze(empty).removed_total, 12u);
+}
+
 TEST(ConnectivityAnalyzer, AsymmetricTablesLowerReciprocity) {
     graph::RoutingSnapshot snap;
     snap.nodes.push_back({1, {2, 3}});

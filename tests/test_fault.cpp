@@ -1,0 +1,305 @@
+// Fault models: deterministic victim selection on fixed snapshots, seeded
+// rerun identity, scheduling contracts, spec validation and the factory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/models.h"
+
+namespace kadsim::fault {
+namespace {
+
+/// Hand-built overlay view: live addresses plus an explicit routing snapshot.
+/// Node ids are synthesized with the scenario hash rule so region tests can
+/// reason about real identifier bits.
+class FakeView final : public FaultView {
+public:
+    FakeView(std::vector<net::Address> live,
+             std::vector<std::pair<net::Address, std::vector<net::Address>>> tables,
+             int id_bits = 16)
+        : live_(std::move(live)), id_bits_(id_bits) {
+        for (auto& [address, contacts] : tables) {
+            graph::SnapshotNode node;
+            node.address = address;
+            node.contacts = std::move(contacts);
+            snap_.nodes.push_back(std::move(node));
+        }
+    }
+
+    [[nodiscard]] sim::SimTime now() const override { return now_; }
+    [[nodiscard]] const std::vector<net::Address>& live() const override {
+        return live_;
+    }
+    [[nodiscard]] bool is_live(net::Address address) const override {
+        return std::find(live_.begin(), live_.end(), address) != live_.end();
+    }
+    [[nodiscard]] kad::NodeId node_id(net::Address address) const override {
+        if (id_overrides_.count(address) != 0) return id_overrides_.at(address);
+        return kad::NodeId::hash_of("fake-" + std::to_string(address), id_bits_);
+    }
+    [[nodiscard]] int id_bits() const override { return id_bits_; }
+    [[nodiscard]] const graph::RoutingSnapshot& routing() const override {
+        return snap_;
+    }
+
+    void set_now(sim::SimTime t) { now_ = t; }
+    void set_id(net::Address address, kad::NodeId id) { id_overrides_[address] = id; }
+
+private:
+    std::vector<net::Address> live_;
+    int id_bits_;
+    sim::SimTime now_ = 0;
+    graph::RoutingSnapshot snap_;
+    std::map<net::Address, kad::NodeId> id_overrides_;
+};
+
+TEST(RandomChurnModel, MatchesInlineDrawOrder) {
+    // The extracted model must consume the stream exactly like the
+    // pre-fault-layer inline code: one uniform instant per scheduled event
+    // (removals first), then one uniform index per fired removal.
+    FakeView view({7, 3, 9}, {});
+    RandomChurn model(ChurnSpec{2, 3});
+
+    util::Rng rng(42);
+    util::Rng reference(42);
+
+    const auto removals = model.removal_times(view, rng);
+    ASSERT_EQ(removals.size(), 3u);
+    for (const sim::SimTime t : removals) {
+        EXPECT_EQ(t, static_cast<sim::SimTime>(reference.next_below(
+                         static_cast<std::uint64_t>(sim::kMinute))));
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, sim::kMinute);
+    }
+    const auto arrivals = model.arrivals(view, rng);
+    ASSERT_EQ(arrivals.size(), 2u);
+    for (const sim::SimTime t : arrivals) {
+        EXPECT_EQ(t, static_cast<sim::SimTime>(reference.next_below(
+                         static_cast<std::uint64_t>(sim::kMinute))));
+    }
+
+    const auto victims = model.select_removals(view, rng);
+    ASSERT_EQ(victims.size(), 1u);
+    const auto index = reference.next_below(3);
+    EXPECT_EQ(victims[0], view.live()[index]);
+}
+
+TEST(RandomChurnModel, EmptyNetworkDrawsNothing) {
+    FakeView view({}, {});
+    RandomChurn model(ChurnSpec{0, 1});
+    util::Rng rng(1);
+    util::Rng untouched(1);
+    EXPECT_TRUE(model.select_removals(view, rng).empty());
+    // No draw happened: the streams are still in lockstep.
+    EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(DegreeAttack, RemovesMostReferencedNode) {
+    // 1 and 2 reference 5; only 1 references 2 → victim 5.
+    FakeView view({1, 2, 5}, {{1, {5, 2}}, {2, {5}}, {5, {1}}});
+    TargetedDegreeAttack model(ChurnSpec{0, 1});
+    util::Rng rng(9);
+    EXPECT_EQ(model.select_removals(view, rng),
+              (std::vector<net::Address>{5}));
+}
+
+TEST(DegreeAttack, IgnoresStaleReferencesAndBreaksTiesBySmallestAddress) {
+    // 9 is dead: references to it must not count. 2 and 5 both have live
+    // in-degree 1 → smallest address 2 wins.
+    FakeView view({1, 2, 5}, {{1, {5, 9}}, {2, {9}}, {5, {2, 9}}});
+    TargetedDegreeAttack model(ChurnSpec{0, 1});
+    util::Rng rng(9);
+    EXPECT_EQ(model.select_removals(view, rng),
+              (std::vector<net::Address>{2}));
+}
+
+TEST(KappaAttack, StarvesTheWeakestNode) {
+    // Live out-degrees: 1 → {2,5,6} (3), 2 → {5} (1, the κ_min pin),
+    // 5 → {1,2} (2). Victim: the pin's only live contact, 5.
+    FakeView view({1, 2, 5, 6},
+                  {{1, {2, 5, 6}}, {2, {5}}, {5, {1, 2}}, {6, {1, 2}}});
+    TargetedKappaAttack model(ChurnSpec{0, 1});
+    util::Rng rng(9);
+    EXPECT_EQ(model.select_removals(view, rng),
+              (std::vector<net::Address>{5}));
+}
+
+TEST(KappaAttack, SkipsFullyStarvedNodesAndPicksSmallestContact) {
+    // 2 has no live contacts (already starved, κ already 0 through it);
+    // the next-weakest with live contacts is 5 (degree 1... contacts {6});
+    // among equals the smallest-address pin wins and its smallest live
+    // contact is removed.
+    FakeView view({1, 2, 5, 6},
+                  {{1, {5, 6, 2}}, {2, {9}}, {5, {6}}, {6, {5, 1}}});
+    TargetedKappaAttack model(ChurnSpec{0, 1});
+    util::Rng rng(9);
+    // Pins by degree: 2 (0, skipped), 5 (1) and 6 (2), 1 (3). Pin = 5,
+    // victim = its only live contact 6.
+    EXPECT_EQ(model.select_removals(view, rng),
+              (std::vector<net::Address>{6}));
+}
+
+TEST(KappaAttack, EdgelessGraphFallsBackToSmallestAddress) {
+    FakeView view({4, 2, 7}, {{4, {}}, {2, {}}, {7, {}}});
+    TargetedKappaAttack model(ChurnSpec{0, 1});
+    util::Rng rng(9);
+    EXPECT_EQ(model.select_removals(view, rng),
+              (std::vector<net::Address>{2}));
+}
+
+TEST(TargetedModels, AreRngPure) {
+    // Targeted selection must not consume the shared stream (their schedule
+    // draws are the only stream interaction).
+    FakeView view({1, 2, 5}, {{1, {5, 2}}, {2, {5}}, {5, {1}}});
+    util::Rng rng(31);
+    util::Rng untouched(31);
+    TargetedDegreeAttack degree(ChurnSpec{0, 1});
+    TargetedKappaAttack kappa(ChurnSpec{0, 1});
+    (void)degree.select_removals(view, rng);
+    (void)kappa.select_removals(view, rng);
+    EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(RegionOutage, InRegionMatchesTopPrefixBits) {
+    // 16-bit ids: region = top 2 bits equal 0b10.
+    const auto id = [](std::uint16_t value) {
+        return kad::NodeId::from_limbs(value, 0, 0);
+    };
+    EXPECT_TRUE(CorrelatedOutage::in_region(id(0x8000), 16, 2, 2));
+    EXPECT_TRUE(CorrelatedOutage::in_region(id(0xBFFF), 16, 2, 2));
+    EXPECT_FALSE(CorrelatedOutage::in_region(id(0xC000), 16, 2, 2));
+    EXPECT_FALSE(CorrelatedOutage::in_region(id(0x7FFF), 16, 2, 2));
+}
+
+TEST(RegionOutage, FiresOnceAtTheScheduledInstantAndCutsTheRegion) {
+    FaultSpec spec;
+    spec.model = ModelKind::kRegionOutage;
+    spec.outage_at = sim::minutes(150) + 1234;
+    spec.outage_prefix_bits = 1;
+    spec.outage_prefix = 1;  // top bit set
+    CorrelatedOutage model(spec);
+
+    FakeView view({1, 2, 3, 4}, {});
+    view.set_id(1, kad::NodeId::from_limbs(0x8001, 0, 0));  // in region
+    view.set_id(2, kad::NodeId::from_limbs(0x0001, 0, 0));
+    view.set_id(3, kad::NodeId::from_limbs(0xFFFF, 0, 0));  // in region
+    view.set_id(4, kad::NodeId::from_limbs(0x7FFF, 0, 0));
+
+    util::Rng rng(5);
+    // Minutes before the cut: nothing scheduled.
+    view.set_now(sim::minutes(149));
+    EXPECT_TRUE(model.removal_times(view, rng).empty());
+    // The cut minute: one event at the exact sub-minute offset.
+    view.set_now(sim::minutes(150));
+    const auto times = model.removal_times(view, rng);
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_EQ(times[0], 1234);
+    // One-shot: later minutes schedule nothing.
+    view.set_now(sim::minutes(151));
+    EXPECT_TRUE(model.removal_times(view, rng).empty());
+
+    const auto victims = model.select_removals(view, rng);
+    EXPECT_EQ(victims, (std::vector<net::Address>{1, 3}));
+}
+
+TEST(RegionOutage, OverdueCutFiresImmediatelyAtTheFirstTick) {
+    // A non-minute-aligned stabilization boundary can place the first fault
+    // tick after outage_at; the cut must fire then (delay 0), not vanish.
+    FaultSpec spec;
+    spec.model = ModelKind::kRegionOutage;
+    spec.outage_at = sim::minutes(120) + 5000;
+    CorrelatedOutage model(spec);
+    FakeView view({1}, {});
+    view.set_now(sim::minutes(121));
+    util::Rng rng(5);
+    const auto times = model.removal_times(view, rng);
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_EQ(times[0], 0);
+    // Still one-shot.
+    view.set_now(sim::minutes(122));
+    EXPECT_TRUE(model.removal_times(view, rng).empty());
+}
+
+TEST(FaultSpecModel, LabelsAndFactory) {
+    FaultSpec spec;
+    spec.churn = ChurnSpec{1, 1};
+    EXPECT_EQ(spec.label(), "random(1/1)");
+    EXPECT_EQ(make_fault_model(spec)->name(), "random");
+
+    spec.model = ModelKind::kDegreeAttack;
+    EXPECT_EQ(spec.label(), "degree(1/1)");
+    EXPECT_EQ(make_fault_model(spec)->name(), "degree");
+
+    spec.model = ModelKind::kKappaAttack;
+    EXPECT_EQ(make_fault_model(spec)->name(), "kappa");
+
+    spec.model = ModelKind::kRegionOutage;
+    spec.churn = ChurnSpec{1, 0};  // arrivals allowed, removals are the cut's
+    spec.outage_at = sim::minutes(150);
+    spec.outage_prefix_bits = 2;
+    spec.outage_prefix = 3;
+    EXPECT_EQ(spec.label(), "region(1/0,t=150,p=2:3)");
+    EXPECT_EQ(make_fault_model(spec)->name(), "region");
+    // Sub-minute outage instants keep millisecond precision in the label
+    // (distinct specs must never share a bench cache key).
+    spec.outage_at = sim::minutes(150) + 30000;
+    EXPECT_EQ(spec.label(),
+              "region(1/0,t=" + std::to_string(sim::minutes(150) + 30000) +
+                  "ms,p=2:3)");
+}
+
+TEST(FaultSpecModel, Validation) {
+    FaultSpec spec;
+    spec.churn = ChurnSpec{-1, 0};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+    spec = FaultSpec{};
+    spec.model = ModelKind::kRegionOutage;
+    spec.outage_prefix_bits = 0;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.outage_prefix_bits = 2;
+    spec.outage_prefix = 4;  // needs 3 bits
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.outage_prefix = 3;
+    EXPECT_NO_THROW(spec.validate());
+    // Per-minute removals would be silently ignored by the cut → rejected.
+    spec.churn = ChurnSpec{0, 2};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.churn = ChurnSpec{2, 0};
+    EXPECT_NO_THROW(spec.validate());
+
+    EXPECT_FALSE(FaultSpec{}.any());
+    FaultSpec churny;
+    churny.churn = ChurnSpec{0, 1};
+    EXPECT_TRUE(churny.any());
+    FaultSpec outage;
+    outage.model = ModelKind::kRegionOutage;
+    outage.outage_at = sim::minutes(150);
+    EXPECT_TRUE(outage.any());
+}
+
+TEST(FaultSpecModel, SeededReplaysAreIdentical) {
+    FakeView view({1, 2, 5, 6},
+                  {{1, {2, 5, 6}}, {2, {5}}, {5, {1, 2}}, {6, {1, 2}}});
+    for (const ModelKind kind :
+         {ModelKind::kRandomChurn, ModelKind::kDegreeAttack, ModelKind::kKappaAttack}) {
+        FaultSpec spec;
+        spec.model = kind;
+        spec.churn = ChurnSpec{2, 3};
+        auto a = make_fault_model(spec);
+        auto b = make_fault_model(spec);
+        util::Rng rng_a(123);
+        util::Rng rng_b(123);
+        EXPECT_EQ(a->removal_times(view, rng_a), b->removal_times(view, rng_b));
+        EXPECT_EQ(a->select_removals(view, rng_a), b->select_removals(view, rng_b));
+        EXPECT_EQ(a->arrivals(view, rng_a), b->arrivals(view, rng_b));
+    }
+}
+
+}  // namespace
+}  // namespace kadsim::fault

@@ -1,0 +1,97 @@
+// RandomChurn vs the pre-refactor inline churn path.
+//
+// The fault-layer refactor must leave every existing scenario bit-identical:
+// RandomChurn consumes the shared RNG stream in exactly the order the
+// inlined churn_tick()/remove_random_node() did. These goldens were captured
+// from the pre-refactor tree (commit 273d54a) by running the same configs
+// and hashing the serialized analyzer series — any stream perturbation in
+// the runner, the fault layer, or the analyzer fast paths shows up here as
+// a hash mismatch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "scen/runner.h"
+#include "util/sha1.h"
+
+namespace kadsim {
+namespace {
+
+/// The cache-CSV sample serialization of the pre-refactor tree (the
+/// `removed` column is newer and deliberately excluded — the golden pins the
+/// original eight fields).
+std::string serialize(const core::ExperimentSeries& series) {
+    std::ostringstream out;
+    for (const auto& s : series.samples) {
+        out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
+            << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
+            << s.pairs_evaluated << '\n';
+    }
+    return out.str();
+}
+
+std::string series_sha1(const core::ExperimentConfig& config) {
+    return util::to_hex(util::sha1(serialize(core::run_experiment(config))));
+}
+
+core::ExperimentConfig small_churny() {
+    core::ExperimentConfig cfg;
+    cfg.scenario.name = "small";
+    cfg.scenario.initial_size = 60;
+    cfg.scenario.seed = 77;
+    cfg.scenario.kad.k = 8;
+    cfg.scenario.kad.s = 1;
+    cfg.scenario.traffic.enabled = true;
+    cfg.scenario.fault.churn = scen::ChurnSpec{1, 1};
+    cfg.scenario.phases.end = sim::minutes(240);
+    cfg.snapshot_interval = sim::minutes(30);
+    cfg.analyzer.sample_c = 0.02;
+    cfg.analyzer.min_sources = 4;
+    cfg.analyzer.threads = 1;
+    return cfg;
+}
+
+TEST(FaultEquivalence, SmallChurnSeriesMatchesPreRefactorGolden) {
+    EXPECT_EQ(series_sha1(small_churny()),
+              "a9548c63f7e0a6e87dad8b10f71deb7c17384096");
+}
+
+TEST(FaultEquivalence, SmallChurnTotalsMatchPreRefactorGolden) {
+    scen::Runner runner(small_churny().scenario);
+    runner.step_to(sim::minutes(240));
+    const auto t = runner.totals();
+    EXPECT_EQ(t.events_executed, 2341194u);
+    EXPECT_EQ(t.network.sent, 1456880u);
+    EXPECT_EQ(t.joins, 180u);
+    EXPECT_EQ(t.crashes, 120u);
+    EXPECT_EQ(t.protocol.rpcs_sent, 732989u);
+    EXPECT_EQ(runner.live_count(), 60);
+}
+
+// Simulation E at quick scale (the acceptance pin for sims A–L): size 250,
+// churn 1/1, data traffic, k=20, horizon 360 min. ~15 s of simulation — the
+// long pole of the suite, but it is the contract that keeps every published
+// figure CSV byte-stable across the fault refactor.
+TEST(FaultEquivalence, SimEQuickScaleSeriesMatchesPreRefactorGolden) {
+    core::ExperimentConfig cfg;
+    cfg.scenario.name = "E:quick";
+    cfg.scenario.initial_size = 250;
+    cfg.scenario.seed = 20170327;
+    cfg.scenario.kad.k = 20;
+    cfg.scenario.kad.b = 160;
+    cfg.scenario.kad.alpha = 3;
+    cfg.scenario.kad.s = 1;
+    cfg.scenario.traffic.enabled = true;
+    cfg.scenario.fault.churn = scen::ChurnSpec{1, 1};
+    cfg.scenario.phases.end = sim::minutes(360);
+    cfg.snapshot_interval = sim::minutes(30);
+    cfg.analyzer.sample_c = 0.02;
+    cfg.analyzer.min_sources = 4;
+    cfg.analyzer.threads = 1;
+    EXPECT_EQ(series_sha1(cfg), "a20bbcdab954ca90535e8aa278d92810bc503b1b");
+}
+
+}  // namespace
+}  // namespace kadsim

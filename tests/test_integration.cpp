@@ -64,7 +64,7 @@ TEST(PaperShape, DepartureOnlyChurnLiftsMinimumConnectivity) {
     // §5.5.1: with 0/1 churn "the minimum connectivity first increases
     // overall" — freed bucket slots let the network re-wire.
     ExperimentConfig cfg = base_config(60, 6, 24);
-    cfg.scenario.churn = scen::ChurnSpec{0, 1};
+    cfg.scenario.fault.churn = scen::ChurnSpec{0, 1};
     cfg.scenario.phases.end = sim::minutes(150);  // 30 churn minutes: 60 → ~30
     const auto series = run_experiment(cfg);
     // κ_min at the end of stabilization vs. mid-churn.
@@ -80,7 +80,7 @@ TEST(PaperShape, HigherStalenessLimitDampsChurnResponse) {
     // §5.8.1: with churn 10/10 the average connectivity for s=5 drops below
     // s=1 (stale entries block bucket slots).
     ExperimentConfig s1 = base_config(50, 6, 25);
-    s1.scenario.churn = scen::ChurnSpec{5, 5};
+    s1.scenario.fault.churn = scen::ChurnSpec{5, 5};
     s1.scenario.kad.s = 1;
     ExperimentConfig s5 = s1;
     s5.scenario.kad.s = 5;

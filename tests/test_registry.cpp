@@ -22,8 +22,8 @@ TEST(Registry, SimA_NoTrafficChurn01_StalenessOne) {
     const auto cfg = reg.sim_a(20);
     EXPECT_EQ(cfg.scenario.initial_size, 100);
     EXPECT_FALSE(cfg.scenario.traffic.enabled);
-    EXPECT_EQ(cfg.scenario.churn.adds_per_minute, 0);
-    EXPECT_EQ(cfg.scenario.churn.removes_per_minute, 1);
+    EXPECT_EQ(cfg.scenario.fault.churn.adds_per_minute, 0);
+    EXPECT_EQ(cfg.scenario.fault.churn.removes_per_minute, 1);
     EXPECT_EQ(cfg.scenario.kad.k, 20);
     // §5.3: churn simulations with loss none use s=1.
     EXPECT_EQ(cfg.scenario.kad.s, 1);
@@ -47,10 +47,10 @@ TEST(Registry, SimCD_HaveTraffic) {
 
 TEST(Registry, SimEFGH_SymmetricChurn) {
     const PaperScenarios reg(test_scale());
-    EXPECT_EQ(reg.sim_e(5).scenario.churn.label(), "1/1");
-    EXPECT_EQ(reg.sim_f(5).scenario.churn.label(), "1/1");
-    EXPECT_EQ(reg.sim_g(5).scenario.churn.label(), "10/10");
-    EXPECT_EQ(reg.sim_h(5).scenario.churn.label(), "10/10");
+    EXPECT_EQ(reg.sim_e(5).scenario.fault.churn.label(), "1/1");
+    EXPECT_EQ(reg.sim_f(5).scenario.fault.churn.label(), "1/1");
+    EXPECT_EQ(reg.sim_g(5).scenario.fault.churn.label(), "10/10");
+    EXPECT_EQ(reg.sim_h(5).scenario.fault.churn.label(), "10/10");
     EXPECT_EQ(reg.sim_e(5).scenario.phases.end, sim::minutes(480));
     EXPECT_EQ(reg.sim_g(5).scenario.kad.s, 1);
 }
@@ -67,7 +67,7 @@ TEST(Registry, SimI_StalenessSweep) {
     const auto cfg = reg.sim_i(5, scen::ChurnSpec{10, 10});
     EXPECT_EQ(cfg.scenario.kad.s, 5);
     EXPECT_EQ(cfg.scenario.kad.k, 20);
-    EXPECT_EQ(cfg.scenario.churn.label(), "10/10");
+    EXPECT_EQ(cfg.scenario.fault.churn.label(), "10/10");
     EXPECT_EQ(cfg.scenario.loss, net::LossLevel::kNone);
     EXPECT_TRUE(cfg.scenario.traffic.enabled);
 }
@@ -77,14 +77,14 @@ TEST(Registry, SimJKL_LossAndChurnMatrix) {
     const auto j = reg.sim_j(net::LossLevel::kMedium, 1);
     EXPECT_EQ(j.scenario.loss, net::LossLevel::kMedium);
     EXPECT_EQ(j.scenario.kad.s, 1);
-    EXPECT_FALSE(j.scenario.churn.any());
+    EXPECT_FALSE(j.scenario.fault.churn.any());
 
     const auto k = reg.sim_k(net::LossLevel::kHigh, 5);
-    EXPECT_EQ(k.scenario.churn.label(), "1/1");
+    EXPECT_EQ(k.scenario.fault.churn.label(), "1/1");
     EXPECT_EQ(k.scenario.kad.s, 5);
 
     const auto l = reg.sim_l(net::LossLevel::kLow, 1);
-    EXPECT_EQ(l.scenario.churn.label(), "10/10");
+    EXPECT_EQ(l.scenario.fault.churn.label(), "10/10");
     EXPECT_EQ(l.scenario.loss, net::LossLevel::kLow);
 }
 
@@ -126,6 +126,60 @@ TEST(Registry, AllScenariosValidate) {
     EXPECT_NO_THROW(reg.sim_i(1, scen::ChurnSpec{1, 1}).scenario.validate());
     EXPECT_NO_THROW(reg.sim_l(net::LossLevel::kHigh, 5).scenario.validate());
     EXPECT_NO_THROW(reg.sim_d_b80(20).scenario.validate());
+    EXPECT_NO_THROW(reg.attack_random().scenario.validate());
+    EXPECT_NO_THROW(reg.attack_degree(true).scenario.validate());
+    EXPECT_NO_THROW(reg.attack_kappa().scenario.validate());
+    EXPECT_NO_THROW(reg.attack_region(true).scenario.validate());
+}
+
+TEST(Registry, PaperSimulationsUseRandomChurnModel) {
+    const PaperScenarios reg(test_scale());
+    EXPECT_EQ(reg.sim_a(20).scenario.fault.model, fault::ModelKind::kRandomChurn);
+    EXPECT_EQ(reg.sim_h(20).scenario.fault.model, fault::ModelKind::kRandomChurn);
+    EXPECT_EQ(reg.sim_l(net::LossLevel::kLow, 1).scenario.fault.model,
+              fault::ModelKind::kRandomChurn);
+}
+
+TEST(Registry, AttackFamilySharesOneRemovalSchedule) {
+    const PaperScenarios reg(test_scale());
+    const auto random = reg.attack_random();
+    const auto degree = reg.attack_degree();
+    const auto kappa = reg.attack_kappa();
+
+    EXPECT_EQ(random.scenario.fault.model, fault::ModelKind::kRandomChurn);
+    EXPECT_EQ(degree.scenario.fault.model, fault::ModelKind::kDegreeAttack);
+    EXPECT_EQ(kappa.scenario.fault.model, fault::ModelKind::kKappaAttack);
+
+    // Equal removal budgets: same rate, no arrivals, no repair traffic, same
+    // horizon and snapshot cadence across the per-minute models.
+    for (const auto& cfg : {random, degree, kappa}) {
+        EXPECT_EQ(cfg.scenario.fault.churn.adds_per_minute, 0);
+        EXPECT_EQ(cfg.scenario.fault.churn.removes_per_minute,
+                  PaperScenarios::attack_rate(100));
+        EXPECT_FALSE(cfg.scenario.traffic.enabled);
+        EXPECT_EQ(cfg.scenario.phases.end, sim::minutes(200));
+        EXPECT_EQ(cfg.snapshot_interval, sim::minutes(10));
+        EXPECT_EQ(cfg.scenario.kad.k, 20);
+        EXPECT_EQ(cfg.scenario.kad.s, 1);
+        EXPECT_EQ(cfg.scenario.initial_size, 100);
+    }
+    EXPECT_GE(PaperScenarios::attack_rate(100), 1);
+    EXPECT_EQ(PaperScenarios::attack_rate(250), 2);
+
+    // Both paper sizes are reachable.
+    EXPECT_EQ(reg.attack_random(true).scenario.initial_size, 200);
+}
+
+TEST(Registry, AttackRegionIsOneShotInsideFaultPhase) {
+    const PaperScenarios reg(test_scale());
+    const auto cfg = reg.attack_region();
+    EXPECT_EQ(cfg.scenario.fault.model, fault::ModelKind::kRegionOutage);
+    EXPECT_FALSE(cfg.scenario.fault.churn.any());
+    EXPECT_EQ(cfg.scenario.fault.outage_at, sim::minutes(150));
+    EXPECT_EQ(cfg.scenario.fault.outage_prefix_bits, 2);
+    EXPECT_GE(cfg.scenario.fault.outage_at, cfg.scenario.phases.stabilization_end);
+    EXPECT_LT(cfg.scenario.fault.outage_at, cfg.scenario.phases.end);
+    EXPECT_TRUE(cfg.scenario.fault.any());
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ TEST(Runner, JoinsAreStaggeredNotInstant) {
 
 TEST(Runner, ZeroOneChurnDrainsOnePerMinute) {
     ScenarioConfig cfg = small_scenario(30);
-    cfg.churn = ChurnSpec{0, 1};
+    cfg.fault.churn = ChurnSpec{0, 1};
     Runner runner(cfg);
     runner.step_to(sim::minutes(120));
     EXPECT_EQ(runner.live_count(), 30);
@@ -48,7 +48,7 @@ TEST(Runner, ZeroOneChurnDrainsOnePerMinute) {
 
 TEST(Runner, SymmetricChurnKeepsSizeRoughlyConstant) {
     ScenarioConfig cfg = small_scenario(30);
-    cfg.churn = ChurnSpec{1, 1};
+    cfg.fault.churn = ChurnSpec{1, 1};
     Runner runner(cfg);
     runner.step_to(sim::minutes(200));
     EXPECT_NEAR(runner.live_count(), 30, 2);
@@ -60,7 +60,7 @@ TEST(Runner, SymmetricChurnKeepsSizeRoughlyConstant) {
 
 TEST(Runner, ChurnStartsOnlyAfterStabilization) {
     ScenarioConfig cfg = small_scenario(30);
-    cfg.churn = ChurnSpec{10, 10};
+    cfg.fault.churn = ChurnSpec{10, 10};
     Runner runner(cfg);
     runner.step_to(sim::minutes(119));
     EXPECT_EQ(runner.totals().crashes, 0u);
@@ -68,7 +68,7 @@ TEST(Runner, ChurnStartsOnlyAfterStabilization) {
 
 TEST(Runner, SnapshotCoversExactlyLiveNodes) {
     ScenarioConfig cfg = small_scenario(25);
-    cfg.churn = ChurnSpec{0, 1};
+    cfg.fault.churn = ChurnSpec{0, 1};
     Runner runner(cfg);
     runner.step_to(sim::minutes(150));
     const auto snap = runner.snapshot();
@@ -110,7 +110,7 @@ TEST(Runner, SizeSeriesIsRecordedPerMinute) {
 TEST(Runner, DeterministicAcrossRunsWithSameSeed) {
     ScenarioConfig cfg = small_scenario(25, 77);
     cfg.traffic.enabled = true;
-    cfg.churn = ChurnSpec{1, 1};
+    cfg.fault.churn = ChurnSpec{1, 1};
 
     Runner a(cfg);
     Runner b(cfg);
@@ -172,13 +172,99 @@ TEST(Runner, ValidatesConfig) {
 
 TEST(Runner, DrainToEmptyNetworkIsSafe) {
     ScenarioConfig cfg = small_scenario(10);
-    cfg.churn = ChurnSpec{0, 2};
+    cfg.fault.churn = ChurnSpec{0, 2};
     cfg.phases.end = sim::minutes(140);
     Runner runner(cfg);
     runner.step_to(sim::minutes(140));
     EXPECT_EQ(runner.live_count(), 0);
     const auto snap = runner.snapshot();
     EXPECT_TRUE(snap.nodes.empty());
+    EXPECT_EQ(snap.removed_total, 10u);
+}
+
+TEST(Runner, SnapshotRecordsCumulativeRemovals) {
+    ScenarioConfig cfg = small_scenario(30);
+    cfg.fault.churn = ChurnSpec{0, 1};
+    Runner runner(cfg);
+    runner.step_to(sim::minutes(120));
+    EXPECT_EQ(runner.snapshot().removed_total, 0u);
+    runner.step_to(sim::minutes(150));
+    const auto snap = runner.snapshot();
+    EXPECT_EQ(snap.removed_total, runner.totals().crashes);
+    EXPECT_GT(snap.removed_total, 0u);
+}
+
+TEST(Runner, DegreeAttackRemovesAtTheConfiguredRate) {
+    ScenarioConfig cfg = small_scenario(30);
+    cfg.fault.model = fault::ModelKind::kDegreeAttack;
+    cfg.fault.churn = ChurnSpec{0, 2};
+    Runner runner(cfg);
+    runner.step_to(sim::minutes(120));
+    EXPECT_EQ(runner.totals().crashes, 0u);
+    runner.step_to(sim::minutes(130));
+    // 10 attack minutes at 2/min → 19–20 removals depending on offsets.
+    EXPECT_GE(runner.totals().crashes, 19u);
+    EXPECT_LE(runner.totals().crashes, 20u);
+    EXPECT_EQ(runner.totals().joins, 30u);  // no arrivals
+}
+
+TEST(Runner, TargetedAttacksAreDeterministicPerSeed) {
+    for (const fault::ModelKind kind :
+         {fault::ModelKind::kDegreeAttack, fault::ModelKind::kKappaAttack}) {
+        ScenarioConfig cfg = small_scenario(25, 7);
+        cfg.fault.model = kind;
+        cfg.fault.churn = ChurnSpec{0, 1};
+        Runner a(cfg);
+        Runner b(cfg);
+        a.step_to(sim::minutes(160));
+        b.step_to(sim::minutes(160));
+        EXPECT_EQ(a.totals().crashes, b.totals().crashes);
+        EXPECT_EQ(a.totals().events_executed, b.totals().events_executed);
+        const auto sa = a.snapshot();
+        const auto sb = b.snapshot();
+        ASSERT_EQ(sa.nodes.size(), sb.nodes.size());
+        for (std::size_t i = 0; i < sa.nodes.size(); ++i) {
+            EXPECT_EQ(sa.nodes[i].address, sb.nodes[i].address);
+            EXPECT_EQ(sa.nodes[i].contacts, sb.nodes[i].contacts);
+        }
+    }
+}
+
+TEST(Runner, RegionOutageCutsExactlyTheRegionAtTheInstant) {
+    ScenarioConfig cfg = small_scenario(40);
+    cfg.fault.model = fault::ModelKind::kRegionOutage;
+    cfg.fault.outage_at = sim::minutes(150);
+    cfg.fault.outage_prefix_bits = 1;
+    cfg.fault.outage_prefix = 1;  // top id bit set → about half the nodes
+    Runner runner(cfg);
+
+    runner.step_to(sim::minutes(150) - 1);
+    EXPECT_EQ(runner.totals().crashes, 0u);
+    const int before = runner.live_count();
+
+    // Count live region members just before the cut.
+    int in_region = 0;
+    for (const net::Address address : runner.live_addresses()) {
+        if (runner.node(address)->id().get_bit(cfg.kad.b - 1)) ++in_region;
+    }
+    ASSERT_GT(in_region, 0);
+
+    runner.step_to(sim::minutes(151));
+    EXPECT_EQ(runner.totals().crashes, static_cast<std::uint64_t>(in_region));
+    EXPECT_EQ(runner.live_count(), before - in_region);
+    // Every survivor is outside the region; the cut fires exactly once.
+    for (const net::Address address : runner.live_addresses()) {
+        EXPECT_FALSE(runner.node(address)->id().get_bit(cfg.kad.b - 1));
+    }
+    runner.step_to(sim::minutes(200));
+    EXPECT_EQ(runner.totals().crashes, static_cast<std::uint64_t>(in_region));
+}
+
+TEST(Runner, RegionOutageOutsideFaultPhaseIsRejected) {
+    ScenarioConfig cfg = small_scenario(10);
+    cfg.fault.model = fault::ModelKind::kRegionOutage;
+    cfg.fault.outage_at = sim::minutes(60);  // before stabilization_end
+    EXPECT_THROW(Runner{cfg}, std::invalid_argument);
 }
 
 }  // namespace

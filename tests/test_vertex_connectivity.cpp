@@ -293,5 +293,90 @@ TEST(VertexConnectivity, DisconnectedGraphHasKappaZero) {
     EXPECT_EQ(vertex_connectivity(g).kappa_min, 0);
 }
 
+TEST(VertexConnectivity, SourceCountIsCeilOfFractionTimesN) {
+    // Regression for the old `fraction * n + 0.999` hack, which under-counts
+    // ⌈fraction·n⌉ whenever the product lands just above an integer (its
+    // fractional part in (0, 0.001)): with n = 20 and fraction = 0.050001,
+    // ⌈1.00002⌉ = 2 but the hack truncated 1.99902 down to 1.
+    graph::Digraph g = undirected_cycle(20);
+    ConnectivityOptions opts;
+    opts.min_sources = 1;
+
+    opts.sample_fraction = 0.050001;
+    EXPECT_EQ(vertex_connectivity(g, opts).sources_used, 2);
+
+    // Exact multiples keep their exact count (0.25 and 0.5 are dyadic, so
+    // fraction * n is computed without rounding noise).
+    opts.sample_fraction = 0.25;
+    EXPECT_EQ(vertex_connectivity(g, opts).sources_used, 5);
+    opts.sample_fraction = 0.5;
+    EXPECT_EQ(vertex_connectivity(g, opts).sources_used, 10);
+
+    // Just below a multiple still rounds up to it.
+    opts.sample_fraction = 0.2499;
+    EXPECT_EQ(vertex_connectivity(g, opts).sources_used, 5);
+
+    // The paper's c = 0.02 at both paper network sizes: 0.02·250 and
+    // 0.02·2500 stay exactly 5 and 50 in IEEE doubles, so the published
+    // sampling configuration is unchanged by the ceil fix.
+    graph::Digraph big(250);
+    for (int i = 0; i < 250; ++i) {
+        big.add_edge(i, (i + 1) % 250);
+        big.add_edge((i + 1) % 250, i);
+    }
+    big.finalize();
+    opts.sample_fraction = 0.02;
+    EXPECT_EQ(vertex_connectivity(big, opts).sources_used, 5);
+}
+
+TEST(VertexConnectivity, DegreeBoundSkipsZeroBoundPairsWithoutFlows) {
+    // Vertex 3 has no outgoing edges: every (3, v) pair has bound 0 and must
+    // be settled as κ = 0 without a max-flow run; every v also loses its
+    // (v, 3) pairs to the in-degree side of the bound.
+    graph::Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.finalize();
+
+    const auto r = vertex_connectivity(g);
+    EXPECT_EQ(r.kappa_min, 0);
+    EXPECT_GT(r.pairs_skipped, 0u);
+    // Skipped pairs are still evaluated pairs (their κ = 0 is exact).
+    EXPECT_LE(r.pairs_skipped, r.pairs_evaluated);
+}
+
+TEST(VertexConnectivity, DegreeBoundCapRecordsEarlyStopsAndStaysExact) {
+    // On an undirected cycle every κ(u,v) = 2 = min degree, so every Dinic
+    // run hits its bound: all flows are capped and the values stay exact.
+    graph::Digraph cyc = undirected_cycle(8);
+    const auto r = vertex_connectivity(cyc);
+    EXPECT_EQ(r.kappa_min, 2);
+    EXPECT_EQ(r.flows_capped, r.pairs_evaluated);
+    EXPECT_EQ(r.pairs_skipped, 0u);
+
+    // Cross-check against the cap-free push-relabel backend on irregular
+    // random graphs: identical κ aggregates, counters only on the Dinic side.
+    util::Rng rng(46);
+    for (int trial = 0; trial < 5; ++trial) {
+        graph::Digraph g(14);
+        for (int u = 0; u < 14; ++u) {
+            for (int v = 0; v < 14; ++v) {
+                if (u != v && rng.next_bool(0.3)) g.add_edge(u, v);
+            }
+        }
+        g.finalize();
+        const auto dinic = vertex_connectivity(g);
+        ConnectivityOptions pr;
+        pr.use_push_relabel = true;
+        const auto hipr = vertex_connectivity(g, pr);
+        EXPECT_EQ(dinic.kappa_min, hipr.kappa_min);
+        EXPECT_EQ(dinic.kappa_sum, hipr.kappa_sum);
+        EXPECT_EQ(dinic.pairs_evaluated, hipr.pairs_evaluated);
+        EXPECT_EQ(hipr.flows_capped, 0u);
+        EXPECT_EQ(dinic.pairs_skipped, hipr.pairs_skipped);
+    }
+}
+
 }  // namespace
 }  // namespace kadsim::flow

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Runs every bench binary (figures, tables, ablations, extensions, micros)
-# from an existing build tree. Figure outputs (CSV + BENCH_*.json + cache)
+# Runs every bench binary (figures, tables, ablations, extensions — incl.
+# the attack_resilience fault-model bench — and micros) from an existing
+# build tree: the list is globbed from bench/*.cpp, so new benches are
+# picked up automatically. Figure outputs (CSV + BENCH_*.json + cache)
 # land under ./bench_out/ in the current working directory.
 #
 #   tools/run_all_benches.sh [build-dir]
