@@ -98,16 +98,6 @@ void store_cached(const std::string& path, const std::string& key,
     }
 }
 
-std::string json_escape(const std::string& in) {
-    std::string out;
-    out.reserve(in.size());
-    for (const char c : in) {
-        if (c == '"' || c == '\\') out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
 /// Machine-readable run summary next to the CSV: bench_out/BENCH_<id>.json.
 std::string write_bench_json(const FigureSpec& spec) {
     const std::string path = output_dir() + "/BENCH_" + spec.id + ".json";
@@ -158,6 +148,16 @@ std::string output_dir() {
     const std::string dir = "bench_out";
     util::ensure_directory(dir);
     return dir;
+}
+
+std::string json_escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
 }
 
 void ProgressSink::line(const std::string& label, const std::string& text) {

@@ -79,6 +79,9 @@ std::vector<core::ExperimentSeries> run_cached_batch(
 /// Prints the standard bench header (scale, seed, env knobs).
 void print_header(const FigureSpec& spec, const core::ReproScale& scale);
 
+/// Escapes `"` and `\` for embedding in the BENCH_<id>.json writers.
+[[nodiscard]] std::string json_escape(const std::string& in);
+
 /// Output directory ("bench_out", created on demand).
 std::string output_dir();
 

@@ -45,19 +45,22 @@ int main() {
     for (int u = 0; u < gr.vertex_count(); ++u) {
         for (const int v : gr.out(u)) raw.add_arc(u, v, 1);
     }
+    raw.finalize();
+    flow::FlowWorkspace raw_ws(raw);
     flow::Dinic dinic;
-    const int raw_flow = dinic.max_flow(raw, a, i);
+    const int raw_flow = dinic.max_flow(raw_ws, a, i);
     std::printf("max-flow a -> i in D (edge capacities 1):       %d\n", raw_flow);
 
     // Max flow on the Even-transformed graph = vertex connectivity.
-    flow::FlowNetwork transformed = flow::even_transform(gr);
+    const flow::FlowNetwork transformed = flow::even_transform(gr);
     std::printf("transformed D': %d vertices, %d forward arcs (2n=%d, m+n=%lld)\n",
                 transformed.vertex_count(), transformed.arc_count() / 2,
                 2 * gr.vertex_count(),
                 static_cast<long long>(gr.edge_count()) + gr.vertex_count());
+    flow::FlowWorkspace transformed_ws(transformed);
     flow::Dinic dinic2;
     const int kappa =
-        dinic2.max_flow(transformed, flow::out_vertex(a), flow::in_vertex(i));
+        dinic2.max_flow(transformed_ws, flow::out_vertex(a), flow::in_vertex(i));
     std::printf("max-flow a'' -> i' in D' = kappa(a, i):         %d\n", kappa);
 
     const auto cut = flow::min_vertex_cut(gr, a, i);

@@ -1,0 +1,139 @@
+// Scale family: n = 2000 (and, at paper scale, n = 5000) networks under the
+// paper's 1/1 churn — the snapshot sizes the CSR flow kernel makes
+// affordable. Unlike the figure benches this binary drives the runner and
+// analyzer directly (no series cache): the point is to measure the kernel,
+// so BENCH_scale_family.json records, per config, the wall time, the peak
+// flow-kernel arena (shared CSR network + every worker workspace) and the
+// touched-arc reset counters alongside the κ trajectory.
+//
+// REPRO_SCALE=quick (default) runs scale_2k only; REPRO_SCALE=paper adds
+// scale_5k. tools/run_all_benches.sh picks this binary up automatically.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/analyzer.h"
+#include "core/registry.h"
+#include "exec/thread_pool.h"
+#include "scen/runner.h"
+#include "util/env.h"
+
+namespace {
+
+using namespace kadsim;
+
+struct ScaleRun {
+    std::string label;
+    core::ExperimentConfig config;
+    std::vector<core::ConnectivitySample> samples;
+    double wall_seconds = 0.0;
+    std::uint64_t peak_arena_bytes = 0;
+    std::uint64_t arcs_touched = 0;
+    std::uint64_t full_resets_avoided = 0;
+};
+
+void run_one(ScaleRun& run, exec::ThreadPool& pool, bench::ProgressSink& sink) {
+    const auto start = std::chrono::steady_clock::now();
+    const core::ConnectivityAnalyzer analyzer(run.config.analyzer);
+    scen::Runner runner(run.config.scenario);
+    runner.run(run.config.snapshot_interval, [&](const graph::RoutingSnapshot& snap) {
+        const graph::Digraph g = snap.to_digraph();
+        const flow::ConnectivityResult r = analyzer.analyze_graph(g, &pool);
+        core::ConnectivitySample sample;
+        sample.time_min = static_cast<double>(snap.time_ms) / 60000.0;
+        sample.n = r.n;
+        sample.m = r.m;
+        sample.kappa_min = r.kappa_min;
+        sample.kappa_avg = r.kappa_avg;
+        sample.pairs_evaluated = r.pairs_evaluated;
+        run.samples.push_back(sample);
+        run.peak_arena_bytes = std::max(run.peak_arena_bytes, r.arena_bytes);
+        run.arcs_touched += r.arcs_touched;
+        run.full_resets_avoided += r.full_resets_avoided;
+        sink.sample(run.label, sample);
+    });
+    run.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+}
+
+void write_json(const std::vector<ScaleRun>& runs, int threads,
+                double wall_seconds) {
+    const std::string path = bench::output_dir() + "/BENCH_scale_family.json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return;
+    out << "{\n"
+        << "  \"id\": \"scale_family\",\n"
+        << "  \"paper_ref\": \"beyond the paper: CSR-kernel scale family\",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"wall_seconds\": " << wall_seconds << ",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto& run = runs[i];
+        int kappa_min_last = 0;
+        double kappa_avg_last = 0.0;
+        if (!run.samples.empty()) {
+            kappa_min_last = run.samples.back().kappa_min;
+            kappa_avg_last = run.samples.back().kappa_avg;
+        }
+        out << "    {\"label\": \"" << bench::json_escape(run.label) << "\", "
+            << "\"n\": " << run.config.scenario.initial_size << ", "
+            << "\"samples\": " << run.samples.size() << ", "
+            << "\"kappa_min_last\": " << kappa_min_last << ", "
+            << "\"kappa_avg_last\": " << kappa_avg_last << ", "
+            << "\"wall_seconds\": " << run.wall_seconds << ", "
+            << "\"peak_arena_bytes\": " << run.peak_arena_bytes << ", "
+            << "\"arcs_touched\": " << run.arcs_touched << ", "
+            << "\"full_resets_avoided\": " << run.full_resets_avoided << "}"
+            << (i + 1 < runs.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::printf("json: %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+    const auto scale = core::ReproScale::from_env();
+    const core::PaperScenarios scenarios(scale);
+
+    std::vector<ScaleRun> runs;
+    runs.push_back({"n=2000", scenarios.scale_2k(), {}, 0.0, 0, 0, 0});
+    if (util::repro_scale() == util::ReproScale::kPaper) {
+        runs.push_back({"n=5000", scenarios.scale_5k(), {}, 0.0, 0, 0, 0});
+    }
+
+    std::printf("================================================================\n");
+    std::printf("Scale family — CSR flow kernel at n beyond the paper's sizes\n");
+    std::printf("================================================================\n");
+    std::printf("configs: %zu (REPRO_SCALE=paper adds n=5000), threads=%d\n\n",
+                runs.size(), scale.threads);
+
+    const int threads = std::max(1, scale.threads);
+    exec::ThreadPool pool(threads);
+    bench::ProgressSink sink;
+
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& run : runs) run_one(run, pool, sink);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::printf("\n%-10s %9s %9s %12s %16s %14s\n", "config", "samples", "k_min",
+                "wall(s)", "peak_arena(MiB)", "arcs_touched");
+    for (const auto& run : runs) {
+        std::printf("%-10s %9zu %9d %12.1f %16.2f %14llu\n", run.label.c_str(),
+                    run.samples.size(),
+                    run.samples.empty() ? 0 : run.samples.back().kappa_min,
+                    run.wall_seconds,
+                    static_cast<double>(run.peak_arena_bytes) / (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(run.arcs_touched));
+    }
+    write_json(runs, threads, wall);
+    std::printf("wall time: %.1f s\n", wall);
+    return 0;
+}

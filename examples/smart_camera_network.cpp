@@ -15,6 +15,7 @@
 #include "core/analyzer.h"
 #include "core/resilience.h"
 #include "exec/thread_pool.h"
+#include "flow/even_transform.h"
 #include "flow/mincut.h"
 #include "flow/vertex_connectivity.h"
 #include "scen/runner.h"
@@ -80,11 +81,17 @@ int main(int argc, char** argv) {
               [&g](int a, int b) { return g.out_degree(a) < g.out_degree(b); });
     sources.resize(std::min<std::size_t>(sources.size(), 8));
 
+    // One Even transform + workspace, reused across the whole pair scan (the
+    // touched-arc reset makes each probe cost only the arcs the last flow
+    // moved).
+    const flow::FlowNetwork even_net = flow::even_transform(g);
+    flow::FlowWorkspace workspace(even_net);
     int worst_u = -1, worst_v = -1;
     for (const int u : sources) {
         for (int v = 0; v < g.vertex_count(); ++v) {
             if (u == v || g.has_edge(u, v)) continue;
-            if (flow::pair_vertex_connectivity(g, u, v) == result.kappa_min) {
+            if (flow::pair_vertex_connectivity(g, even_net, workspace, u, v) ==
+                result.kappa_min) {
                 worst_u = u;
                 worst_v = v;
                 break;

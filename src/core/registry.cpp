@@ -207,6 +207,31 @@ ExperimentConfig PaperScenarios::attack_region(bool large) const {
     return cfg;
 }
 
+namespace {
+/// Scale-family horizon: setup + stabilization + one hour of churn. Hourly
+/// snapshots (stabilization, churn onset, churned) keep the bench a few
+/// minutes long at n = 2000: each analysis is c·n sources × n sinks of
+/// max-flow, so the snapshot cadence — not the simulator — sets the cost.
+constexpr long long kScaleFamilyEndMin = 180;
+constexpr long long kScaleFamilySnapshotMin = 60;
+}  // namespace
+
+ExperimentConfig PaperScenarios::scale_2k() const {
+    ExperimentConfig cfg =
+        base("SCALE-2K:size=2000,churn=1/1,k=20", 2000, 20, false,
+             scen::ChurnSpec{1, 1}, sim::minutes(kScaleFamilyEndMin));
+    cfg.snapshot_interval = sim::minutes(kScaleFamilySnapshotMin);
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::scale_5k() const {
+    ExperimentConfig cfg =
+        base("SCALE-5K:size=5000,churn=1/1,k=20", 5000, 20, false,
+             scen::ChurnSpec{1, 1}, sim::minutes(kScaleFamilyEndMin));
+    cfg.snapshot_interval = sim::minutes(kScaleFamilySnapshotMin);
+    return cfg;
+}
+
 ExperimentConfig PaperScenarios::sim_c_b80(int k) const {
     ExperimentConfig cfg = sim_c(k);
     cfg.scenario.name += ",b=80";

@@ -89,6 +89,15 @@ public:
     /// Removal budget per minute the per-minute attack scenarios use.
     [[nodiscard]] static int attack_rate(int size);
 
+    // Scale family (beyond the paper's sizes): fixed n = 2000 / 5000
+    // networks under the paper's 1/1 churn on a short horizon, sized to
+    // exercise the CSR flow kernel rather than the simulator (no data
+    // traffic — the cost being measured is the per-snapshot κ analysis).
+    // `bench/scale_family` runs these and records wall time plus the flow
+    // kernel's peak arena bytes.
+    [[nodiscard]] ExperimentConfig scale_2k() const;
+    [[nodiscard]] ExperimentConfig scale_5k() const;
+
     /// Churn-phase start in minutes (Table 2 aggregates from here on).
     [[nodiscard]] static double churn_start_min() { return 120.0; }
 

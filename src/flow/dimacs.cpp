@@ -14,10 +14,9 @@ void write_dimacs(const FlowNetwork& net, int source, int sink, std::ostream& ou
     out << "n " << source + 1 << " s\n";
     out << "n " << sink + 1 << " t\n";
     for (int i = 0; i < net.arc_count(); i += 2) {
-        const int u = net.arc(i ^ 1).to;  // reverse arc points back to origin
-        const auto& arc = net.arc(i);
-        out << "a " << u + 1 << ' ' << arc.to + 1 << ' ' << net.original_cap(i)
-            << '\n';
+        const int u = net.arc_to(i ^ 1);  // reverse arc points back to origin
+        out << "a " << u + 1 << ' ' << net.arc_to(i) + 1 << ' '
+            << net.original_cap(i) << '\n';
     }
 }
 
@@ -91,6 +90,7 @@ DimacsProblem read_dimacs(std::istream& in) {
     if (declared_arcs != seen_arcs) {
         throw std::runtime_error("dimacs: arc count mismatch");
     }
+    problem.network.finalize();
     return problem;
 }
 

@@ -28,8 +28,8 @@ struct DimacsProblem {
 /// Only forward arcs (even indices) are emitted.
 void write_dimacs(const FlowNetwork& net, int source, int sink, std::ostream& out);
 
-/// Parses a DIMACS max-flow problem; throws std::runtime_error on malformed
-/// input.
+/// Parses a DIMACS max-flow problem into a finalized (ready-to-solve)
+/// network; throws std::runtime_error on malformed input.
 [[nodiscard]] DimacsProblem read_dimacs(std::istream& in);
 
 }  // namespace kadsim::flow

@@ -6,18 +6,18 @@
 
 namespace kadsim::flow {
 
-int Dinic::max_flow(FlowNetwork& net, int s, int t, int flow_limit) {
+int Dinic::max_flow(FlowWorkspace& ws, int s, int t, int flow_limit) {
     KADSIM_ASSERT(s != t);
-    const auto n = static_cast<std::size_t>(net.vertex_count());
-    level_.assign(n, -1);
-    iter_.assign(n, 0);
-    queue_.reserve(n);
+    const auto n = static_cast<std::size_t>(ws.network().vertex_count());
+    ws.level.assign(n, -1);
+    ws.iter.assign(n, 0);
+    ws.queue.reserve(n);
 
     int flow = 0;
-    while (flow < flow_limit && bfs(net, s, t)) {
-        std::fill(iter_.begin(), iter_.end(), 0);
+    while (flow < flow_limit && bfs(ws, s, t)) {
+        std::fill(ws.iter.begin(), ws.iter.end(), 0);
         while (flow < flow_limit) {
-            const int pushed = dfs(net, s, t, flow_limit - flow);
+            const int pushed = dfs(ws, s, t, flow_limit - flow);
             if (pushed == 0) break;
             flow += pushed;
         }
@@ -25,44 +25,45 @@ int Dinic::max_flow(FlowNetwork& net, int s, int t, int flow_limit) {
     return flow;
 }
 
-bool Dinic::bfs(const FlowNetwork& net, int s, int t) {
-    std::fill(level_.begin(), level_.end(), -1);
-    queue_.clear();
-    queue_.push_back(s);
-    level_[static_cast<std::size_t>(s)] = 0;
-    for (std::size_t head = 0; head < queue_.size(); ++head) {
-        const int v = queue_[head];
+bool Dinic::bfs(FlowWorkspace& ws, int s, int t) {
+    const FlowNetwork& net = ws.network();
+    std::fill(ws.level.begin(), ws.level.end(), -1);
+    ws.queue.clear();
+    ws.queue.push_back(s);
+    ws.level[static_cast<std::size_t>(s)] = 0;
+    for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+        const int v = ws.queue[head];
         for (const int arc_index : net.arcs_of(v)) {
-            const auto& arc = net.arc(arc_index);
-            if (arc.cap > 0 && level_[static_cast<std::size_t>(arc.to)] < 0) {
-                level_[static_cast<std::size_t>(arc.to)] =
-                    level_[static_cast<std::size_t>(v)] + 1;
+            const auto& arc = ws.arc(arc_index);
+            if (arc.cap > 0 && ws.level[static_cast<std::size_t>(arc.to)] < 0) {
+                ws.level[static_cast<std::size_t>(arc.to)] =
+                    ws.level[static_cast<std::size_t>(v)] + 1;
                 if (arc.to == t) return true;
-                queue_.push_back(arc.to);
+                ws.queue.push_back(arc.to);
             }
         }
     }
-    return level_[static_cast<std::size_t>(t)] >= 0;
+    return ws.level[static_cast<std::size_t>(t)] >= 0;
 }
 
-int Dinic::dfs(FlowNetwork& net, int v, int t, int limit) {
+int Dinic::dfs(FlowWorkspace& ws, int v, int t, int limit) {
     if (v == t) return limit;
+    const FlowNetwork& net = ws.network();
     const auto vs = static_cast<std::size_t>(v);
     const auto arcs = net.arcs_of(v);
-    for (; iter_[vs] < arcs.size(); ++iter_[vs]) {
-        const int arc_index = arcs[iter_[vs]];
-        auto& arc = net.arc(arc_index);
+    for (; ws.iter[vs] < arcs.size(); ++ws.iter[vs]) {
+        const int arc_index = arcs[ws.iter[vs]];
+        const auto& arc = ws.arc(arc_index);
         if (arc.cap <= 0) continue;
-        const auto ws = static_cast<std::size_t>(arc.to);
-        if (level_[ws] != level_[vs] + 1) continue;
-        const int pushed = dfs(net, arc.to, t, std::min(limit, arc.cap));
+        const auto ws_to = static_cast<std::size_t>(arc.to);
+        if (ws.level[ws_to] != ws.level[vs] + 1) continue;
+        const int pushed = dfs(ws, arc.to, t, std::min(limit, arc.cap));
         if (pushed > 0) {
-            arc.cap -= pushed;
-            net.arc(arc_index ^ 1).cap += pushed;
+            ws.add_flow(arc_index, pushed);
             return pushed;
         }
         // Dead end: prune this vertex from the level graph.
-        level_[ws] = -1;
+        ws.level[ws_to] = -1;
     }
     return 0;
 }

@@ -6,27 +6,28 @@
 
 namespace kadsim::flow {
 
-int EdmondsKarp::max_flow(FlowNetwork& net, int s, int t, int flow_limit) {
+int EdmondsKarp::max_flow(FlowWorkspace& ws, int s, int t, int flow_limit) {
     KADSIM_ASSERT(s != t);
+    const FlowNetwork& net = ws.network();
     const auto n = static_cast<std::size_t>(net.vertex_count());
     int flow = 0;
     while (flow < flow_limit) {
-        parent_arc_.assign(n, -1);
-        queue_.clear();
-        queue_.push_back(s);
+        ws.parent_arc.assign(n, -1);
+        ws.queue.clear();
+        ws.queue.push_back(s);
         bool reached = false;
-        for (std::size_t head = 0; head < queue_.size() && !reached; ++head) {
-            const int v = queue_[head];
+        for (std::size_t head = 0; head < ws.queue.size() && !reached; ++head) {
+            const int v = ws.queue[head];
             for (const int arc_index : net.arcs_of(v)) {
-                const auto& arc = net.arc(arc_index);
+                const auto& arc = ws.arc(arc_index);
                 if (arc.cap <= 0 || arc.to == s) continue;
-                if (parent_arc_[static_cast<std::size_t>(arc.to)] != -1) continue;
-                parent_arc_[static_cast<std::size_t>(arc.to)] = arc_index;
+                if (ws.parent_arc[static_cast<std::size_t>(arc.to)] != -1) continue;
+                ws.parent_arc[static_cast<std::size_t>(arc.to)] = arc_index;
                 if (arc.to == t) {
                     reached = true;
                     break;
                 }
-                queue_.push_back(arc.to);
+                ws.queue.push_back(arc.to);
             }
         }
         if (!reached) break;
@@ -34,15 +35,14 @@ int EdmondsKarp::max_flow(FlowNetwork& net, int s, int t, int flow_limit) {
         // Bottleneck along the parent chain.
         int bottleneck = flow_limit - flow;
         for (int v = t; v != s;) {
-            const int arc_index = parent_arc_[static_cast<std::size_t>(v)];
-            bottleneck = std::min(bottleneck, net.arc(arc_index).cap);
-            v = net.arc(arc_index ^ 1).to;
+            const int arc_index = ws.parent_arc[static_cast<std::size_t>(v)];
+            bottleneck = std::min(bottleneck, ws.cap(arc_index));
+            v = ws.arc(arc_index ^ 1).to;
         }
         for (int v = t; v != s;) {
-            const int arc_index = parent_arc_[static_cast<std::size_t>(v)];
-            net.arc(arc_index).cap -= bottleneck;
-            net.arc(arc_index ^ 1).cap += bottleneck;
-            v = net.arc(arc_index ^ 1).to;
+            const int arc_index = ws.parent_arc[static_cast<std::size_t>(v)];
+            ws.add_flow(arc_index, bottleneck);
+            v = ws.arc(arc_index ^ 1).to;
         }
         flow += bottleneck;
     }

@@ -1,12 +1,12 @@
 // Edmonds–Karp (BFS augmenting paths): the simplest correct max-flow solver.
 // Used as the independent oracle in cross-implementation property tests.
+// Stateless: all mutable state lives in the caller's flow::FlowWorkspace.
 #ifndef KADSIM_FLOW_EDMONDS_KARP_H
 #define KADSIM_FLOW_EDMONDS_KARP_H
 
 #include <limits>
-#include <vector>
 
-#include "flow/flow_network.h"
+#include "flow/flow_workspace.h"
 
 namespace kadsim::flow {
 
@@ -14,11 +14,7 @@ class EdmondsKarp {
 public:
     static constexpr int kUnbounded = std::numeric_limits<int>::max();
 
-    int max_flow(FlowNetwork& net, int s, int t, int flow_limit = kUnbounded);
-
-private:
-    std::vector<int> parent_arc_;
-    std::vector<int> queue_;
+    int max_flow(FlowWorkspace& ws, int s, int t, int flow_limit = kUnbounded);
 };
 
 }  // namespace kadsim::flow

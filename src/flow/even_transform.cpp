@@ -8,6 +8,8 @@ FlowNetwork even_transform(const graph::Digraph& g, int edge_capacity) {
     KADSIM_ASSERT(edge_capacity >= 1);
     const int n = g.vertex_count();
     FlowNetwork net(2 * n);
+    net.reserve(static_cast<std::size_t>(g.edge_count()) +
+                static_cast<std::size_t>(n));
     // Internal arcs first: arc index of (v', v'') is 2v — handy for cut
     // extraction.
     for (int v = 0; v < n; ++v) {
@@ -18,6 +20,7 @@ FlowNetwork even_transform(const graph::Digraph& g, int edge_capacity) {
             net.add_arc(out_vertex(u), in_vertex(w), edge_capacity);
         }
     }
+    net.finalize();
     return net;
 }
 

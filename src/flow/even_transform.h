@@ -21,7 +21,20 @@ constexpr int in_vertex(int v) noexcept { return 2 * v; }
 /// Outgoing copy v'' of original vertex v in the transformed network.
 constexpr int out_vertex(int v) noexcept { return 2 * v + 1; }
 
-/// Builds D'(V',E') from D(V,E): 2n vertices, m+n forward arcs.
+/// Arc-id layout contract of even_transform (relied on by mincut extraction
+/// and the connectivity kernel's length-3 path seeding):
+///   * the internal arc (v', v'') of vertex v is arc 2v;
+///   * the arc replacing the connectivity-graph edge with global CSR index j
+///     (graph::Digraph::edge_offset) is arc 2n + 2j.
+constexpr int internal_arc(int v) noexcept { return 2 * v; }
+constexpr int edge_arc(int n, std::int64_t edge_index) noexcept {
+    return static_cast<int>(2 * n + 2 * edge_index);
+}
+
+/// Builds D'(V',E') from D(V,E): 2n vertices, m+n forward arcs, returned as
+/// a finalized (immutable, CSR-compacted) network built in one counting
+/// pass. Share it by reference across workers; per-thread mutation happens
+/// in flow::FlowWorkspace.
 ///
 /// `edge_capacity` is the capacity of the arcs replacing original edges.
 /// The paper assigns 1 (sufficient for the max-flow *value*, because flow

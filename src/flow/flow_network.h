@@ -1,10 +1,13 @@
-// Mutable residual flow network shared by all max-flow solvers.
+// Immutable CSR flow-network structure shared by all max-flow solvers.
 //
-// Arcs are stored in a flat array; arc i and its reverse arc are paired as
-// (i, i^1), the classic residual-graph trick. Capacities are mutated in place
-// by solvers; reset() restores the as-built capacities so one network can be
-// reused across the thousands of (source, sink) pairs a connectivity
-// computation evaluates (Per.14: minimize allocations).
+// Arcs are stored flat; arc i and its reverse are paired as (i, i^1), the
+// classic residual-graph trick. After finalize() the arc structure, the CSR
+// adjacency (offsets + arc-id array) and the as-built capacities are
+// immutable: one FlowNetwork is shared by reference across every concurrent
+// worker of a connectivity computation, and all mutable state — residual
+// capacities plus solver scratch — lives in a per-thread flow::FlowWorkspace
+// (flow_workspace.h). This is what makes a worker cost O(residual caps)
+// instead of a deep copy of the whole network.
 #ifndef KADSIM_FLOW_FLOW_NETWORK_H
 #define KADSIM_FLOW_FLOW_NETWORK_H
 
@@ -18,65 +21,94 @@ namespace kadsim::flow {
 
 class FlowNetwork {
 public:
-    struct Arc {
-        int to = 0;
-        int cap = 0;  // residual capacity
-    };
+    explicit FlowNetwork(int n) : n_(n) { KADSIM_ASSERT(n >= 0); }
 
-    explicit FlowNetwork(int n) : adj_(static_cast<std::size_t>(n)) {
-        KADSIM_ASSERT(n >= 0);
+    /// Pre-sizes the arc arrays for `arc_pairs` add_arc calls.
+    void reserve(std::size_t arc_pairs) {
+        arc_to_.reserve(2 * arc_pairs);
+        original_caps_.reserve(2 * arc_pairs);
     }
 
     /// Adds arc u→v with capacity `cap` (and its reverse with capacity 0).
-    /// Returns the forward arc index; the reverse is index^1.
+    /// Returns the forward arc index; the reverse is index^1. Only valid
+    /// before finalize().
     int add_arc(int u, int v, int cap) {
-        KADSIM_ASSERT(u >= 0 && u < vertex_count() && v >= 0 && v < vertex_count());
+        KADSIM_ASSERT(!finalized_);
+        KADSIM_ASSERT(u >= 0 && u < n_ && v >= 0 && v < n_);
         KADSIM_ASSERT(cap >= 0);
-        const int index = static_cast<int>(arcs_.size());
-        arcs_.push_back(Arc{v, cap});
-        arcs_.push_back(Arc{u, 0});
+        const int index = static_cast<int>(arc_to_.size());
+        arc_to_.push_back(v);
+        arc_to_.push_back(u);
         original_caps_.push_back(cap);
         original_caps_.push_back(0);
-        adj_[static_cast<std::size_t>(u)].push_back(index);
-        adj_[static_cast<std::size_t>(v)].push_back(index + 1);
         return index;
     }
 
-    [[nodiscard]] int vertex_count() const noexcept {
-        return static_cast<int>(adj_.size());
+    /// Builds the CSR adjacency (one counting pass over the arc tails) and
+    /// freezes the structure; must be called exactly once after the last
+    /// add_arc. Per-vertex arc order equals arc-insertion order.
+    void finalize() {
+        KADSIM_ASSERT(!finalized_);
+        first_out_.assign(static_cast<std::size_t>(n_) + 1, 0);
+        for (std::size_t a = 0; a < arc_to_.size(); ++a) {
+            // The tail of arc a is the head of its pair a^1.
+            ++first_out_[static_cast<std::size_t>(arc_to_[a ^ 1]) + 1];
+        }
+        for (int v = 0; v < n_; ++v) {
+            first_out_[static_cast<std::size_t>(v) + 1] +=
+                first_out_[static_cast<std::size_t>(v)];
+        }
+        arc_ids_.resize(arc_to_.size());
+        std::vector<std::int64_t> cursor(first_out_.begin(), first_out_.end() - 1);
+        for (std::size_t a = 0; a < arc_to_.size(); ++a) {
+            const auto tail = static_cast<std::size_t>(arc_to_[a ^ 1]);
+            arc_ids_[static_cast<std::size_t>(cursor[tail]++)] = static_cast<int>(a);
+        }
+        finalized_ = true;
     }
+
+    [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+    [[nodiscard]] int vertex_count() const noexcept { return n_; }
     [[nodiscard]] int arc_count() const noexcept {
-        return static_cast<int>(arcs_.size());
+        return static_cast<int>(arc_to_.size());
     }
 
+    /// Arc indices leaving u (forward arcs and reverse stubs interleaved).
     [[nodiscard]] std::span<const int> arcs_of(int u) const {
-        return adj_[static_cast<std::size_t>(u)];
+        KADSIM_ASSERT(finalized_);
+        const auto us = static_cast<std::size_t>(u);
+        return {arc_ids_.data() + first_out_[us],
+                static_cast<std::size_t>(first_out_[us + 1] - first_out_[us])};
     }
 
-    [[nodiscard]] Arc& arc(int index) { return arcs_[static_cast<std::size_t>(index)]; }
-    [[nodiscard]] const Arc& arc(int index) const {
-        return arcs_[static_cast<std::size_t>(index)];
-    }
-
-    /// Flow currently routed through forward arc `index`.
-    [[nodiscard]] int flow_on(int index) const {
-        return original_caps_[static_cast<std::size_t>(index)] -
-               arcs_[static_cast<std::size_t>(index)].cap;
+    /// Head vertex of arc `index` (the tail is arc_to(index ^ 1)).
+    [[nodiscard]] int arc_to(int index) const {
+        return arc_to_[static_cast<std::size_t>(index)];
     }
 
     [[nodiscard]] int original_cap(int index) const {
         return original_caps_[static_cast<std::size_t>(index)];
     }
 
-    /// Restores every arc to its as-built capacity.
-    void reset() noexcept {
-        for (std::size_t i = 0; i < arcs_.size(); ++i) arcs_[i].cap = original_caps_[i];
+    [[nodiscard]] std::span<const int> original_caps() const noexcept {
+        return original_caps_;
+    }
+
+    /// Bytes held by the flat arrays (arena accounting in benches).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return arc_to_.capacity() * sizeof(int) +
+               original_caps_.capacity() * sizeof(int) +
+               first_out_.capacity() * sizeof(std::int64_t) +
+               arc_ids_.capacity() * sizeof(int);
     }
 
 private:
-    std::vector<Arc> arcs_;
-    std::vector<int> original_caps_;
-    std::vector<std::vector<int>> adj_;
+    int n_ = 0;
+    bool finalized_ = false;
+    std::vector<int> arc_to_;                ///< head per arc id
+    std::vector<int> original_caps_;         ///< as-built capacity per arc id
+    std::vector<std::int64_t> first_out_;    ///< n+1 CSR offsets
+    std::vector<int> arc_ids_;               ///< flat adjacency (arc ids)
 };
 
 }  // namespace kadsim::flow

@@ -1,36 +1,56 @@
 #include "flow/mincut.h"
 
+#include <algorithm>
+
 #include "flow/dinic.h"
 #include "flow/even_transform.h"
 #include "util/assert.h"
 
 namespace kadsim::flow {
 
+FlowNetwork mincut_witness_network(const graph::Digraph& g) {
+    return even_transform(g, std::max(1, g.vertex_count()));
+}
+
 std::vector<int> min_vertex_cut(const graph::Digraph& g, int v, int w) {
+    const FlowNetwork net = mincut_witness_network(g);
+    FlowWorkspace workspace(net);
+    return min_vertex_cut(g, net, workspace, v, w);
+}
+
+std::vector<int> min_vertex_cut(const graph::Digraph& g,
+                                const FlowNetwork& witness_net,
+                                FlowWorkspace& workspace, int v, int w) {
     KADSIM_ASSERT(v != w);
     KADSIM_ASSERT(!g.has_edge(v, w));
-    // Edge capacity n (effectively infinite): the minimum cut then consists
-    // of internal (vertex) arcs only, so residual reachability names the cut
-    // vertices exactly.
-    FlowNetwork net = even_transform(g, std::max(1, g.vertex_count()));
+    KADSIM_ASSERT(witness_net.vertex_count() == 2 * g.vertex_count());
+    KADSIM_ASSERT(&workspace.network() == &witness_net);
+    // Guard against being handed a unit-capacity even_transform(g): cut
+    // extraction needs non-saturating edge arcs (mincut_witness_network),
+    // or residual reachability silently names the wrong vertex set.
+    KADSIM_ASSERT_MSG(
+        g.edge_count() == 0 ||
+            witness_net.original_cap(edge_arc(g.vertex_count(), 0)) > 1,
+        "min_vertex_cut needs mincut_witness_network(g), not even_transform(g)");
+    workspace.reset();
     Dinic dinic;
-    (void)dinic.max_flow(net, out_vertex(v), in_vertex(w));
+    (void)dinic.max_flow(workspace, out_vertex(v), in_vertex(w));
 
     // Residual reachability from v''. A vertex x is in the cut iff x' is
     // reachable but x'' is not: its internal (capacity-1) arc is saturated
     // and crosses the minimum cut.
-    std::vector<bool> reachable(static_cast<std::size_t>(net.vertex_count()), false);
+    std::vector<bool> reachable(static_cast<std::size_t>(witness_net.vertex_count()),
+                                false);
     std::vector<int> queue{out_vertex(v)};
     reachable[static_cast<std::size_t>(out_vertex(v))] = true;
     for (std::size_t head = 0; head < queue.size(); ++head) {
         const int u = queue[head];
-        for (const int arc_index : net.arcs_of(u)) {
-            const auto& arc = net.arc(arc_index);
-            if (arc.cap <= 0) continue;
-            const auto to = static_cast<std::size_t>(arc.to);
+        for (const int arc_index : witness_net.arcs_of(u)) {
+            if (workspace.cap(arc_index) <= 0) continue;
+            const auto to = static_cast<std::size_t>(witness_net.arc_to(arc_index));
             if (reachable[to]) continue;
             reachable[to] = true;
-            queue.push_back(arc.to);
+            queue.push_back(witness_net.arc_to(arc_index));
         }
     }
 

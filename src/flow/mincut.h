@@ -6,14 +6,31 @@
 
 #include <vector>
 
+#include "flow/flow_network.h"
+#include "flow/flow_workspace.h"
 #include "graph/digraph.h"
 
 namespace kadsim::flow {
 
+/// The network cut extraction runs on: Even's transform with edge capacity n
+/// (effectively infinite), so the minimum cut consists of internal (vertex)
+/// arcs only and residual reachability names the cut vertices exactly.
+[[nodiscard]] FlowNetwork mincut_witness_network(const graph::Digraph& g);
+
 /// The vertices of a minimum v–w vertex cut (v,w non-adjacent, v ≠ w).
 /// The returned set has size κ(v,w), contains neither v nor w, and its
-/// removal disconnects v from w (verified by tests).
+/// removal disconnects v from w (verified by tests). Builds a fresh witness
+/// network per call — convenience only; batch callers should build
+/// mincut_witness_network(g) once and use the reuse overload.
 [[nodiscard]] std::vector<int> min_vertex_cut(const graph::Digraph& g, int v, int w);
+
+/// Reuse overload: `witness_net` must be mincut_witness_network(g) and
+/// `workspace` attached to it. The workspace is reset on entry via its
+/// touched-arc undo log, so extracting many cuts against one network never
+/// rebuilds the transform.
+[[nodiscard]] std::vector<int> min_vertex_cut(const graph::Digraph& g,
+                                              const FlowNetwork& witness_net,
+                                              FlowWorkspace& workspace, int v, int w);
 
 }  // namespace kadsim::flow
 

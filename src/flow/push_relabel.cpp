@@ -6,139 +6,144 @@
 
 namespace kadsim::flow {
 
-void PushRelabel::global_relabel(const FlowNetwork& net, int s, int t) {
+void PushRelabel::global_relabel(FlowWorkspace& ws, int s, int t) {
+    const FlowNetwork& net = ws.network();
     const int n = net.vertex_count();
     // Reverse BFS from t along residual arcs (arc u→v is traversable in
     // reverse if its residual capacity from u is positive).
-    std::fill(height_.begin(), height_.end(), 2 * n);
-    height_[static_cast<std::size_t>(t)] = 0;
-    std::vector<int> queue{t};
-    for (std::size_t head = 0; head < queue.size(); ++head) {
-        const int v = queue[head];
+    std::fill(ws.height.begin(), ws.height.end(), 2 * n);
+    ws.height[static_cast<std::size_t>(t)] = 0;
+    ws.queue.clear();
+    ws.queue.push_back(t);
+    for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+        const int v = ws.queue[head];
         for (const int arc_index : net.arcs_of(v)) {
             // arc_index is an arc v→w; its pair (arc_index^1) is w→v. w can
             // reach v iff residual cap of (w→v) > 0.
-            const auto& reverse = net.arc(arc_index ^ 1);
-            const int w = net.arc(arc_index).to;
-            if (reverse.cap > 0 && height_[static_cast<std::size_t>(w)] == 2 * n) {
-                height_[static_cast<std::size_t>(w)] =
-                    height_[static_cast<std::size_t>(v)] + 1;
-                queue.push_back(w);
+            const int w = ws.arc(arc_index).to;
+            if (ws.cap(arc_index ^ 1) > 0 &&
+                ws.height[static_cast<std::size_t>(w)] == 2 * n) {
+                ws.height[static_cast<std::size_t>(w)] =
+                    ws.height[static_cast<std::size_t>(v)] + 1;
+                ws.queue.push_back(w);
             }
         }
     }
-    height_[static_cast<std::size_t>(s)] = n;
+    ws.height[static_cast<std::size_t>(s)] = n;
 }
 
-void PushRelabel::activate(int v, int s, int t) {
+void PushRelabel::activate(FlowWorkspace& ws, int v, int s, int t, int& highest) {
     if (v == s || v == t) return;
     const auto vs = static_cast<std::size_t>(v);
-    if (excess_[vs] <= 0) return;
-    const int h = height_[vs];
+    if (ws.excess[vs] <= 0) return;
+    const int h = ws.height[vs];
     // Vertices at height ≥ n cannot reach t (phase 1 strands their excess).
-    if (h >= static_cast<int>(height_.size())) return;
-    active_[static_cast<std::size_t>(h)].push_back(v);
-    highest_ = std::max(highest_, h);
+    if (h >= static_cast<int>(ws.height.size())) return;
+    ws.active[static_cast<std::size_t>(h)].push_back(v);
+    highest = std::max(highest, h);
 }
 
-int PushRelabel::max_flow(FlowNetwork& net, int s, int t) {
+int PushRelabel::max_flow(FlowWorkspace& ws, int s, int t) {
     KADSIM_ASSERT(s != t);
+    const FlowNetwork& net = ws.network();
     const int n = net.vertex_count();
     const auto ns = static_cast<std::size_t>(n);
-    height_.assign(ns, 0);
-    excess_.assign(ns, 0);
-    iter_.assign(ns, 0);
-    count_.assign(2 * ns + 1, 0);
-    active_.assign(2 * ns + 1, {});
-    highest_ = 0;
+    ws.height.assign(ns, 0);
+    ws.excess.assign(ns, 0);
+    ws.iter.assign(ns, 0);
+    ws.height_count.assign(2 * ns + 1, 0);
+    for (auto& bucket : ws.active) bucket.clear();
+    ws.active.resize(2 * ns + 1);
+    int highest = 0;
 
-    global_relabel(net, s, t);
+    global_relabel(ws, s, t);
     for (int v = 0; v < n; ++v) {
-        ++count_[static_cast<std::size_t>(std::min(height_[static_cast<std::size_t>(v)],
-                                                   2 * n))];
+        ++ws.height_count[static_cast<std::size_t>(
+            std::min(ws.height[static_cast<std::size_t>(v)], 2 * n))];
     }
 
     // Saturate all arcs out of s.
     for (const int arc_index : net.arcs_of(s)) {
-        auto& arc = net.arc(arc_index);
-        if (arc_index % 2 != 0 || arc.cap <= 0) continue;  // forward arcs only
-        const int w = arc.to;
-        excess_[static_cast<std::size_t>(w)] += arc.cap;
-        net.arc(arc_index ^ 1).cap += arc.cap;
-        arc.cap = 0;
-        activate(w, s, t);
+        const int residual = ws.cap(arc_index);
+        if (arc_index % 2 != 0 || residual <= 0) continue;  // forward arcs only
+        const int w = ws.arc(arc_index).to;
+        ws.excess[static_cast<std::size_t>(w)] += residual;
+        ws.add_flow(arc_index, residual);
+        activate(ws, w, s, t, highest);
     }
 
-    while (highest_ >= 0) {
-        auto& bucket = active_[static_cast<std::size_t>(highest_)];
+    while (highest >= 0) {
+        auto& bucket = ws.active[static_cast<std::size_t>(highest)];
         if (bucket.empty()) {
-            --highest_;
+            --highest;
             continue;
         }
         const int v = bucket.back();
         bucket.pop_back();
         const auto vs = static_cast<std::size_t>(v);
-        if (excess_[vs] <= 0 || height_[vs] != highest_ || height_[vs] >= n) continue;
+        if (ws.excess[vs] <= 0 || ws.height[vs] != highest || ws.height[vs] >= n) {
+            continue;
+        }
 
         // Discharge v.
-        while (excess_[vs] > 0 && height_[vs] < n) {
+        while (ws.excess[vs] > 0 && ws.height[vs] < n) {
             const auto arcs = net.arcs_of(v);
-            if (iter_[vs] == arcs.size()) {
+            if (ws.iter[vs] == arcs.size()) {
                 // Relabel: one above the lowest admissible neighbour.
-                const int old_height = height_[vs];
+                const int old_height = ws.height[vs];
                 int min_height = 2 * n;
                 for (const int arc_index : arcs) {
-                    const auto& arc = net.arc(arc_index);
+                    const auto& arc = ws.arc(arc_index);
                     if (arc.cap > 0) {
                         min_height = std::min(
-                            min_height, height_[static_cast<std::size_t>(arc.to)] + 1);
+                            min_height,
+                            ws.height[static_cast<std::size_t>(arc.to)] + 1);
                     }
                 }
-                iter_[vs] = 0;
-                --count_[static_cast<std::size_t>(old_height)];
-                height_[vs] = min_height;
-                ++count_[static_cast<std::size_t>(std::min(min_height, 2 * n))];
+                ws.iter[vs] = 0;
+                --ws.height_count[static_cast<std::size_t>(old_height)];
+                ws.height[vs] = min_height;
+                ++ws.height_count[static_cast<std::size_t>(std::min(min_height, 2 * n))];
 
                 // Gap heuristic: if level old_height vanished, everything
                 // strictly above it (below n) is cut off from t.
-                if (count_[static_cast<std::size_t>(old_height)] == 0 &&
+                if (ws.height_count[static_cast<std::size_t>(old_height)] == 0 &&
                     old_height < n) {
                     for (int w = 0; w < n; ++w) {
                         const auto wsz = static_cast<std::size_t>(w);
-                        if (height_[wsz] > old_height && height_[wsz] < n) {
-                            --count_[static_cast<std::size_t>(height_[wsz])];
-                            height_[wsz] = n + 1;
-                            ++count_[static_cast<std::size_t>(
-                                std::min(height_[wsz], 2 * n))];
+                        if (ws.height[wsz] > old_height && ws.height[wsz] < n) {
+                            --ws.height_count[static_cast<std::size_t>(ws.height[wsz])];
+                            ws.height[wsz] = n + 1;
+                            ++ws.height_count[static_cast<std::size_t>(
+                                std::min(ws.height[wsz], 2 * n))];
                         }
                     }
                 }
                 continue;
             }
-            const int arc_index = arcs[iter_[vs]];
-            auto& arc = net.arc(arc_index);
-            const auto ws = static_cast<std::size_t>(arc.to);
-            if (arc.cap > 0 && height_[vs] == height_[ws] + 1) {
+            const int arc_index = arcs[ws.iter[vs]];
+            const auto& arc = ws.arc(arc_index);
+            const auto ws_to = static_cast<std::size_t>(arc.to);
+            if (arc.cap > 0 && ws.height[vs] == ws.height[ws_to] + 1) {
                 const long long delta =
-                    std::min<long long>(excess_[vs], arc.cap);
-                arc.cap -= static_cast<int>(delta);
-                net.arc(arc_index ^ 1).cap += static_cast<int>(delta);
-                excess_[vs] -= delta;
-                const bool was_inactive = excess_[ws] == 0;
-                excess_[ws] += delta;
-                if (was_inactive) activate(arc.to, s, t);
+                    std::min<long long>(ws.excess[vs], arc.cap);
+                ws.add_flow(arc_index, static_cast<int>(delta));
+                ws.excess[vs] -= delta;
+                const bool was_inactive = ws.excess[ws_to] == 0;
+                ws.excess[ws_to] += delta;
+                if (was_inactive) activate(ws, arc.to, s, t, highest);
             } else {
-                ++iter_[vs];
+                ++ws.iter[vs];
             }
         }
-        if (excess_[vs] > 0 && height_[vs] < n) {
+        if (ws.excess[vs] > 0 && ws.height[vs] < n) {
             // Still active after relabel; requeue at its (new) height.
-            active_[static_cast<std::size_t>(height_[vs])].push_back(v);
-            highest_ = std::max(highest_, height_[vs]);
+            ws.active[static_cast<std::size_t>(ws.height[vs])].push_back(v);
+            highest = std::max(highest, ws.height[vs]);
         }
     }
 
-    return static_cast<int>(excess_[static_cast<std::size_t>(t)]);
+    return static_cast<int>(ws.excess[static_cast<std::size_t>(t)]);
 }
 
 }  // namespace kadsim::flow

@@ -10,30 +10,24 @@
 // The value equals Dinic's/Edmonds–Karp's (max-flow is unique in value);
 // residual capacities after phase 1 are not a complete flow assignment, so
 // cut extraction uses Dinic (see mincut.h).
+//
+// Stateless: excess/height/bucket scratch lives in the caller's
+// flow::FlowWorkspace.
 #ifndef KADSIM_FLOW_PUSH_RELABEL_H
 #define KADSIM_FLOW_PUSH_RELABEL_H
 
-#include <vector>
-
-#include "flow/flow_network.h"
+#include "flow/flow_workspace.h"
 
 namespace kadsim::flow {
 
 class PushRelabel {
 public:
-    /// Max-flow value s→t (mutates `net` residual capacities).
-    int max_flow(FlowNetwork& net, int s, int t);
+    /// Max-flow value s→t (mutates `ws` residual capacities).
+    int max_flow(FlowWorkspace& ws, int s, int t);
 
 private:
-    void global_relabel(const FlowNetwork& net, int s, int t);
-    void activate(int v, int s, int t);
-
-    std::vector<int> height_;
-    std::vector<long long> excess_;
-    std::vector<std::size_t> iter_;
-    std::vector<int> count_;                   // vertices per height
-    std::vector<std::vector<int>> active_;     // active vertices per height
-    int highest_ = 0;
+    static void global_relabel(FlowWorkspace& ws, int s, int t);
+    static void activate(FlowWorkspace& ws, int v, int s, int t, int& highest);
 };
 
 }  // namespace kadsim::flow

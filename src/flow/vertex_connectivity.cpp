@@ -57,6 +57,9 @@ struct PartialResult {
     std::uint64_t pairs = 0;
     std::uint64_t pairs_skipped = 0;
     std::uint64_t flows_capped = 0;
+    std::uint64_t arcs_touched = 0;
+    std::uint64_t full_resets_avoided = 0;
+    std::uint64_t workspace_bytes = 0;
 };
 
 /// Evaluates all non-adjacent sinks for the sources handed out by `cursor`,
@@ -68,36 +71,133 @@ struct PartialResult {
 /// settles the pair without touching the network; otherwise the bound caps
 /// the Dinic run, which stops augmenting (skipping the final certifying BFS)
 /// the moment the bound is reached. Either way the recorded κ is exact.
-PartialResult worker(const graph::Digraph& g, const FlowNetwork& base,
-                     const std::vector<int>& sources,
+///
+/// Path seeding: every shortest augmenting path in a fresh Even network is
+/// u''→w'→w''→v' for a common neighbour w ∈ out(u) ∩ in(v), and each w
+/// carries exactly one unit (its internal arc). The worker finds them with an
+/// epoch-stamped membership test on rev.out(v) and either settles the pair
+/// outright (|common| ≥ bound ⇒ κ = bound, no flow run) or saturates those
+/// paths directly — the exact blocking flow of the first Dinic phase. It then
+/// greedily packs vertex-disjoint length-5 paths u''→w'→w''→x'→x''→v'
+/// (w ∈ out(u), x ∈ in(v), edge w→x, all interior vertices unused) by
+/// scanning neighbour rows. The greedy packing need not be maximum: any
+/// valid integral flow is a legal warm start, and Dinic's residual phases
+/// correct it. When seeding alone reaches the bound the pair finishes
+/// without a single BFS; otherwise Dinic tops up from the seeded residual.
+PartialResult worker(const graph::Digraph& g, const graph::Digraph& rev,
+                     const FlowNetwork& base, const std::vector<int>& sources,
                      const std::vector<int>& in_degrees,
                      std::atomic<std::size_t>& cursor, bool use_push_relabel) {
     PartialResult result;
-    // Claim a source before paying for the private residual copy: late jobs
+    // Claim a source before paying for the private workspace: late jobs
     // that find the cursor exhausted return without touching the network.
     std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
     if (index >= sources.size()) return result;
-    FlowNetwork net = base;  // private residual copy
+    // The base network is shared read-only; the workspace holds this
+    // worker's residual capacities, undo log and solver scratch.
+    FlowWorkspace workspace(base);
     Dinic dinic;
     PushRelabel push_relabel;
     const int n = g.vertex_count();
+    // Per-source adjacency bitmap: filled in O(out-degree) when a source is
+    // claimed, replacing the per-sink has_edge binary search.
+    std::vector<char> adjacent(static_cast<std::size_t>(n), 0);
+    // Epoch-stamped per-pair sets (no O(n) clear between pairs): membership
+    // in in(v) and "vertex already interior to a seeded path".
+    std::vector<int> in_v_stamp(static_cast<std::size_t>(n), 0);
+    std::vector<int> used_stamp(static_cast<std::size_t>(n), 0);
+    int epoch = 0;
     for (; index < sources.size();
          index = cursor.fetch_add(1, std::memory_order_relaxed)) {
         const int u = sources[index];
         const int out_degree = g.out_degree(u);
+        const auto out_u = g.out(u);
+        const std::int64_t offset_u = g.edge_offset(u);
+        for (const int w : out_u) adjacent[static_cast<std::size_t>(w)] = 1;
         for (int v = 0; v < n; ++v) {
-            if (v == u || g.has_edge(u, v)) continue;
+            if (v == u || adjacent[static_cast<std::size_t>(v)] != 0) continue;
             const int bound = std::min(out_degree, in_degrees[static_cast<std::size_t>(v)]);
             int kappa = 0;
             if (bound == 0) {
                 ++result.pairs_skipped;
+            } else if (use_push_relabel) {
+                // Push-relabel has no cheap early exit; run it exact.
+                workspace.reset();  // touched-arc undo of the previous run
+                kappa = push_relabel.max_flow(workspace, out_vertex(u), in_vertex(v));
             } else {
-                net.reset();
-                if (use_push_relabel) {
-                    // Push-relabel has no cheap early exit; run it exact.
-                    kappa = push_relabel.max_flow(net, out_vertex(u), in_vertex(v));
+                ++epoch;
+                const auto in_v = rev.out(v);
+                for (const int x : in_v) in_v_stamp[static_cast<std::size_t>(x)] = epoch;
+                // Count the common neighbours first: if they alone meet the
+                // bound, κ = bound without touching the network.
+                int common = 0;
+                for (const int w : out_u) {
+                    if (in_v_stamp[static_cast<std::size_t>(w)] == epoch) ++common;
+                }
+                if (common >= bound) {
+                    kappa = bound;
+                    ++result.flows_capped;
                 } else {
-                    kappa = dinic.max_flow(net, out_vertex(u), in_vertex(v), bound);
+                    workspace.reset();  // touched-arc undo of the previous run
+                    // Saturate every length-3 path: one unit through each
+                    // common neighbour's internal arc. This is the blocking
+                    // flow of the first Dinic phase (any length-3 path uses
+                    // some common w, now saturated).
+                    int seeded = 0;
+                    for (std::size_t i = 0; i < out_u.size(); ++i) {
+                        const int w = out_u[i];
+                        if (in_v_stamp[static_cast<std::size_t>(w)] != epoch) continue;
+                        used_stamp[static_cast<std::size_t>(w)] = epoch;
+                        workspace.add_flow(
+                            edge_arc(n, offset_u + static_cast<std::int64_t>(i)), 1);
+                        workspace.add_flow(internal_arc(w), 1);
+                        const auto out_w = g.out(w);
+                        const auto pos = static_cast<std::int64_t>(
+                            std::lower_bound(out_w.begin(), out_w.end(), v) -
+                            out_w.begin());
+                        workspace.add_flow(edge_arc(n, g.edge_offset(w) + pos), 1);
+                        ++seeded;
+                    }
+                    // Greedily pack disjoint length-5 paths through unused
+                    // w ∈ out(u), x ∈ in(v) with an edge w→x. u and v are
+                    // never interior (u ∉ in(v) by non-adjacency, v ∉ out(w)
+                    // candidates because x carries the in(v) stamp, and
+                    // v ∈ in(v) is impossible — no self-loops).
+                    for (std::size_t i = 0; i < out_u.size() && seeded < bound; ++i) {
+                        const int w = out_u[i];
+                        if (used_stamp[static_cast<std::size_t>(w)] == epoch) continue;
+                        const auto out_w = g.out(w);
+                        for (std::size_t j = 0; j < out_w.size(); ++j) {
+                            const int x = out_w[j];
+                            const auto xs = static_cast<std::size_t>(x);
+                            if (in_v_stamp[xs] != epoch || used_stamp[xs] == epoch) {
+                                continue;
+                            }
+                            used_stamp[static_cast<std::size_t>(w)] = epoch;
+                            used_stamp[xs] = epoch;
+                            workspace.add_flow(
+                                edge_arc(n, offset_u + static_cast<std::int64_t>(i)),
+                                1);
+                            workspace.add_flow(internal_arc(w), 1);
+                            workspace.add_flow(
+                                edge_arc(n,
+                                         g.edge_offset(w) + static_cast<std::int64_t>(j)),
+                                1);
+                            workspace.add_flow(internal_arc(x), 1);
+                            const auto out_x = g.out(x);
+                            const auto pos = static_cast<std::int64_t>(
+                                std::lower_bound(out_x.begin(), out_x.end(), v) -
+                                out_x.begin());
+                            workspace.add_flow(edge_arc(n, g.edge_offset(x) + pos), 1);
+                            ++seeded;
+                            break;
+                        }
+                    }
+                    kappa = seeded >= bound
+                                ? bound
+                                : seeded + dinic.max_flow(workspace, out_vertex(u),
+                                                          in_vertex(v),
+                                                          bound - seeded);
                     if (kappa == bound) ++result.flows_capped;
                 }
             }
@@ -105,14 +205,22 @@ PartialResult worker(const graph::Digraph& g, const FlowNetwork& base,
             result.sum += static_cast<std::uint64_t>(kappa);
             ++result.pairs;
         }
+        for (const int w : out_u) adjacent[static_cast<std::size_t>(w)] = 0;
     }
+    // Flush the last run into the counters so the totals are independent of
+    // how pairs were distributed over workers.
+    workspace.reset();
+    result.arcs_touched = workspace.stats().arcs_touched;
+    result.full_resets_avoided = workspace.stats().full_sweeps_avoided;
+    result.workspace_bytes = workspace.memory_bytes();
     return result;
 }
 
 /// Evaluates every source on the pool (caller participates; worker jobs are
 /// non-blocking, so this is safe even on a busy shared pool). Aggregation is
 /// an integer min/sum over per-job locals: bit-identical for any job count.
-PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
+PartialResult evaluate_sources(const graph::Digraph& g, const graph::Digraph& rev,
+                               const FlowNetwork& base,
                                const std::vector<int>& sources,
                                const std::vector<int>& in_degrees,
                                bool use_push_relabel, exec::ThreadPool* pool) {
@@ -120,7 +228,7 @@ PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
     // Re-entrant calls (a pool task computing connectivity on its own pool)
     // run inline: the calling thread is already one of the pool's lanes.
     if (pool == nullptr || exec::ThreadPool::in_worker()) {
-        return worker(g, base, sources, in_degrees, cursor, use_push_relabel);
+        return worker(g, rev, base, sources, in_degrees, cursor, use_push_relabel);
     }
 
     // The caller is a lane too, so more than sources-1 helper jobs can never
@@ -130,9 +238,10 @@ PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
     std::vector<std::future<PartialResult>> futures;
     futures.reserve(static_cast<std::size_t>(jobs));
     for (int i = 0; i < jobs; ++i) {
-        futures.push_back(pool->submit([&g, &base, &sources, &in_degrees, &cursor,
-                                        use_push_relabel] {
-            return worker(g, base, sources, in_degrees, cursor, use_push_relabel);
+        futures.push_back(pool->submit([&g, &rev, &base, &sources, &in_degrees,
+                                        &cursor, use_push_relabel] {
+            return worker(g, rev, base, sources, in_degrees, cursor,
+                          use_push_relabel);
         }));
     }
     // Every submitted job must be joined before this frame (holding the
@@ -141,7 +250,8 @@ PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
     std::exception_ptr error;
     PartialResult combined;
     try {
-        combined = worker(g, base, sources, in_degrees, cursor, use_push_relabel);
+        combined =
+            worker(g, rev, base, sources, in_degrees, cursor, use_push_relabel);
     } catch (...) {
         error = std::current_exception();
     }
@@ -153,6 +263,9 @@ PartialResult evaluate_sources(const graph::Digraph& g, const FlowNetwork& base,
             combined.pairs += p.pairs;
             combined.pairs_skipped += p.pairs_skipped;
             combined.flows_capped += p.flows_capped;
+            combined.arcs_touched += p.arcs_touched;
+            combined.full_resets_avoided += p.full_resets_avoided;
+            combined.workspace_bytes += p.workspace_bytes;
         } catch (...) {
             if (!error) error = std::current_exception();
         }
@@ -182,8 +295,10 @@ ConnectivityResult vertex_connectivity(const graph::Digraph& g,
 
     const FlowNetwork base = even_transform(g);
     // In-degrees bound each sink's κ from above; one pass per snapshot graph
-    // instead of a recount per (source, sink) pair.
+    // instead of a recount per (source, sink) pair. The reversed graph gives
+    // workers each sink's sorted in-neighbour row for the length-3 seeding.
     const std::vector<int> in_degrees = g.in_degrees();
+    const graph::Digraph rev = g.reversed();
     std::vector<int> sources =
         pick_sources(g, options.sample_fraction, options.min_sources);
 
@@ -191,14 +306,18 @@ ConnectivityResult vertex_connectivity(const graph::Digraph& g,
     // sinks; fall back to the exact computation in that case (cheap: only
     // happens on tiny dense graphs).
     for (int attempt = 0; attempt < 2; ++attempt) {
-        const PartialResult combined = evaluate_sources(
-            g, base, sources, in_degrees, options.use_push_relabel, options.pool);
+        const PartialResult combined =
+            evaluate_sources(g, rev, base, sources, in_degrees,
+                             options.use_push_relabel, options.pool);
         if (combined.pairs > 0) {
             result.kappa_min = combined.min_kappa;
             result.kappa_sum = combined.sum;
             result.pairs_evaluated = combined.pairs;
             result.pairs_skipped = combined.pairs_skipped;
             result.flows_capped = combined.flows_capped;
+            result.arcs_touched = combined.arcs_touched;
+            result.full_resets_avoided = combined.full_resets_avoided;
+            result.arena_bytes = base.memory_bytes() + combined.workspace_bytes;
             result.kappa_avg = static_cast<double>(combined.sum) /
                                static_cast<double>(combined.pairs);
             result.sources_used = static_cast<int>(sources.size());
@@ -212,12 +331,21 @@ ConnectivityResult vertex_connectivity(const graph::Digraph& g,
 }
 
 int pair_vertex_connectivity(const graph::Digraph& g, int v, int w) {
+    const FlowNetwork net = even_transform(g);
+    FlowWorkspace workspace(net);
+    return pair_vertex_connectivity(g, net, workspace, v, w);
+}
+
+int pair_vertex_connectivity(const graph::Digraph& g, const FlowNetwork& even_net,
+                             FlowWorkspace& workspace, int v, int w) {
     KADSIM_ASSERT(v != w);
     KADSIM_ASSERT_MSG(!g.has_edge(v, w),
                       "vertex connectivity is defined for non-adjacent pairs");
-    FlowNetwork net = even_transform(g);
+    KADSIM_ASSERT(even_net.vertex_count() == 2 * g.vertex_count());
+    KADSIM_ASSERT(&workspace.network() == &even_net);
+    workspace.reset();
     Dinic dinic;
-    return dinic.max_flow(net, out_vertex(v), in_vertex(w));
+    return dinic.max_flow(workspace, out_vertex(v), in_vertex(w));
 }
 
 namespace {

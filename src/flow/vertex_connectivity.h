@@ -9,12 +9,18 @@
 // flows from only the c·n vertices with the smallest out-degree (to all n−1
 // sinks each) finds the true minimum — the authors validated c = 0.02 on 20
 // fully-analyzed graphs; `bench/ablation_sampling_c` re-validates it here.
+//
+// Memory model: the Even-transformed network is built once (immutable CSR)
+// and shared by reference across all workers; each worker owns only a
+// flow::FlowWorkspace whose touched-arc undo log makes the per-pair reset
+// O(arcs touched) instead of O(m+n).
 #ifndef KADSIM_FLOW_VERTEX_CONNECTIVITY_H
 #define KADSIM_FLOW_VERTEX_CONNECTIVITY_H
 
 #include <cstdint>
 
 #include "flow/flow_network.h"
+#include "flow/flow_workspace.h"
 #include "graph/digraph.h"
 
 namespace kadsim::exec {
@@ -28,9 +34,10 @@ struct ConnectivityOptions {
     double sample_fraction = 1.0;
     /// Lower bound on the number of sampled sources.
     int min_sources = 1;
-    /// Execution engine for the per-source flow jobs (each job owns a private
-    /// copy of the transformed network). nullptr = inline on the caller;
-    /// results are bit-identical either way (integer min/sum aggregation).
+    /// Execution engine for the per-source flow jobs (each job shares the
+    /// immutable transformed network and owns a private workspace). nullptr =
+    /// inline on the caller; results are bit-identical either way (integer
+    /// min/sum aggregation).
     exec::ThreadPool* pool = nullptr;
     /// Use the HIPR-style push-relabel solver instead of Dinic (results are
     /// identical; provided for fidelity runs and benchmarking).
@@ -48,9 +55,21 @@ struct ConnectivityResult {
     /// because min(out_degree(u), in_degree(v)) = 0. Counted in
     /// pairs_evaluated too — only the max-flow computation was skipped.
     std::uint64_t pairs_skipped = 0;
-    /// Dinic runs stopped early because the flow reached the degree bound
-    /// (the bound is also the exact κ then, so no certifying phase needed).
+    /// Pairs settled at the degree bound (which is then the exact κ):
+    /// either the seeded disjoint paths alone reached it — common-neighbour
+    /// count or greedy length-5 packing, sometimes with no solver run at
+    /// all — or the capped Dinic run stopped early on hitting it (skipping
+    /// the final certifying BFS).
     std::uint64_t flows_capped = 0;
+    /// Kernel counters, summed over all workers' workspaces: arcs restored
+    /// by touched-arc undo logs, and how many of those undo passes did
+    /// strictly less work than an O(m+n) full-capacity sweep. Both are
+    /// per-pair deterministic, so the sums are thread-count independent.
+    std::uint64_t arcs_touched = 0;
+    std::uint64_t full_resets_avoided = 0;
+    /// Peak flow-kernel arena: the shared CSR network plus every concurrent
+    /// worker's workspace (residual caps, undo log, solver scratch).
+    std::uint64_t arena_bytes = 0;
     int sources_used = 0;
     bool complete = false;        ///< complete graph: κ = n−1 without flows
 };
@@ -60,7 +79,17 @@ struct ConnectivityResult {
                                                      const ConnectivityOptions& options = {});
 
 /// κ(v,w) for one non-adjacent pair (asserts non-adjacency and v ≠ w).
+/// Builds a fresh Even transform per call — convenience only; batch callers
+/// should use the reuse overload below.
 [[nodiscard]] int pair_vertex_connectivity(const graph::Digraph& g, int v, int w);
+
+/// κ(v,w) on a caller-supplied Even-transformed network (`even_net` must be
+/// `even_transform(g)` with unit edge capacity) and workspace. The workspace
+/// is reset on entry via its touched-arc undo log, so evaluating many pairs
+/// against one network costs O(arcs touched) between pairs, not a rebuild.
+[[nodiscard]] int pair_vertex_connectivity(const graph::Digraph& g,
+                                           const FlowNetwork& even_net,
+                                           FlowWorkspace& workspace, int v, int w);
 
 /// Brute-force κ(v,w) by definition: the smallest set of other vertices whose
 /// removal cuts every path v→w (exponential; test oracle for tiny graphs).

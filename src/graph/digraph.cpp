@@ -4,62 +4,82 @@
 
 namespace kadsim::graph {
 
-Digraph::Digraph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) {
-    KADSIM_ASSERT(n >= 0);
-}
+Digraph::Digraph(int n) : n_(n) { KADSIM_ASSERT(n >= 0); }
 
 void Digraph::add_edge(int u, int v) {
     KADSIM_ASSERT(!finalized_);
     KADSIM_ASSERT(u >= 0 && u < n_ && v >= 0 && v < n_);
     KADSIM_ASSERT_MSG(u != v, "connectivity graphs have no self-loops");
-    adj_[static_cast<std::size_t>(u)].push_back(v);
+    build_edges_.emplace_back(u, v);
 }
 
 void Digraph::finalize() {
     KADSIM_ASSERT(!finalized_);
-    m_ = 0;
-    for (auto& list : adj_) {
-        std::sort(list.begin(), list.end());
-        list.erase(std::unique(list.begin(), list.end()), list.end());
-        m_ += static_cast<std::int64_t>(list.size());
+    std::sort(build_edges_.begin(), build_edges_.end());
+    build_edges_.erase(std::unique(build_edges_.begin(), build_edges_.end()),
+                       build_edges_.end());
+
+    offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    targets_.resize(build_edges_.size());
+    for (std::size_t i = 0; i < build_edges_.size(); ++i) {
+        targets_[i] = build_edges_[i].second;
+        ++offsets_[static_cast<std::size_t>(build_edges_[i].first) + 1];
     }
+    for (int u = 0; u < n_; ++u) {
+        offsets_[static_cast<std::size_t>(u) + 1] +=
+            offsets_[static_cast<std::size_t>(u)];
+    }
+    build_edges_.clear();
+    build_edges_.shrink_to_fit();
     finalized_ = true;
 }
 
 bool Digraph::has_edge(int u, int v) const {
-    KADSIM_ASSERT(finalized_);
-    const auto& list = adj_[static_cast<std::size_t>(u)];
-    return std::binary_search(list.begin(), list.end(), v);
+    const auto row = out(u);
+    return std::binary_search(row.begin(), row.end(), v);
 }
 
 std::vector<int> Digraph::in_degrees() const {
     KADSIM_ASSERT(finalized_);
     std::vector<int> degrees(static_cast<std::size_t>(n_), 0);
-    for (const auto& list : adj_) {
-        for (const int v : list) ++degrees[static_cast<std::size_t>(v)];
-    }
+    for (const int v : targets_) ++degrees[static_cast<std::size_t>(v)];
     return degrees;
 }
 
 double Digraph::reciprocity() const {
     KADSIM_ASSERT(finalized_);
-    if (m_ == 0) return 1.0;
+    if (targets_.empty()) return 1.0;
     std::int64_t reciprocated = 0;
     for (int u = 0; u < n_; ++u) {
-        for (const int v : adj_[static_cast<std::size_t>(u)]) {
+        for (const int v : out(u)) {
             if (has_edge(v, u)) ++reciprocated;
         }
     }
-    return static_cast<double>(reciprocated) / static_cast<double>(m_);
+    return static_cast<double>(reciprocated) / static_cast<double>(targets_.size());
 }
 
 Digraph Digraph::reversed() const {
     KADSIM_ASSERT(finalized_);
     Digraph r(n_);
-    for (int u = 0; u < n_; ++u) {
-        for (const int v : adj_[static_cast<std::size_t>(u)]) r.add_edge(v, u);
+    // Counting pass straight into the reversed CSR arrays: row v of the
+    // result collects the sources of v's in-edges, which arrive in ascending
+    // u order, so every row comes out sorted (and is duplicate-free because
+    // this graph is).
+    r.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (const int v : targets_) ++r.offsets_[static_cast<std::size_t>(v) + 1];
+    for (int v = 0; v < n_; ++v) {
+        r.offsets_[static_cast<std::size_t>(v) + 1] +=
+            r.offsets_[static_cast<std::size_t>(v)];
     }
-    r.finalize();
+    r.targets_.resize(targets_.size());
+    std::vector<std::int64_t> cursor(r.offsets_.begin(), r.offsets_.end() - 1);
+    for (int u = 0; u < n_; ++u) {
+        for (const int v : out(u)) {
+            r.targets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+                u;
+        }
+    }
+    r.finalized_ = true;
     return r;
 }
 

@@ -1,11 +1,17 @@
 // Directed connectivity graph (paper §4.2): one vertex per network node, an
 // edge (v,w) iff w appears in v's routing table. Edge capacities are
 // implicitly 1 (assigned during the flow transformation).
+//
+// Storage is flat CSR (compressed sparse row): finalize() compacts the edge
+// list into an offsets array (n+1 ints) plus a targets array (m ints), so a
+// snapshot graph is two contiguous allocations instead of n small vectors —
+// the memory layout the flow kernel's cache behavior depends on.
 #ifndef KADSIM_GRAPH_DIGRAPH_H
 #define KADSIM_GRAPH_DIGRAPH_H
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "util/assert.h"
@@ -23,27 +29,40 @@ public:
     /// finalize().
     void add_edge(int u, int v);
 
-    /// Sorts and deduplicates adjacency lists; must be called exactly once
-    /// after the last add_edge.
+    /// Compacts the edge list into CSR form (row-sorted, deduplicated) and
+    /// releases the build-phase storage; must be called exactly once after
+    /// the last add_edge.
     void finalize();
 
     [[nodiscard]] int vertex_count() const noexcept { return n_; }
     [[nodiscard]] std::int64_t edge_count() const noexcept {
         KADSIM_ASSERT(finalized_);
-        return m_;
+        return static_cast<std::int64_t>(targets_.size());
     }
 
     [[nodiscard]] std::span<const int> out(int u) const {
         KADSIM_ASSERT(finalized_);
-        return adj_[static_cast<std::size_t>(u)];
+        const auto us = static_cast<std::size_t>(u);
+        return {targets_.data() + offsets_[us],
+                static_cast<std::size_t>(offsets_[us + 1] - offsets_[us])};
     }
 
-    /// Binary search on the sorted adjacency list.
+    /// CSR row offset of u: the global edge index of out(u)[0]. Edge (u, v)
+    /// at position p in out(u) has global index edge_offset(u) + p — the
+    /// flow layer uses this to map connectivity-graph edges to arc ids of
+    /// the Even transform without searching.
+    [[nodiscard]] std::int64_t edge_offset(int u) const {
+        KADSIM_ASSERT(finalized_);
+        return offsets_[static_cast<std::size_t>(u)];
+    }
+
+    /// Binary search on the sorted adjacency row.
     [[nodiscard]] bool has_edge(int u, int v) const;
 
     [[nodiscard]] int out_degree(int u) const {
         KADSIM_ASSERT(finalized_);
-        return static_cast<int>(adj_[static_cast<std::size_t>(u)].size());
+        const auto us = static_cast<std::size_t>(u);
+        return static_cast<int>(offsets_[us + 1] - offsets_[us]);
     }
 
     [[nodiscard]] std::vector<int> in_degrees() const;
@@ -53,21 +72,31 @@ public:
     /// undirected" (§5.2); this quantifies it.
     [[nodiscard]] double reciprocity() const;
 
-    /// Graph with every edge reversed.
+    /// Graph with every edge reversed (built by a direct counting pass into
+    /// CSR form — no per-edge add_edge round-trip).
     [[nodiscard]] Digraph reversed() const;
 
     /// True iff the edge set is complete (every ordered pair, no loops) —
     /// the κ = n−1 special case of §4.4.
     [[nodiscard]] bool is_complete() const noexcept {
         KADSIM_ASSERT(finalized_);
-        return m_ == static_cast<std::int64_t>(n_) * (n_ - 1);
+        return static_cast<std::int64_t>(targets_.size()) ==
+               static_cast<std::int64_t>(n_) * (n_ - 1);
+    }
+
+    /// Bytes held by the finalized CSR arrays (arena accounting in benches).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return offsets_.capacity() * sizeof(std::int64_t) +
+               targets_.capacity() * sizeof(int) +
+               build_edges_.capacity() * sizeof(std::pair<int, int>);
     }
 
 private:
     int n_ = 0;
-    std::int64_t m_ = 0;
     bool finalized_ = false;
-    std::vector<std::vector<int>> adj_;
+    std::vector<std::pair<int, int>> build_edges_;  ///< (u,v), build phase only
+    std::vector<std::int64_t> offsets_;             ///< n+1 row offsets
+    std::vector<int> targets_;                      ///< flat sorted targets
 };
 
 /// Number of strongly connected components (iterative Tarjan). κ(D) > 0

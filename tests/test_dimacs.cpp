@@ -6,6 +6,7 @@
 #include "flow/dimacs.h"
 #include "flow/dinic.h"
 #include "flow/even_transform.h"
+#include "flow/flow_workspace.h"
 #include "graph/digraph.h"
 
 namespace kadsim::flow {
@@ -15,6 +16,7 @@ TEST(Dimacs, WriteProducesExpectedHeader) {
     FlowNetwork net(3);
     net.add_arc(0, 1, 4);
     net.add_arc(1, 2, 2);
+    net.finalize();
     std::ostringstream out;
     write_dimacs(net, 0, 2, out);
     const std::string text = out.str();
@@ -35,17 +37,18 @@ TEST(Dimacs, RoundTripPreservesMaxFlow) {
     g.add_edge(4, 5);
     g.add_edge(0, 4);
     g.finalize();
-    FlowNetwork net = even_transform(g);
+    const FlowNetwork net = even_transform(g);
 
     std::stringstream buffer;
     write_dimacs(net, out_vertex(0), in_vertex(5), buffer);
-    DimacsProblem parsed = read_dimacs(buffer);
+    const DimacsProblem parsed = read_dimacs(buffer);
 
     Dinic solver;
-    FlowNetwork original = even_transform(g);
-    const int expected = solver.max_flow(original, out_vertex(0), in_vertex(5));
+    FlowWorkspace original_ws(net);
+    const int expected = solver.max_flow(original_ws, out_vertex(0), in_vertex(5));
     Dinic solver2;
-    EXPECT_EQ(solver2.max_flow(parsed.network, parsed.source, parsed.sink), expected);
+    FlowWorkspace parsed_ws(parsed.network);
+    EXPECT_EQ(solver2.max_flow(parsed_ws, parsed.source, parsed.sink), expected);
 }
 
 TEST(Dimacs, ParsesCommentsAndBlankLines) {

@@ -5,6 +5,7 @@
 
 #include "flow/dinic.h"
 #include "flow/even_transform.h"
+#include "flow/flow_workspace.h"
 #include "graph/digraph.h"
 
 namespace kadsim::flow {
@@ -45,8 +46,7 @@ TEST(EvenTransform, InternalArcsHaveCapacityOne) {
     const FlowNetwork net = even_transform(g);
     // Internal arc of vertex v was added first (index 2v), capacity 1.
     for (int v = 0; v < g.vertex_count(); ++v) {
-        const auto& arc = net.arc(2 * v);
-        EXPECT_EQ(arc.to, out_vertex(v));
+        EXPECT_EQ(net.arc_to(2 * v), out_vertex(v));
         EXPECT_EQ(net.original_cap(2 * v), 1);
     }
 }
@@ -66,7 +66,7 @@ TEST(EvenTransform, DegreesArePreserved) {
 
         int forward_into_vp = 0;
         for (const int ai : net.arcs_of(in_vertex(v))) {
-            if (ai % 2 == 0 && net.arc(ai).to == out_vertex(v)) continue;
+            if (ai % 2 == 0 && net.arc_to(ai) == out_vertex(v)) continue;
             if (ai % 2 == 1) ++forward_into_vp;  // reverse stubs of incoming arcs
         }
         EXPECT_EQ(forward_into_vp, in_degrees[static_cast<std::size_t>(v)]) << "v=" << v;
@@ -81,13 +81,16 @@ TEST(EvenTransform, PaperFigure1MaxFlowVsVertexConnectivity) {
     for (int u = 0; u < g.vertex_count(); ++u) {
         for (const int v : g.out(u)) raw.add_arc(u, v, 1);
     }
+    raw.finalize();
+    FlowWorkspace raw_ws(raw);
     Dinic solver;
-    EXPECT_EQ(solver.max_flow(raw, 0, 8), 3);
+    EXPECT_EQ(solver.max_flow(raw_ws, 0, 8), 3);
 
     // ... but the vertex connectivity κ(a,i) is 1 (every path passes e).
-    FlowNetwork transformed = even_transform(g);
+    const FlowNetwork transformed = even_transform(g);
+    FlowWorkspace ws(transformed);
     Dinic solver2;
-    EXPECT_EQ(solver2.max_flow(transformed, out_vertex(0), in_vertex(8)), 1);
+    EXPECT_EQ(solver2.max_flow(ws, out_vertex(0), in_vertex(8)), 1);
 }
 
 TEST(EvenTransform, TwoVertexDisjointPathsGadget) {
@@ -98,9 +101,10 @@ TEST(EvenTransform, TwoVertexDisjointPathsGadget) {
     g.add_edge(0, 2);
     g.add_edge(2, 3);
     g.finalize();
-    FlowNetwork net = even_transform(g);
+    const FlowNetwork net = even_transform(g);
+    FlowWorkspace ws(net);
     Dinic solver;
-    EXPECT_EQ(solver.max_flow(net, out_vertex(0), in_vertex(3)), 2);
+    EXPECT_EQ(solver.max_flow(ws, out_vertex(0), in_vertex(3)), 2);
 }
 
 TEST(EvenTransform, SourceAndSinkInternalArcsDoNotCapFlow) {
@@ -113,9 +117,10 @@ TEST(EvenTransform, SourceAndSinkInternalArcsDoNotCapFlow) {
         g.add_edge(mid, 4);
     }
     g.finalize();
-    FlowNetwork net = even_transform(g);
+    const FlowNetwork net = even_transform(g);
+    FlowWorkspace ws(net);
     Dinic solver;
-    EXPECT_EQ(solver.max_flow(net, out_vertex(0), in_vertex(4)), 3);
+    EXPECT_EQ(solver.max_flow(ws, out_vertex(0), in_vertex(4)), 3);
 }
 
 }  // namespace

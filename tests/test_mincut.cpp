@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "flow/even_transform.h"
 #include "flow/mincut.h"
 #include "flow/vertex_connectivity.h"
 #include "graph/digraph.h"
@@ -60,12 +61,18 @@ TEST(MinVertexCut, SizeEqualsPairConnectivity) {
             }
         }
         g.finalize();
+        // One transform + workspace per graph, reused across all pair
+        // trials (the caller-supplied-network overloads).
+        const FlowNetwork even_net = even_transform(g);
+        FlowWorkspace even_ws(even_net);
+        const FlowNetwork witness_net = mincut_witness_network(g);
+        FlowWorkspace witness_ws(witness_net);
         for (int pair_trial = 0; pair_trial < 5; ++pair_trial) {
             const int u = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
             int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
             if (u == v || g.has_edge(u, v)) continue;
-            const int kappa = pair_vertex_connectivity(g, u, v);
-            const auto cut = min_vertex_cut(g, u, v);
+            const int kappa = pair_vertex_connectivity(g, even_net, even_ws, u, v);
+            const auto cut = min_vertex_cut(g, witness_net, witness_ws, u, v);
             EXPECT_EQ(static_cast<int>(cut.size()), kappa)
                 << "trial " << trial << " pair (" << u << "," << v << ")";
             // Removing the cut must disconnect the pair.
