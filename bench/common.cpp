@@ -67,7 +67,7 @@ bool load_cached(const std::string& path, const std::string& key,
     if (!std::getline(in, line) || line != "# " + key) return false;
     if (!std::getline(in, line)) return false;  // column header
     while (std::getline(in, line)) {
-        core::ConnectivitySample sample;
+        core::ResilienceSample sample;
         std::istringstream row(line);
         char comma = 0;
         std::uint64_t pairs = 0;
@@ -75,7 +75,13 @@ bool load_cached(const std::string& path, const std::string& key,
         row >> sample.time_min >> comma >> sample.n >> comma >> sample.m >> comma >>
             sample.kappa_min >> comma >> sample.kappa_avg >> comma >>
             sample.scc_count >> comma >> sample.reciprocity >> comma >> pairs >>
-            comma >> removed;
+            comma >> removed >> comma >> sample.lambda_min >> comma >>
+            sample.lambda_avg >> comma >> sample.scc_frac >> comma >>
+            sample.wcc_frac >> comma >> sample.articulation_points >> comma >>
+            sample.bridges >> comma >> sample.out_degree_min >> comma >>
+            sample.in_degree_min >> comma >> sample.kappa_degree_gap;
+        // Pre-metric-suite cache files fail here and re-simulate: the key
+        // line still matches but rows lack the appended metric columns.
         if (!row) return false;
         sample.pairs_evaluated = pairs;
         sample.removed_total = removed;
@@ -90,11 +96,19 @@ void store_cached(const std::string& path, const std::string& key,
     std::ofstream out(path, std::ios::trunc);
     if (!out) return;
     out << "# " << key << '\n';
-    out << "time_min,n,m,kappa_min,kappa_avg,scc,reciprocity,pairs,removed\n";
+    // The first nine columns predate the metric suite; their bytes are
+    // pinned by the golden hashes in tests/test_fault_equivalence.cpp.
+    // Metric columns are strictly appended.
+    out << "time_min,n,m,kappa_min,kappa_avg,scc,reciprocity,pairs,removed,"
+           "lambda_min,lambda_avg,scc_frac,wcc_frac,articulation,bridges,"
+           "deg_out_min,deg_in_min,kappa_gap\n";
     for (const auto& s : series.samples) {
         out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
             << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
-            << s.pairs_evaluated << ',' << s.removed_total << '\n';
+            << s.pairs_evaluated << ',' << s.removed_total << ',' << s.lambda_min
+            << ',' << s.lambda_avg << ',' << s.scc_frac << ',' << s.wcc_frac << ','
+            << s.articulation_points << ',' << s.bridges << ',' << s.out_degree_min
+            << ',' << s.in_degree_min << ',' << s.kappa_degree_gap << '\n';
     }
 }
 
@@ -123,16 +137,37 @@ std::string write_bench_json(const FigureSpec& spec) {
         for (const auto& sample : run.series.samples) {
             budget = std::max(budget, sample.removed_total);
         }
+        const auto l = run.series.lambda_min_summary(
+            spec.churn_start_min >= 0.0 ? spec.churn_start_min : 0.0, 1e18);
         out << "    {\"label\": \"" << json_escape(run.label) << "\", "
             << "\"samples\": " << run.series.samples.size() << ", "
             << "\"kappa_min_mean\": " << s.mean() << ", "
             << "\"kappa_min_rv\": " << s.relative_variance() << ", "
             << "\"kappa_avg_mean\": " << a.mean() << ", "
+            << "\"lambda_min_mean\": " << l.mean() << ", "
             << "\"fault\": \"" << json_escape(fault.label()) << "\", "
             << "\"removal_budget\": " << budget << ", "
             << "\"removed\": [";
         for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
             out << (j > 0 ? "," : "") << run.series.samples[j].removed_total;
+        }
+        // The analysis-layer metric series (same snapshot order as
+        // `removed`): sampled λ_min, largest-SCC fraction, articulation
+        // points — the resilience dimensions beyond κ.
+        out << "], "
+            << "\"lambda_min\": [";
+        for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
+            out << (j > 0 ? "," : "") << run.series.samples[j].lambda_min;
+        }
+        out << "], "
+            << "\"scc_frac\": [";
+        for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
+            out << (j > 0 ? "," : "") << run.series.samples[j].scc_frac;
+        }
+        out << "], "
+            << "\"articulation\": [";
+        for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
+            out << (j > 0 ? "," : "") << run.series.samples[j].articulation_points;
         }
         out << "], "
             << "\"wall_seconds\": " << run.wall_seconds << "}"
@@ -169,8 +204,10 @@ void ProgressSink::line(const std::string& label, const std::string& text) {
 void ProgressSink::sample(const std::string& label,
                           const core::ConnectivitySample& s) {
     std::lock_guard lock(mutex_);
-    std::printf("  [%s] t=%6.0f min  n=%5d  kappa_min=%4d  kappa_avg=%7.2f\n",
-                label.c_str(), s.time_min, s.n, s.kappa_min, s.kappa_avg);
+    std::printf("  [%s] t=%6.0f min  n=%5d  kappa_min=%4d  kappa_avg=%7.2f  "
+                "lambda_min=%4d  scc=%.3f\n",
+                label.c_str(), s.time_min, s.n, s.kappa_min, s.kappa_avg,
+                s.lambda_min, s.scc_frac);
     std::fflush(stdout);
 }
 
@@ -335,7 +372,8 @@ int run_figure(FigureSpec& spec) {
     const std::string csv_path = output_dir() + "/" + spec.id + ".csv";
     util::CsvWriter csv(csv_path);
     csv.write_row({"config", "time_min", "n", "m", "kappa_min", "kappa_avg", "scc",
-                   "reciprocity", "pairs"});
+                   "reciprocity", "pairs", "lambda_min", "lambda_avg", "scc_frac",
+                   "wcc_frac", "articulation", "bridges", "kappa_gap"});
     for (const auto& run : spec.runs) {
         for (const auto& s : run.series.samples) {
             csv.write_row({run.label, util::CsvWriter::field(s.time_min),
@@ -346,7 +384,16 @@ int run_figure(FigureSpec& spec) {
                            util::CsvWriter::field(static_cast<long long>(s.scc_count)),
                            util::CsvWriter::field(s.reciprocity),
                            util::CsvWriter::field(
-                               static_cast<long long>(s.pairs_evaluated))});
+                               static_cast<long long>(s.pairs_evaluated)),
+                           util::CsvWriter::field(static_cast<long long>(s.lambda_min)),
+                           util::CsvWriter::field(s.lambda_avg),
+                           util::CsvWriter::field(s.scc_frac),
+                           util::CsvWriter::field(s.wcc_frac),
+                           util::CsvWriter::field(
+                               static_cast<long long>(s.articulation_points)),
+                           util::CsvWriter::field(static_cast<long long>(s.bridges)),
+                           util::CsvWriter::field(
+                               static_cast<long long>(s.kappa_degree_gap))});
         }
     }
     std::printf("csv: %s\n", csv_path.c_str());

@@ -1,0 +1,106 @@
+#include "analysis/structure.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace kadsim::analysis {
+
+namespace {
+
+/// The undirected projection as a finalized Digraph: both orientations of
+/// every edge (finalize() deduplicates, so a reciprocated pair collapses to
+/// one edge per direction and the projection is simple).
+graph::Digraph undirected_projection(const graph::Digraph& g) {
+    graph::Digraph und(g.vertex_count());
+    for (int u = 0; u < g.vertex_count(); ++u) {
+        for (const int v : g.out(u)) {
+            und.add_edge(u, v);
+            und.add_edge(v, u);
+        }
+    }
+    und.finalize();
+    return und;
+}
+
+}  // namespace
+
+UndirectedStructure undirected_structure(const graph::Digraph& g) {
+    UndirectedStructure result;
+    const int n = g.vertex_count();
+    if (n == 0) return result;
+    const graph::Digraph und = undirected_projection(g);
+
+    std::vector<int> disc(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<char> is_articulation(static_cast<std::size_t>(n), 0);
+    int timer = 0;
+
+    // Explicit DFS stack: (vertex, DFS-tree parent, next-neighbour position).
+    // The projection is simple, so skipping the parent vertex (rather than
+    // one parent *edge*) is the correct tree-edge exclusion.
+    struct Frame {
+        int v;
+        int parent;
+        std::size_t next;
+    };
+    std::vector<Frame> dfs;
+
+    for (int root = 0; root < n; ++root) {
+        if (disc[static_cast<std::size_t>(root)] != -1) continue;
+        ++result.components;
+        const int discovered_before = timer;
+        int root_children = 0;
+        disc[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] =
+            timer++;
+        dfs.push_back(Frame{root, -1, 0});
+        while (!dfs.empty()) {
+            Frame& frame = dfs.back();
+            const auto vs = static_cast<std::size_t>(frame.v);
+            const auto out = und.out(frame.v);
+            if (frame.next < out.size()) {
+                const int w = out[frame.next++];
+                if (w == frame.parent) continue;
+                const auto ws = static_cast<std::size_t>(w);
+                if (disc[ws] == -1) {
+                    if (frame.v == root) ++root_children;
+                    disc[ws] = low[ws] = timer++;
+                    dfs.push_back(Frame{w, frame.v, 0});
+                } else {
+                    low[vs] = std::min(low[vs], disc[ws]);
+                }
+            } else {
+                const int parent = frame.parent;
+                dfs.pop_back();
+                if (parent == -1) continue;
+                const auto ps = static_cast<std::size_t>(parent);
+                low[ps] = std::min(low[ps], low[vs]);
+                // Tree edge (parent, v): bridge iff no back-edge from v's
+                // subtree climbs above v; articulation iff none climbs above
+                // parent (the root is handled by its child count instead).
+                if (low[vs] > disc[ps]) ++result.bridge_count;
+                if (parent != root && low[vs] >= disc[ps]) is_articulation[ps] = 1;
+            }
+        }
+        if (root_children >= 2) is_articulation[static_cast<std::size_t>(root)] = 1;
+        result.largest_component =
+            std::max(result.largest_component, timer - discovered_before);
+    }
+    for (int v = 0; v < n; ++v) {
+        if (is_articulation[static_cast<std::size_t>(v)] != 0) {
+            result.articulation_points.push_back(v);
+        }
+    }
+    return result;
+}
+
+SccSummary scc_summary(const graph::Digraph& g) {
+    if (g.vertex_count() == 0) return {};
+    std::vector<int> component_ids;
+    const int components = graph::strongly_connected_components(g, &component_ids);
+    std::vector<int> sizes(static_cast<std::size_t>(components), 0);
+    for (const int id : component_ids) ++sizes[static_cast<std::size_t>(id)];
+    return {components, *std::max_element(sizes.begin(), sizes.end())};
+}
+
+}  // namespace kadsim::analysis

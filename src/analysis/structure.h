@@ -1,0 +1,50 @@
+// Structural decomposition of a routing-graph snapshot: the reachability and
+// cut-structure measures behind the analysis metrics (cf. Ferretti 2013,
+// which evaluates overlays via component structure rather than κ alone).
+//
+// Strong structure (largest SCC) is read off the digraph directly; weak
+// structure (components, articulation points, bridges) is defined on the
+// undirected projection — the simple graph with an edge {u,v} iff u→v or
+// v→u exists — because a single-vertex or single-link failure severs the
+// overlay exactly when it separates that projection.
+#ifndef KADSIM_ANALYSIS_STRUCTURE_H
+#define KADSIM_ANALYSIS_STRUCTURE_H
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace kadsim::analysis {
+
+/// Weak (undirected-projection) structure of a digraph.
+struct UndirectedStructure {
+    int components = 0;         ///< weakly connected components
+    int largest_component = 0;  ///< vertices in the largest one
+    /// Vertices whose removal increases the component count, ascending.
+    std::vector<int> articulation_points;
+    /// Projection edges whose removal increases the component count.
+    int bridge_count = 0;
+};
+
+/// One iterative Tarjan DFS over the undirected projection computing
+/// components, the largest component, articulation points and bridges.
+[[nodiscard]] UndirectedStructure undirected_structure(const graph::Digraph& g);
+
+/// Strong structure, from one Tarjan pass.
+struct SccSummary {
+    int count = 0;    ///< strongly connected components
+    int largest = 0;  ///< vertices in the largest one (0 for an empty graph)
+};
+
+[[nodiscard]] SccSummary scc_summary(const graph::Digraph& g);
+
+/// Vertices of the largest strongly connected component (0 for an empty
+/// graph); the strong-reachability numerator. Test/oracle convenience over
+/// scc_summary().
+[[nodiscard]] inline int largest_scc_size(const graph::Digraph& g) {
+    return scc_summary(g).largest;
+}
+
+}  // namespace kadsim::analysis
+
+#endif  // KADSIM_ANALYSIS_STRUCTURE_H

@@ -1,10 +1,16 @@
 #include "core/analyzer.h"
 
+#include <algorithm>
+#include <exception>
+#include <future>
+
+#include "exec/thread_pool.h"
+
 namespace kadsim::core {
 
-ConnectivitySample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& snap,
-                                                 exec::ThreadPool* pool) const {
-    ConnectivitySample sample;
+ResilienceSample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& snap,
+                                               exec::ThreadPool* pool) const {
+    ResilienceSample sample;
     sample.time_min = static_cast<double>(snap.time_ms) / 60000.0;
     sample.removed_total = snap.removed_total;
     const graph::Digraph g = snap.to_digraph();
@@ -12,13 +18,58 @@ ConnectivitySample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& s
     sample.m = g.edge_count();
     if (sample.n == 0) return sample;
 
-    sample.scc_count = graph::strongly_connected_components(g);
     sample.reciprocity = g.reciprocity();
 
-    const flow::ConnectivityResult r = analyze_graph(g, pool);
+    // Fan the metric suite out alongside κ: one task computes the metrics
+    // (which run sequentially inside it — the task is already a pool lane)
+    // while this thread drives the κ flows across the remaining workers.
+    // Both halves are deterministic, so the overlap never changes a value.
+    const analysis::MetricContext context{g, options_.sample_c,
+                                          options_.min_sources, pool};
+    std::future<analysis::ResilienceMetrics> metrics_future;
+    if (pool != nullptr && !exec::ThreadPool::in_worker()) {
+        metrics_future =
+            pool->submit([&context] { return analysis::run_metrics(context); });
+    }
+
+    // The metrics task references this frame's graph, so it must be joined
+    // before any unwind: collect a κ failure, finish the wait, then rethrow.
+    flow::ConnectivityResult r;
+    std::exception_ptr error;
+    try {
+        r = analyze_graph(g, pool);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    analysis::ResilienceMetrics metrics;
+    if (metrics_future.valid()) {
+        try {
+            metrics = pool->wait_get(metrics_future);
+        } catch (...) {
+            if (!error) error = std::current_exception();
+        }
+    } else if (!error) {
+        metrics = analysis::run_metrics(context);
+    }
+    if (error) std::rethrow_exception(error);
+
     sample.kappa_min = r.kappa_min;
     sample.kappa_avg = r.kappa_avg;
     sample.pairs_evaluated = r.pairs_evaluated;
+    sample.lambda_min = metrics.lambda_min;
+    sample.lambda_avg = metrics.lambda_avg;
+    // scc_count predates the metric suite; ReachabilityMetric now computes
+    // it in the same Tarjan pass as scc_frac (values unchanged — the golden
+    // series hashes pin them).
+    sample.scc_count = metrics.scc_count;
+    sample.scc_frac = metrics.scc_frac;
+    sample.wcc_frac = metrics.wcc_frac;
+    sample.articulation_points = metrics.articulation_points;
+    sample.bridges = metrics.bridges;
+    sample.out_degree_min = metrics.out_degree_min;
+    sample.in_degree_min = metrics.in_degree_min;
+    sample.kappa_degree_gap =
+        std::min(metrics.out_degree_min, metrics.in_degree_min) - sample.kappa_min;
     return sample;
 }
 
@@ -30,6 +81,12 @@ flow::ConnectivityResult ConnectivityAnalyzer::analyze_graph(
     options.pool = pool;
     options.use_push_relabel = options_.use_push_relabel;
     return flow::vertex_connectivity(g, options);
+}
+
+analysis::ResilienceMetrics ConnectivityAnalyzer::analyze_metrics(
+    const graph::Digraph& g, exec::ThreadPool* pool) const {
+    return analysis::run_metrics(analysis::MetricContext{
+        g, options_.sample_c, options_.min_sources, pool});
 }
 
 }  // namespace kadsim::core

@@ -1,11 +1,14 @@
-// Connectivity analysis pipeline (paper §5.2): routing snapshot → directed
-// connectivity graph → Even transformation → max-flow per vertex pair →
-// κ_min / κ_avg, with the paper's c·n source sampling.
+// Resilience analysis pipeline (paper §5.2, extended): routing snapshot →
+// directed connectivity graph → Even transformation → max-flow per vertex
+// pair → κ_min / κ_avg with the paper's c·n source sampling, plus the
+// analysis-layer metric suite (sampled edge connectivity λ, reachability
+// fractions, cut structure, degree floor) fanned out on the same pool.
 #ifndef KADSIM_CORE_ANALYZER_H
 #define KADSIM_CORE_ANALYZER_H
 
 #include <cstdint>
 
+#include "analysis/metrics.h"
 #include "flow/vertex_connectivity.h"
 #include "graph/snapshot.h"
 
@@ -29,8 +32,11 @@ struct AnalyzerOptions {
     bool use_push_relabel = false;
 };
 
-/// One analyzed snapshot: the quantities the paper's figures plot.
-struct ConnectivitySample {
+/// One analyzed snapshot: the paper's κ quantities plus the analysis-layer
+/// resilience metrics. The first nine fields predate the metric suite and
+/// their serialization (analyzer cache CSV, golden series hashes) is pinned
+/// byte-for-byte — new metrics are appended, never interleaved.
+struct ResilienceSample {
     double time_min = 0.0;
     int n = 0;                ///< live network size
     std::int64_t m = 0;       ///< connectivity-graph edges
@@ -42,19 +48,42 @@ struct ConnectivitySample {
     /// Cumulative fault-layer removals when the snapshot was taken (attack
     /// scenarios read κ degradation against this removal budget).
     std::uint64_t removed_total = 0;
+
+    // --- analysis-layer metrics (src/analysis/metrics.h) -----------------
+    int lambda_min = 0;          ///< sampled edge connectivity λ(D)
+    double lambda_avg = 0.0;     ///< mean λ(u,v) over sampled pairs
+    double scc_frac = 1.0;       ///< largest SCC share of live nodes
+    double wcc_frac = 1.0;       ///< largest weak-component share
+    int articulation_points = 0; ///< single-vertex weak cut points
+    int bridges = 0;             ///< single-link weak cut edges
+    int out_degree_min = 0;
+    int in_degree_min = 0;
+    /// δ_min − κ_min with δ_min = min(out_degree_min, in_degree_min): how far
+    /// κ sits below its degree ceiling (0 ⇔ the weakest vertex's links are
+    /// fully disjoint paths).
+    int kappa_degree_gap = 0;
 };
+
+/// The pre-metric-suite name; κ-focused call sites keep using it.
+using ConnectivitySample = ResilienceSample;
 
 class ConnectivityAnalyzer {
 public:
     explicit ConnectivityAnalyzer(AnalyzerOptions options) : options_(options) {}
 
-    /// Full pipeline on a routing snapshot. `pool` (optional) runs the
-    /// per-source flow jobs on a persistent execution pool instead of inline.
-    [[nodiscard]] ConnectivitySample analyze(const graph::RoutingSnapshot& snap,
-                                             exec::ThreadPool* pool = nullptr) const;
+    /// Full pipeline on a routing snapshot: κ plus the metric suite. `pool`
+    /// (optional) runs the per-source flow jobs and the per-snapshot metrics
+    /// on a persistent execution pool instead of inline; results are
+    /// bit-identical either way.
+    [[nodiscard]] ResilienceSample analyze(const graph::RoutingSnapshot& snap,
+                                           exec::ThreadPool* pool = nullptr) const;
 
     /// κ on an already-built connectivity graph.
     [[nodiscard]] flow::ConnectivityResult analyze_graph(
+        const graph::Digraph& g, exec::ThreadPool* pool = nullptr) const;
+
+    /// The metric suite on an already-built connectivity graph.
+    [[nodiscard]] analysis::ResilienceMetrics analyze_metrics(
         const graph::Digraph& g, exec::ThreadPool* pool = nullptr) const;
 
     [[nodiscard]] const AnalyzerOptions& options() const noexcept { return options_; }

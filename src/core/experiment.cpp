@@ -28,6 +28,12 @@ stats::TimeSeries ExperimentSeries::kappa_avg_series() const {
     return s;
 }
 
+stats::TimeSeries ExperimentSeries::lambda_min_series() const {
+    stats::TimeSeries s;
+    for (const auto& sample : samples) s.add(sample.time_min, sample.lambda_min);
+    return s;
+}
+
 stats::TimeSeries ExperimentSeries::size_at_samples() const {
     stats::TimeSeries s;
     for (const auto& sample : samples) s.add(sample.time_min, sample.n);
@@ -51,6 +57,17 @@ stats::Summary ExperimentSeries::kappa_avg_summary(double begin_min,
     for (const auto& sample : samples) {
         if (sample.time_min >= begin_min && sample.time_min < end_min) {
             s.add(sample.kappa_avg);
+        }
+    }
+    return s;
+}
+
+stats::Summary ExperimentSeries::lambda_min_summary(double begin_min,
+                                                    double end_min) const {
+    stats::Summary s;
+    for (const auto& sample : samples) {
+        if (sample.time_min >= begin_min && sample.time_min < end_min) {
+            s.add(sample.lambda_min);
         }
     }
     return s;

@@ -46,6 +46,7 @@ struct ExperimentSeries {
 
     [[nodiscard]] stats::TimeSeries kappa_min_series() const;
     [[nodiscard]] stats::TimeSeries kappa_avg_series() const;
+    [[nodiscard]] stats::TimeSeries lambda_min_series() const;
     [[nodiscard]] stats::TimeSeries size_at_samples() const;
 
     /// Summary of κ_min over samples taken in [begin_min, end_min) — the
@@ -54,6 +55,8 @@ struct ExperimentSeries {
                                                    double end_min) const;
     [[nodiscard]] stats::Summary kappa_avg_summary(double begin_min,
                                                    double end_min) const;
+    [[nodiscard]] stats::Summary lambda_min_summary(double begin_min,
+                                                    double end_min) const;
 };
 
 /// Runs the scenario to completion, analyzing a snapshot every

@@ -232,6 +232,29 @@ ExperimentConfig PaperScenarios::scale_5k() const {
     return cfg;
 }
 
+namespace {
+/// Metric-family horizon: setup + stabilization + one hour of churn, with
+/// the standard half-hour snapshot cadence (six analyzed snapshots).
+constexpr long long kMetricFamilyEndMin = 180;
+constexpr long long kMetricFamilySnapshotMin = 30;
+}  // namespace
+
+ExperimentConfig PaperScenarios::metrics_250() const {
+    ExperimentConfig cfg =
+        base("METRICS-250:size=250,churn=1/1,k=20", 250, 20, false,
+             scen::ChurnSpec{1, 1}, sim::minutes(kMetricFamilyEndMin));
+    cfg.snapshot_interval = sim::minutes(kMetricFamilySnapshotMin);
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::metrics_1000() const {
+    ExperimentConfig cfg =
+        base("METRICS-1000:size=1000,churn=1/1,k=20", 1000, 20, false,
+             scen::ChurnSpec{1, 1}, sim::minutes(kMetricFamilyEndMin));
+    cfg.snapshot_interval = sim::minutes(kMetricFamilySnapshotMin);
+    return cfg;
+}
+
 ExperimentConfig PaperScenarios::sim_c_b80(int k) const {
     ExperimentConfig cfg = sim_c(k);
     cfg.scenario.name += ",b=80";

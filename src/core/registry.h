@@ -98,6 +98,14 @@ public:
     [[nodiscard]] ExperimentConfig scale_2k() const;
     [[nodiscard]] ExperimentConfig scale_5k() const;
 
+    // Metric family (beyond the paper): fixed n = 250 / 1000 networks under
+    // the paper's 1/1 churn with no data traffic, 180-min horizon, 30-min
+    // snapshots — sized so `bench/metric_suite` exercises the full
+    // multi-metric analysis (κ, sampled λ, reachability fractions, cut
+    // structure) at two scales in CI time.
+    [[nodiscard]] ExperimentConfig metrics_250() const;
+    [[nodiscard]] ExperimentConfig metrics_1000() const;
+
     /// Churn-phase start in minutes (Table 2 aggregates from here on).
     [[nodiscard]] static double churn_start_min() { return 120.0; }
 

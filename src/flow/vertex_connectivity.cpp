@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <future>
 #include <limits>
 #include <numeric>
@@ -12,43 +11,19 @@
 #include "flow/dinic.h"
 #include "flow/even_transform.h"
 #include "flow/push_relabel.h"
+#include "flow/sampling.h"
 #include "util/assert.h"
 
 namespace kadsim::flow {
 
 namespace {
 
-/// Sources for the sampled computation: the c·n vertices with the smallest
-/// out-degree (ties by index, so the choice is deterministic). The out-degree
-/// of a source upper-bounds its outgoing flow, which is why low-degree
-/// vertices pin the minimum (paper §5.2).
+/// Sources for the sampled computation (paper §5.2): the shared
+/// smallest-out-degree selection of flow/sampling.h, used identically by the
+/// edge-connectivity kernel.
 std::vector<int> pick_sources(const graph::Digraph& g, double fraction,
                               int min_sources) {
-    const int n = g.vertex_count();
-    std::vector<int> order(static_cast<std::size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    if (fraction >= 1.0) return order;
-
-    const auto want = static_cast<std::size_t>(
-        std::clamp<long long>(static_cast<long long>(std::ceil(fraction * n)),
-                              std::max(1, min_sources), n));
-    // (out-degree, index) is a strict total order, so selecting the `want`
-    // smallest and then ordering that prefix reproduces the stable-sort
-    // result exactly — without paying O(n log n) for the ~98% of vertices
-    // the sampling never uses.
-    const auto by_degree_then_index = [&g](int a, int b) {
-        const int da = g.out_degree(a);
-        const int db = g.out_degree(b);
-        return da != db ? da < db : a < b;
-    };
-    if (want < order.size()) {
-        std::nth_element(order.begin(),
-                         order.begin() + static_cast<std::ptrdiff_t>(want),
-                         order.end(), by_degree_then_index);
-        order.resize(want);
-    }
-    std::sort(order.begin(), order.end(), by_degree_then_index);
-    return order;
+    return pick_smallest_out_degree_sources(g, fraction, min_sources);
 }
 
 struct PartialResult {

@@ -74,8 +74,9 @@ struct ScenarioConfig {
               phases.stabilization_end <= phases.end)) {
             throw std::invalid_argument("phases must be ordered setup <= stab <= end");
         }
-        if (traffic.enabled &&
-            (traffic.lookups_per_minute < 0 || traffic.disseminations_per_minute < 0)) {
+        // Unconditional: a disabled-but-invalid spec must not validate
+        // silently only to blow up when someone flips `enabled` on.
+        if (traffic.lookups_per_minute < 0 || traffic.disseminations_per_minute < 0) {
             throw std::invalid_argument("traffic rates must be >= 0");
         }
     }

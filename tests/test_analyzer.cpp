@@ -39,6 +39,42 @@ TEST(ConnectivityAnalyzer, RingSnapshotHasKappaTwo) {
     EXPECT_DOUBLE_EQ(sample.time_min, 90.0);
 }
 
+TEST(ConnectivityAnalyzer, RingSnapshotMetricSuite) {
+    // The bidirectional ring is 2-regular and 2-connected in every sense:
+    // the whole κ ≤ λ ≤ δ_min chain collapses to 2 and no cut structure
+    // exists.
+    const ConnectivityAnalyzer analyzer(exact_options());
+    const auto sample = analyzer.analyze(ring_snapshot(8));
+    EXPECT_EQ(sample.lambda_min, 2);
+    EXPECT_DOUBLE_EQ(sample.lambda_avg, 2.0);
+    EXPECT_DOUBLE_EQ(sample.scc_frac, 1.0);
+    EXPECT_DOUBLE_EQ(sample.wcc_frac, 1.0);
+    EXPECT_EQ(sample.articulation_points, 0);
+    EXPECT_EQ(sample.bridges, 0);
+    EXPECT_EQ(sample.out_degree_min, 2);
+    EXPECT_EQ(sample.in_degree_min, 2);
+    EXPECT_EQ(sample.kappa_degree_gap, 0);
+}
+
+TEST(ConnectivityAnalyzer, DisconnectedSnapshotMetricSuite) {
+    // Two 2-cliques: fractions see the halves, λ matches κ at 0, and each
+    // pair-component's single mutual link is a bridge (not an articulation
+    // point — removing an endpoint leaves a lone vertex, same count).
+    graph::RoutingSnapshot snap;
+    snap.nodes.push_back({1, {2}});
+    snap.nodes.push_back({2, {1}});
+    snap.nodes.push_back({3, {4}});
+    snap.nodes.push_back({4, {3}});
+    const ConnectivityAnalyzer analyzer(exact_options());
+    const auto sample = analyzer.analyze(snap);
+    EXPECT_EQ(sample.lambda_min, 0);
+    EXPECT_DOUBLE_EQ(sample.scc_frac, 0.5);
+    EXPECT_DOUBLE_EQ(sample.wcc_frac, 0.5);
+    EXPECT_EQ(sample.articulation_points, 0);
+    EXPECT_EQ(sample.bridges, 2);
+    EXPECT_EQ(sample.kappa_degree_gap, 1);  // δ_min = 1, κ_min = 0
+}
+
 TEST(ConnectivityAnalyzer, DisconnectedSnapshotHasKappaZero) {
     graph::RoutingSnapshot snap;
     snap.nodes.push_back({1, {2}});
@@ -90,6 +126,15 @@ TEST(ConnectivityAnalyzer, PooledAnalysisMatchesInline) {
     EXPECT_EQ(pooled.kappa_min, inline_sample.kappa_min);
     EXPECT_DOUBLE_EQ(pooled.kappa_avg, inline_sample.kappa_avg);
     EXPECT_EQ(pooled.pairs_evaluated, inline_sample.pairs_evaluated);
+    // The metric suite (fanned out alongside κ on the pool) is bit-identical
+    // to the inline run too.
+    EXPECT_EQ(pooled.lambda_min, inline_sample.lambda_min);
+    EXPECT_DOUBLE_EQ(pooled.lambda_avg, inline_sample.lambda_avg);
+    EXPECT_DOUBLE_EQ(pooled.scc_frac, inline_sample.scc_frac);
+    EXPECT_DOUBLE_EQ(pooled.wcc_frac, inline_sample.wcc_frac);
+    EXPECT_EQ(pooled.articulation_points, inline_sample.articulation_points);
+    EXPECT_EQ(pooled.bridges, inline_sample.bridges);
+    EXPECT_EQ(pooled.kappa_degree_gap, inline_sample.kappa_degree_gap);
 }
 
 TEST(ConnectivityAnalyzer, SampledModeEvaluatesFewerPairs) {

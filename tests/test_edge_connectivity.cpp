@@ -1,0 +1,183 @@
+// Edge connectivity λ: randomized differential testing of the unit-capacity
+// kernel (degree-capped, path-seeded Dinic over a reused touched-arc-reset
+// workspace) against a brute-force min-edge-cut oracle, plus workspace-reuse
+// purity (fresh vs reused workspace bit-identical).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "flow/edge_connectivity.h"
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace kadsim::flow {
+namespace {
+
+/// Kademlia-like connectivity graph at tiny n: target out-degree `deg`,
+/// mostly reciprocated edges (same shape as the micro-bench generator).
+graph::Digraph kademlia_like_graph(int n, int deg, std::uint64_t seed) {
+    util::Rng rng(seed);
+    graph::Digraph g(n);
+    for (int u = 0; u < n; ++u) {
+        for (int j = 0; j < deg; ++j) {
+            const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+            if (v == u) continue;
+            g.add_edge(u, v);
+            if (rng.next_bool(0.9)) g.add_edge(v, u);
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+// 100 seeded graphs: every ordered pair must agree between the kernel's
+// seeded+capped path (exercised through edge_connectivity at
+// sample_fraction 1.0, whose min/sum aggregate every pair) and the
+// brute-force min-edge-cut oracle.
+TEST(EdgeConnectivityDifferential, SampledKernelVsBruteforceMinCutOracle) {
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        const int n = 6 + static_cast<int>(seed % 4);  // 6..9
+        const graph::Digraph g = kademlia_like_graph(n, 2, seed);
+
+        int oracle_min = std::numeric_limits<int>::max();
+        std::uint64_t oracle_sum = 0;
+        std::uint64_t oracle_pairs = 0;
+        for (int u = 0; u < n; ++u) {
+            for (int v = 0; v < n; ++v) {
+                if (u == v) continue;
+                const int lambda = pair_edge_connectivity_bruteforce(g, u, v);
+                oracle_min = std::min(oracle_min, lambda);
+                oracle_sum += static_cast<std::uint64_t>(lambda);
+                ++oracle_pairs;
+            }
+        }
+
+        const EdgeConnectivityResult r = edge_connectivity(g);
+        EXPECT_EQ(r.lambda_min, oracle_min) << "seed " << seed;
+        EXPECT_EQ(r.lambda_sum, oracle_sum) << "seed " << seed;
+        EXPECT_EQ(r.pairs_evaluated, oracle_pairs) << "seed " << seed;
+    }
+}
+
+// The per-pair solver path (no seeding, uncapped Dinic on a reused
+// workspace) must agree with the oracle too — it is what the purity test
+// and external callers use.
+TEST(EdgeConnectivityDifferential, PairSolverVsBruteforce) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const int n = 6 + static_cast<int>(seed % 4);
+        const graph::Digraph g = kademlia_like_graph(n, 2, seed * 31);
+        const FlowNetwork net = unit_capacity_network(g);
+        FlowWorkspace reused(net);
+        for (int u = 0; u < n; ++u) {
+            for (int v = 0; v < n; ++v) {
+                if (u == v) continue;
+                EXPECT_EQ(pair_edge_connectivity(g, net, reused, u, v),
+                          pair_edge_connectivity_bruteforce(g, u, v))
+                    << "seed " << seed << " pair (" << u << "," << v << ")";
+            }
+        }
+    }
+}
+
+// Reusing one workspace across pairs must be pure: recomputing a pair after
+// arbitrary interleaved work gives the same λ as a fresh workspace, and a
+// reset leaves every arc at its as-built capacity.
+TEST(EdgeConnectivityPurity, ReuseAcrossPairsMatchesFreshWorkspace) {
+    const graph::Digraph g = kademlia_like_graph(12, 3, 42);
+    const FlowNetwork net = unit_capacity_network(g);
+    FlowWorkspace reused(net);
+    std::vector<std::pair<int, int>> pairs;
+    for (int u = 0; u < g.vertex_count(); ++u) {
+        for (int v = 0; v < g.vertex_count(); ++v) {
+            if (u != v) pairs.emplace_back(u, v);
+        }
+    }
+
+    // First sweep on the reused workspace.
+    std::vector<int> first;
+    for (const auto& [u, v] : pairs) {
+        first.push_back(pair_edge_connectivity(g, net, reused, u, v));
+    }
+    // Second sweep in reverse order: every value must replay identically.
+    for (std::size_t i = pairs.size(); i-- > 0;) {
+        const auto [u, v] = pairs[i];
+        EXPECT_EQ(pair_edge_connectivity(g, net, reused, u, v), first[i])
+            << "pair (" << u << "," << v << ") not pure under reuse";
+    }
+    // And against fresh workspaces (the convenience overload).
+    for (std::size_t i = 0; i < pairs.size(); i += 7) {
+        const auto [u, v] = pairs[i];
+        EXPECT_EQ(pair_edge_connectivity(g, u, v), first[i]);
+    }
+    // After a final reset, the residual capacities are exactly as built.
+    reused.reset();
+    for (int a = 0; a < net.arc_count(); ++a) {
+        ASSERT_EQ(reused.cap(a), net.original_cap(a)) << "arc " << a;
+    }
+}
+
+// The unit-capacity network honours the documented arc-id contract: the arc
+// of connectivity-graph edge j is 2j, heads match the CSR targets.
+TEST(EdgeConnectivityNetwork, ArcIdContract) {
+    const graph::Digraph g = kademlia_like_graph(10, 3, 7);
+    const FlowNetwork net = unit_capacity_network(g);
+    EXPECT_EQ(net.vertex_count(), g.vertex_count());
+    EXPECT_EQ(net.arc_count(), 2 * g.edge_count());
+    for (int u = 0; u < g.vertex_count(); ++u) {
+        const auto out = g.out(u);
+        const std::int64_t offset = g.edge_offset(u);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            const int arc = static_cast<int>(2 * (offset + static_cast<std::int64_t>(i)));
+            EXPECT_EQ(net.arc_to(arc), out[i]);
+            EXPECT_EQ(net.original_cap(arc), 1);
+            EXPECT_EQ(net.arc_to(arc ^ 1), u);
+            EXPECT_EQ(net.original_cap(arc ^ 1), 0);
+        }
+    }
+}
+
+// Pool fan-out aggregates bit-identically to the inline path (integer
+// min/sum per worker, fixed-order combination).
+TEST(EdgeConnectivityExecution, PooledMatchesInline) {
+    const graph::Digraph g = kademlia_like_graph(48, 4, 11);
+    const EdgeConnectivityResult inline_result = edge_connectivity(g);
+    exec::ThreadPool pool(3);
+    EdgeConnectivityOptions options;
+    options.pool = &pool;
+    const EdgeConnectivityResult pooled = edge_connectivity(g, options);
+    EXPECT_EQ(pooled.lambda_min, inline_result.lambda_min);
+    EXPECT_EQ(pooled.lambda_sum, inline_result.lambda_sum);
+    EXPECT_EQ(pooled.pairs_evaluated, inline_result.pairs_evaluated);
+    EXPECT_EQ(pooled.pairs_skipped, inline_result.pairs_skipped);
+    EXPECT_EQ(pooled.flows_capped, inline_result.flows_capped);
+}
+
+TEST(EdgeConnectivityEdgeCases, TrivialAndCompleteGraphs) {
+    graph::Digraph empty(0);
+    empty.finalize();
+    EXPECT_EQ(edge_connectivity(empty).lambda_min, 0);
+
+    graph::Digraph single(1);
+    single.finalize();
+    EXPECT_TRUE(edge_connectivity(single).complete);
+
+    graph::Digraph complete(5);
+    for (int u = 0; u < 5; ++u) {
+        for (int v = 0; v < 5; ++v) {
+            if (u != v) complete.add_edge(u, v);
+        }
+    }
+    complete.finalize();
+    const EdgeConnectivityResult r = edge_connectivity(complete);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.lambda_min, 4);
+    EXPECT_DOUBLE_EQ(r.lambda_avg, 4.0);
+}
+
+}  // namespace
+}  // namespace kadsim::flow

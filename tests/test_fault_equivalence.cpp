@@ -20,14 +20,29 @@ namespace kadsim {
 namespace {
 
 /// The cache-CSV sample serialization of the pre-refactor tree (the
-/// `removed` column is newer and deliberately excluded — the golden pins the
-/// original eight fields).
+/// `removed` column and the analysis-layer metric columns are newer and
+/// deliberately excluded — the golden pins the original eight fields).
 std::string serialize(const core::ExperimentSeries& series) {
     std::ostringstream out;
     for (const auto& s : series.samples) {
         out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
             << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
             << s.pairs_evaluated << '\n';
+    }
+    return out.str();
+}
+
+/// The full ResilienceSample serialization (every cache-CSV column,
+/// including the appended metric columns) — pinned by its own golden.
+std::string serialize_full(const core::ExperimentSeries& series) {
+    std::ostringstream out;
+    for (const auto& s : series.samples) {
+        out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
+            << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
+            << s.pairs_evaluated << ',' << s.removed_total << ',' << s.lambda_min
+            << ',' << s.lambda_avg << ',' << s.scc_frac << ',' << s.wcc_frac << ','
+            << s.articulation_points << ',' << s.bridges << ',' << s.out_degree_min
+            << ',' << s.in_degree_min << ',' << s.kappa_degree_gap << '\n';
     }
     return out.str();
 }
@@ -73,7 +88,12 @@ TEST(FaultEquivalence, SmallChurnTotalsMatchPreRefactorGolden) {
 // Simulation E at quick scale (the acceptance pin for sims A–L): size 250,
 // churn 1/1, data traffic, k=20, horizon 360 min. ~15 s of simulation — the
 // long pole of the suite, but it is the contract that keeps every published
-// figure CSV byte-stable across the fault refactor.
+// figure CSV byte-stable across the fault refactor AND the metric-suite
+// extension: the series is computed once, the pre-existing columns are
+// hashed against the pre-refactor golden, each full row must extend its
+// pre-existing prefix byte-for-byte, and the full ResilienceSample
+// serialization is pinned by its own golden (captured when the metric suite
+// landed).
 TEST(FaultEquivalence, SimEQuickScaleSeriesMatchesPreRefactorGolden) {
     core::ExperimentConfig cfg;
     cfg.scenario.name = "E:quick";
@@ -90,7 +110,27 @@ TEST(FaultEquivalence, SimEQuickScaleSeriesMatchesPreRefactorGolden) {
     cfg.analyzer.sample_c = 0.02;
     cfg.analyzer.min_sources = 4;
     cfg.analyzer.threads = 1;
-    EXPECT_EQ(series_sha1(cfg), "a20bbcdab954ca90535e8aa278d92810bc503b1b");
+    const core::ExperimentSeries series = core::run_experiment(cfg);
+
+    // The pre-existing columns are byte-identical to the pre-refactor tree.
+    EXPECT_EQ(util::to_hex(util::sha1(serialize(series))),
+              "a20bbcdab954ca90535e8aa278d92810bc503b1b");
+
+    // Appending metric columns must leave the old bytes a strict row prefix.
+    std::istringstream old_rows(serialize(series));
+    std::istringstream full_rows(serialize_full(series));
+    std::string old_row;
+    std::string full_row;
+    while (std::getline(old_rows, old_row)) {
+        ASSERT_TRUE(std::getline(full_rows, full_row));
+        ASSERT_EQ(full_row.substr(0, old_row.size()), old_row);
+        ASSERT_EQ(full_row[old_row.size()], ',');
+    }
+
+    // The full ResilienceSample series (κ plus λ / reachability / cut
+    // structure / degree columns) has its own golden.
+    EXPECT_EQ(util::to_hex(util::sha1(serialize_full(series))),
+              "542860fcc1966fae1883a76f5354410efce8573d");
 }
 
 }  // namespace

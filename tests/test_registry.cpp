@@ -130,6 +130,44 @@ TEST(Registry, AllScenariosValidate) {
     EXPECT_NO_THROW(reg.attack_degree(true).scenario.validate());
     EXPECT_NO_THROW(reg.attack_kappa().scenario.validate());
     EXPECT_NO_THROW(reg.attack_region(true).scenario.validate());
+    EXPECT_NO_THROW(reg.metrics_250().scenario.validate());
+    EXPECT_NO_THROW(reg.metrics_1000().scenario.validate());
+}
+
+// Regression: negative traffic rates must be rejected even while
+// traffic.enabled is false (the check used to be gated on `enabled`, so an
+// invalid disabled spec validated silently until someone flipped it on).
+TEST(Registry, ValidateRejectsNegativeTrafficRatesEvenWhenDisabled) {
+    scen::ScenarioConfig cfg;
+    cfg.traffic.enabled = false;
+    cfg.traffic.lookups_per_minute = -1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.traffic.lookups_per_minute = 10;
+    cfg.traffic.disseminations_per_minute = -3;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.traffic.disseminations_per_minute = 0;
+    EXPECT_NO_THROW(cfg.validate());
+    // And still rejected when enabled, as before.
+    cfg.traffic.enabled = true;
+    cfg.traffic.lookups_per_minute = -7;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Registry, MetricFamilyFixedSizesAndCadence) {
+    const PaperScenarios reg(test_scale());
+    const auto m250 = reg.metrics_250();
+    const auto m1000 = reg.metrics_1000();
+    EXPECT_EQ(m250.scenario.initial_size, 250);
+    EXPECT_EQ(m1000.scenario.initial_size, 1000);
+    for (const auto& cfg : {m250, m1000}) {
+        EXPECT_EQ(cfg.scenario.fault.churn.label(), "1/1");
+        EXPECT_FALSE(cfg.scenario.traffic.enabled);
+        EXPECT_EQ(cfg.scenario.kad.k, 20);
+        EXPECT_EQ(cfg.scenario.phases.end, sim::minutes(180));
+        EXPECT_EQ(cfg.snapshot_interval, sim::minutes(30));
+    }
+    EXPECT_NE(m250.scenario.name.find("METRICS-250"), std::string::npos);
+    EXPECT_NE(m1000.scenario.name.find("METRICS-1000"), std::string::npos);
 }
 
 TEST(Registry, PaperSimulationsUseRandomChurnModel) {
