@@ -1,6 +1,7 @@
 #include "bench/common.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -68,23 +69,9 @@ bool load_cached(const std::string& path, const std::string& key,
     if (!std::getline(in, line)) return false;  // column header
     while (std::getline(in, line)) {
         core::ResilienceSample sample;
-        std::istringstream row(line);
-        char comma = 0;
-        std::uint64_t pairs = 0;
-        std::uint64_t removed = 0;
-        row >> sample.time_min >> comma >> sample.n >> comma >> sample.m >> comma >>
-            sample.kappa_min >> comma >> sample.kappa_avg >> comma >>
-            sample.scc_count >> comma >> sample.reciprocity >> comma >> pairs >>
-            comma >> removed >> comma >> sample.lambda_min >> comma >>
-            sample.lambda_avg >> comma >> sample.scc_frac >> comma >>
-            sample.wcc_frac >> comma >> sample.articulation_points >> comma >>
-            sample.bridges >> comma >> sample.out_degree_min >> comma >>
-            sample.in_degree_min >> comma >> sample.kappa_degree_gap;
         // Pre-metric-suite cache files fail here and re-simulate: the key
         // line still matches but rows lack the appended metric columns.
-        if (!row) return false;
-        sample.pairs_evaluated = pairs;
-        sample.removed_total = removed;
+        if (!parse_sample_row(line, sample)) return false;
         out.samples.push_back(sample);
     }
     return !out.samples.empty();
@@ -195,6 +182,41 @@ std::string json_escape(const std::string& in) {
     return out;
 }
 
+namespace {
+
+/// One comma-terminated field off the front of `s` (the final field runs to
+/// the end of the line instead). from_chars never allocates and never reads
+/// past `s`, so a malformed field fails cleanly instead of consuming the
+/// rest of the row.
+template <typename T>
+bool parse_field(std::string_view& s, T& value, bool last = false) {
+    const char* const begin = s.data();
+    const char* const end = begin + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{}) return false;
+    if (last) return ptr == end;
+    if (ptr == end || *ptr != ',') return false;
+    s.remove_prefix(static_cast<std::size_t>(ptr - begin) + 1);
+    return true;
+}
+
+}  // namespace
+
+bool parse_sample_row(std::string_view line, core::ResilienceSample& out) {
+    return parse_field(line, out.time_min) && parse_field(line, out.n) &&
+           parse_field(line, out.m) && parse_field(line, out.kappa_min) &&
+           parse_field(line, out.kappa_avg) && parse_field(line, out.scc_count) &&
+           parse_field(line, out.reciprocity) &&
+           parse_field(line, out.pairs_evaluated) &&
+           parse_field(line, out.removed_total) &&
+           parse_field(line, out.lambda_min) && parse_field(line, out.lambda_avg) &&
+           parse_field(line, out.scc_frac) && parse_field(line, out.wcc_frac) &&
+           parse_field(line, out.articulation_points) &&
+           parse_field(line, out.bridges) && parse_field(line, out.out_degree_min) &&
+           parse_field(line, out.in_degree_min) &&
+           parse_field(line, out.kappa_degree_gap, /*last=*/true);
+}
+
 void ProgressSink::line(const std::string& label, const std::string& text) {
     std::lock_guard lock(mutex_);
     std::printf("  [%s] %s\n", label.c_str(), text.c_str());
@@ -265,7 +287,9 @@ void print_header(const FigureSpec& spec, const core::ReproScale& scale) {
     std::printf("================================================================\n");
     std::printf("scale: %s  (small=%d large=%d horizon=%lld min, snapshots every %lld "
                 "min, c=%.3f, seed=%llu, threads=%d)\n",
-                util::repro_scale() == util::ReproScale::kPaper ? "paper" : "quick",
+                util::repro_scale() == util::ReproScale::kFull     ? "full"
+                : util::repro_scale() == util::ReproScale::kPaper ? "paper"
+                                                                  : "quick",
                 scale.size_small, scale.size_large,
                 static_cast<long long>(scale.churn_figs_end / sim::kMinute),
                 static_cast<long long>(scale.snapshot_interval / sim::kMinute),

@@ -19,6 +19,7 @@
 
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
@@ -81,6 +82,15 @@ void print_header(const FigureSpec& spec, const core::ReproScale& scale);
 
 /// Escapes `"` and `\` for embedding in the BENCH_<id>.json writers.
 [[nodiscard]] std::string json_escape(const std::string& in);
+
+/// Parses one cache-CSV data row (the 18-column ResilienceSample
+/// serialization of store_cached) into `out`. Returns false on any
+/// malformed, short, or over-long row — the caller treats that as a cache
+/// miss. std::from_chars end to end: parsing allocates nothing, which keeps
+/// cache probing linear and allocation-free even for multi-thousand-row
+/// series (tests/test_bench_cache.cpp pins the allocation count).
+[[nodiscard]] bool parse_sample_row(std::string_view line,
+                                    core::ResilienceSample& out);
 
 /// Output directory ("bench_out", created on demand).
 std::string output_dir();

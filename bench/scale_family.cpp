@@ -1,13 +1,21 @@
-// Scale family: n = 2000 (and, at paper scale, n = 5000) networks under the
-// paper's 1/1 churn — the snapshot sizes the CSR flow kernel makes
-// affordable. Unlike the figure benches this binary drives the runner and
-// analyzer directly (no series cache): the point is to measure the kernel,
-// so BENCH_scale_family.json records, per config, the wall time, the peak
+// Scale family: n = 2000 (and, at paper scale and above, n = 5000 / 20000;
+// n = 100000 at REPRO_SCALE=full) networks under the paper's 1/1 churn —
+// the snapshot sizes the CSR flow kernel makes affordable. Unlike the
+// figure benches this binary drives the runner and analyzer directly (no
+// series cache): the point is to measure the kernel, so
+// BENCH_scale_family.json records, per config, the wall time, the peak
 // flow-kernel arena (shared CSR network + every worker workspace) and the
 // touched-arc reset counters alongside the κ trajectory.
 //
-// REPRO_SCALE=quick (default) runs scale_2k only; REPRO_SCALE=paper adds
-// scale_5k. tools/run_all_benches.sh picks this binary up automatically.
+// The binary also runs the incremental-analysis *gate*: the same n = 2000
+// overlay, snapshotted at a one-minute cadence inside the churn phase, is
+// analyzed twice — plain κ+λ sweeps versus sparse-certificate +
+// snapshot-delta sweeps (graph/certificate.h, analysis/incremental.h). The
+// gate asserts every κ/λ aggregate is bit-identical across the two arms and
+// reports the wall-time ratio; the JSON carries "gate_pass" plus the
+// cert_edges_kept / cert_build_us / delta_pairs_reused counters so CI can
+// assert the accelerated path actually engaged. docs/figures.md describes
+// the expected numbers.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -15,10 +23,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/incremental.h"
 #include "bench/common.h"
 #include "core/analyzer.h"
 #include "core/registry.h"
 #include "exec/thread_pool.h"
+#include "flow/edge_connectivity.h"
+#include "flow/vertex_connectivity.h"
 #include "scen/runner.h"
 #include "util/env.h"
 
@@ -61,8 +72,119 @@ void run_one(ScaleRun& run, exec::ThreadPool& pool, bench::ProgressSink& sink) {
             .count();
 }
 
-void write_json(const std::vector<ScaleRun>& runs, int threads,
-                double wall_seconds) {
+// --- incremental-analysis gate ---------------------------------------------
+
+/// Everything the gate compares bit-for-bit, per snapshot.
+struct GateSample {
+    int kappa_min = 0;
+    double kappa_avg = 0.0;
+    std::uint64_t kappa_sum = 0;
+    std::uint64_t kappa_pairs = 0;
+    int lambda_min = 0;
+    double lambda_avg = 0.0;
+    std::uint64_t lambda_sum = 0;
+    std::uint64_t lambda_pairs = 0;
+
+    bool operator==(const GateSample&) const = default;
+};
+
+struct GateArm {
+    std::vector<GateSample> samples;
+    double wall_seconds = 0.0;
+    std::uint64_t cert_edges_kept = 0;  // max over snapshots (κ and λ builds)
+    std::uint64_t cert_build_us = 0;    // total over snapshots
+    std::uint64_t pairs_reused = 0;     // total, κ + λ
+};
+
+/// One-minute snapshot cadence keeps inter-snapshot churn at one
+/// leave + one join, which is what witness revalidation is built for;
+/// starting inside the churn phase (t ≥ 120) makes the overlay
+/// degree-diverse, which is what the certificate is built for.
+constexpr int kGateSnapshots = 6;
+constexpr long long kGateStartMin = 120;
+
+GateArm run_gate_arm(const std::vector<graph::RoutingSnapshot>& snaps,
+                     const core::ReproScale& scale, bool accelerated,
+                     exec::ThreadPool& pool) {
+    GateArm arm;
+    analysis::SnapshotDeltaCache cache;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& snap : snaps) {
+        const graph::Digraph g = snap.to_digraph();
+        if (accelerated) cache.begin_snapshot(snap, g);
+
+        flow::ConnectivityOptions ko;
+        ko.sample_fraction = scale.sample_c;
+        ko.min_sources = scale.min_sources;
+        ko.pool = &pool;
+        ko.use_certificate = accelerated;
+        ko.reuse = accelerated ? cache.kappa_hook() : nullptr;
+        const flow::ConnectivityResult kr = flow::vertex_connectivity(g, ko);
+
+        flow::EdgeConnectivityOptions lo;
+        lo.sample_fraction = scale.sample_c;
+        lo.min_sources = scale.min_sources;
+        lo.pool = &pool;
+        lo.use_certificate = accelerated;
+        lo.reuse = accelerated ? cache.lambda_hook() : nullptr;
+        const flow::EdgeConnectivityResult lr = flow::edge_connectivity(g, lo);
+
+        if (accelerated) cache.end_snapshot();
+
+        arm.samples.push_back({kr.kappa_min, kr.kappa_avg, kr.kappa_sum,
+                               kr.pairs_evaluated, lr.lambda_min, lr.lambda_avg,
+                               lr.lambda_sum, lr.pairs_evaluated});
+        arm.cert_edges_kept = std::max(
+            {arm.cert_edges_kept, kr.cert_edges_kept, lr.cert_edges_kept});
+        arm.cert_build_us += kr.cert_build_us + lr.cert_build_us;
+        arm.pairs_reused += kr.pairs_reused + lr.pairs_reused;
+    }
+    arm.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return arm;
+}
+
+struct GateResult {
+    int n = 0;
+    GateArm baseline;
+    GateArm accelerated;
+    bool identical = false;
+    double speedup = 0.0;
+    bool pass = false;
+};
+
+GateResult run_gate(const core::PaperScenarios& scenarios,
+                    exec::ThreadPool& pool, bench::ProgressSink& sink) {
+    GateResult gate;
+    const core::ExperimentConfig cfg = scenarios.scale_2k();
+    gate.n = cfg.scenario.initial_size;
+
+    sink.line("gate", "simulating " + std::to_string(kGateSnapshots) +
+                          " one-minute snapshots of " + cfg.scenario.name);
+    scen::Runner runner(cfg.scenario);
+    std::vector<graph::RoutingSnapshot> snaps;
+    snaps.reserve(kGateSnapshots);
+    for (int i = 0; i < kGateSnapshots; ++i) {
+        runner.step_to(sim::minutes(kGateStartMin + i));
+        snaps.push_back(runner.snapshot());
+    }
+
+    sink.line("gate", "baseline arm: full κ+λ sweeps");
+    gate.baseline = run_gate_arm(snaps, scenarios.scale(), false, pool);
+    sink.line("gate", "accelerated arm: certificate + snapshot-delta sweeps");
+    gate.accelerated = run_gate_arm(snaps, scenarios.scale(), true, pool);
+
+    gate.identical = gate.baseline.samples == gate.accelerated.samples;
+    gate.speedup = gate.accelerated.wall_seconds > 0.0
+                       ? gate.baseline.wall_seconds / gate.accelerated.wall_seconds
+                       : 0.0;
+    gate.pass = gate.identical && gate.speedup >= 3.0;
+    return gate;
+}
+
+void write_json(const std::vector<ScaleRun>& runs, const GateResult& gate,
+                int threads, double wall_seconds) {
     const std::string path = bench::output_dir() + "/BENCH_scale_family.json";
     std::ofstream out(path, std::ios::trunc);
     if (!out) return;
@@ -71,6 +193,16 @@ void write_json(const std::vector<ScaleRun>& runs, int threads,
         << "  \"paper_ref\": \"beyond the paper: CSR-kernel scale family\",\n"
         << "  \"threads\": " << threads << ",\n"
         << "  \"wall_seconds\": " << wall_seconds << ",\n"
+        << "  \"gate\": {\"n\": " << gate.n << ", "
+        << "\"snapshots\": " << kGateSnapshots << ", "
+        << "\"baseline_wall_seconds\": " << gate.baseline.wall_seconds << ", "
+        << "\"accel_wall_seconds\": " << gate.accelerated.wall_seconds << ", "
+        << "\"speedup\": " << gate.speedup << ", "
+        << "\"identical\": " << (gate.identical ? "true" : "false") << ", "
+        << "\"cert_edges_kept\": " << gate.accelerated.cert_edges_kept << ", "
+        << "\"cert_build_us\": " << gate.accelerated.cert_build_us << ", "
+        << "\"delta_pairs_reused\": " << gate.accelerated.pairs_reused << ", "
+        << "\"gate_pass\": \"" << (gate.pass ? "PASS" : "FAIL") << "\"},\n"
         << "  \"runs\": [\n";
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const auto& run = runs[i];
@@ -100,17 +232,23 @@ void write_json(const std::vector<ScaleRun>& runs, int threads,
 int main() {
     const auto scale = core::ReproScale::from_env();
     const core::PaperScenarios scenarios(scale);
+    const auto tier = util::repro_scale();
 
     std::vector<ScaleRun> runs;
     runs.push_back({"n=2000", scenarios.scale_2k(), {}, 0.0, 0, 0, 0});
-    if (util::repro_scale() == util::ReproScale::kPaper) {
+    if (tier != util::ReproScale::kQuick) {
         runs.push_back({"n=5000", scenarios.scale_5k(), {}, 0.0, 0, 0, 0});
+        runs.push_back({"n=20000", scenarios.scale_20k(), {}, 0.0, 0, 0, 0});
+    }
+    if (tier == util::ReproScale::kFull) {
+        runs.push_back({"n=100000", scenarios.scale_100k(), {}, 0.0, 0, 0, 0});
     }
 
     std::printf("================================================================\n");
     std::printf("Scale family — CSR flow kernel at n beyond the paper's sizes\n");
     std::printf("================================================================\n");
-    std::printf("configs: %zu (REPRO_SCALE=paper adds n=5000), threads=%d\n\n",
+    std::printf("configs: %zu (REPRO_SCALE=paper adds n=5000/20000, =full adds "
+                "n=100000), threads=%d\n\n",
                 runs.size(), scale.threads);
 
     const int threads = std::max(1, scale.threads);
@@ -118,10 +256,24 @@ int main() {
     bench::ProgressSink sink;
 
     const auto start = std::chrono::steady_clock::now();
+    const GateResult gate = run_gate(scenarios, pool, sink);
     for (auto& run : runs) run_one(run, pool, sink);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+
+    std::printf("\nincremental-analysis gate (n=%d, %d snapshots, 1-min cadence):\n",
+                gate.n, kGateSnapshots);
+    std::printf("  baseline    %8.1f s\n", gate.baseline.wall_seconds);
+    std::printf("  cert+delta  %8.1f s   (cert_edges_kept=%llu, "
+                "cert_build_us=%llu, delta_pairs_reused=%llu)\n",
+                gate.accelerated.wall_seconds,
+                static_cast<unsigned long long>(gate.accelerated.cert_edges_kept),
+                static_cast<unsigned long long>(gate.accelerated.cert_build_us),
+                static_cast<unsigned long long>(gate.accelerated.pairs_reused));
+    std::printf("  speedup     %8.2fx   identical=%s  ->  %s\n",
+                gate.speedup, gate.identical ? "yes" : "NO",
+                gate.pass ? "PASS" : "FAIL");
 
     std::printf("\n%-10s %9s %9s %12s %16s %14s\n", "config", "samples", "k_min",
                 "wall(s)", "peak_arena(MiB)", "arcs_touched");
@@ -133,7 +285,10 @@ int main() {
                     static_cast<double>(run.peak_arena_bytes) / (1024.0 * 1024.0),
                     static_cast<unsigned long long>(run.arcs_touched));
     }
-    write_json(runs, threads, wall);
+    write_json(runs, gate, threads, wall);
     std::printf("wall time: %.1f s\n", wall);
-    return 0;
+    // Identity is a hard failure (the accelerated path must never change a
+    // value); the wall-time ratio is reported in the JSON but does not fail
+    // the binary — CI machines are too noisy to gate the exit code on it.
+    return gate.identical ? 0 : 1;
 }

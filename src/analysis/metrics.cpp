@@ -18,6 +18,8 @@ void EdgeConnectivityMetric::analyze(const MetricContext& context,
     options.sample_fraction = context.sample_c;
     options.min_sources = context.min_sources;
     options.pool = context.pool;
+    options.use_certificate = context.use_certificate;
+    options.reuse = context.lambda_reuse;
     const flow::EdgeConnectivityResult r =
         flow::edge_connectivity(context.g, options);
     out.lambda_min = r.lambda_min;

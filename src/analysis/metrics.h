@@ -25,6 +25,10 @@ namespace kadsim::exec {
 class ThreadPool;
 }  // namespace kadsim::exec
 
+namespace kadsim::flow {
+class PairReuseHook;
+}  // namespace kadsim::flow
+
 namespace kadsim::analysis {
 
 /// What a metric sees: the snapshot's connectivity graph plus the sampling
@@ -35,6 +39,12 @@ struct MetricContext {
     double sample_c = 1.0;
     int min_sources = 1;
     exec::ThreadPool* pool = nullptr;
+    /// Preprocess flow-metric graphs with the Nagamochi–Ibaraki sparse
+    /// certificate (graph/certificate.h); values are unchanged.
+    bool use_certificate = false;
+    /// Cross-snapshot λ reuse hook (analysis/incremental.h), or nullptr.
+    /// Only EdgeConnectivityMetric consumes it; not owned.
+    flow::PairReuseHook* lambda_reuse = nullptr;
 };
 
 /// The metric values of one snapshot (the non-κ half of ResilienceSample).

@@ -20,12 +20,26 @@ ResilienceSample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& sna
 
     sample.reciprocity = g.reciprocity();
 
+    // Cross-snapshot reuse: rebind the (lazily created) delta cache to this
+    // snapshot and hand its hooks to both flow sweeps. Lookups only read the
+    // store committed by *previous* snapshots, so the κ/λ halves may still
+    // overlap freely below.
+    if (options_.use_delta && delta_ == nullptr) {
+        delta_ = std::make_unique<analysis::SnapshotDeltaCache>();
+    }
+    if (delta_ != nullptr) delta_->begin_snapshot(snap, g);
+
     // Fan the metric suite out alongside κ: one task computes the metrics
     // (which run sequentially inside it — the task is already a pool lane)
     // while this thread drives the κ flows across the remaining workers.
     // Both halves are deterministic, so the overlap never changes a value.
-    const analysis::MetricContext context{g, options_.sample_c,
-                                          options_.min_sources, pool};
+    const analysis::MetricContext context{
+        g,
+        options_.sample_c,
+        options_.min_sources,
+        pool,
+        options_.use_certificate,
+        delta_ != nullptr ? delta_->lambda_hook() : nullptr};
     std::future<analysis::ResilienceMetrics> metrics_future;
     if (pool != nullptr && !exec::ThreadPool::in_worker()) {
         metrics_future =
@@ -37,7 +51,8 @@ ResilienceSample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& sna
     flow::ConnectivityResult r;
     std::exception_ptr error;
     try {
-        r = analyze_graph(g, pool);
+        r = analyze_graph(g, pool,
+                          delta_ != nullptr ? delta_->kappa_hook() : nullptr);
     } catch (...) {
         error = std::current_exception();
     }
@@ -51,6 +66,10 @@ ResilienceSample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& sna
     } else if (!error) {
         metrics = analysis::run_metrics(context);
     }
+    // Both sweeps have joined: commit this snapshot's witness stores so the
+    // next snapshot can reuse them (harmless on the error path — stored
+    // pairs are revalidated against whichever graph looks them up).
+    if (delta_ != nullptr) delta_->end_snapshot();
     if (error) std::rethrow_exception(error);
 
     sample.kappa_min = r.kappa_min;
@@ -74,19 +93,23 @@ ResilienceSample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& sna
 }
 
 flow::ConnectivityResult ConnectivityAnalyzer::analyze_graph(
-    const graph::Digraph& g, exec::ThreadPool* pool) const {
+    const graph::Digraph& g, exec::ThreadPool* pool,
+    flow::PairReuseHook* reuse) const {
     flow::ConnectivityOptions options;
     options.sample_fraction = options_.sample_c;
     options.min_sources = options_.min_sources;
     options.pool = pool;
     options.use_push_relabel = options_.use_push_relabel;
+    options.use_certificate = options_.use_certificate;
+    options.reuse = reuse;
     return flow::vertex_connectivity(g, options);
 }
 
 analysis::ResilienceMetrics ConnectivityAnalyzer::analyze_metrics(
     const graph::Digraph& g, exec::ThreadPool* pool) const {
     return analysis::run_metrics(analysis::MetricContext{
-        g, options_.sample_c, options_.min_sources, pool});
+        g, options_.sample_c, options_.min_sources, pool,
+        options_.use_certificate});
 }
 
 }  // namespace kadsim::core

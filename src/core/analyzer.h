@@ -7,7 +7,9 @@
 #define KADSIM_CORE_ANALYZER_H
 
 #include <cstdint>
+#include <memory>
 
+#include "analysis/incremental.h"
 #include "analysis/metrics.h"
 #include "flow/vertex_connectivity.h"
 #include "graph/snapshot.h"
@@ -30,6 +32,16 @@ struct AnalyzerOptions {
     int threads = 1;
     /// Solve with the HIPR-style push-relabel instead of Dinic.
     bool use_push_relabel = false;
+    /// Preprocess each snapshot graph with the Nagamochi–Ibaraki sparse
+    /// certificate before the κ/λ flow sweeps (graph/certificate.h). The
+    /// certificate degree k is chosen above every evaluated pair's cap, so
+    /// reported values are bit-identical with or without it.
+    bool use_certificate = false;
+    /// Reuse bound-settled κ/λ pairs across consecutive snapshots via
+    /// witness revalidation (analysis/incremental.h). Values stay
+    /// bit-identical; snapshots must be analyzed one at a time, in series
+    /// order — the experiment engine forces its sequential path when set.
+    bool use_delta = false;
 };
 
 /// One analyzed snapshot: the paper's κ quantities plus the analysis-layer
@@ -74,13 +86,17 @@ public:
     /// Full pipeline on a routing snapshot: κ plus the metric suite. `pool`
     /// (optional) runs the per-source flow jobs and the per-snapshot metrics
     /// on a persistent execution pool instead of inline; results are
-    /// bit-identical either way.
+    /// bit-identical either way. With options().use_delta, calls must not
+    /// overlap and snapshots must arrive in series order (the delta cache
+    /// lives on this analyzer); without it, analyze is const-threadsafe.
     [[nodiscard]] ResilienceSample analyze(const graph::RoutingSnapshot& snap,
                                            exec::ThreadPool* pool = nullptr) const;
 
-    /// κ on an already-built connectivity graph.
+    /// κ on an already-built connectivity graph. `reuse` (optional, not
+    /// owned) is handed to the kernel as ConnectivityOptions::reuse.
     [[nodiscard]] flow::ConnectivityResult analyze_graph(
-        const graph::Digraph& g, exec::ThreadPool* pool = nullptr) const;
+        const graph::Digraph& g, exec::ThreadPool* pool = nullptr,
+        flow::PairReuseHook* reuse = nullptr) const;
 
     /// The metric suite on an already-built connectivity graph.
     [[nodiscard]] analysis::ResilienceMetrics analyze_metrics(
@@ -88,8 +104,18 @@ public:
 
     [[nodiscard]] const AnalyzerOptions& options() const noexcept { return options_; }
 
+    /// The cross-snapshot reuse cache (counters for benches/tests), or
+    /// nullptr before the first analyze() under use_delta.
+    [[nodiscard]] const analysis::SnapshotDeltaCache* delta_cache() const noexcept {
+        return delta_.get();
+    }
+
 private:
     AnalyzerOptions options_;
+    /// Lazily created on the first analyze() when options_.use_delta; mutable
+    /// because the cache is the one piece of cross-call state an otherwise
+    /// const analyzer carries (see the analyze() threading contract).
+    mutable std::unique_ptr<analysis::SnapshotDeltaCache> delta_;
 };
 
 }  // namespace kadsim::core

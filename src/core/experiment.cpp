@@ -78,10 +78,14 @@ namespace {
 using ProgressFn = std::function<void(const ConnectivitySample&)>;
 
 /// The original engine: simulate and analyze alternately on one thread.
-/// Also the per-task body of run_experiment_batch — it never blocks on the
-/// pool, which is what makes batch tasks safe to run *on* pool workers.
+/// Also the per-task body of run_experiment_batch (with `pool` null) — then
+/// it never blocks on the pool, which is what makes batch tasks safe to run
+/// *on* pool workers. A non-null `pool` parallelizes *within* each snapshot
+/// while snapshots stay strictly ordered — the mode the snapshot-delta
+/// cache requires (analyze() under use_delta must see the series in order).
 ExperimentSeries run_sequential(const ExperimentConfig& config,
-                                const ProgressFn& on_progress) {
+                                const ProgressFn& on_progress,
+                                exec::ThreadPool* pool = nullptr) {
     ExperimentSeries series;
     series.name = config.scenario.name;
 
@@ -90,7 +94,7 @@ ExperimentSeries run_sequential(const ExperimentConfig& config,
 
     runner.run(config.snapshot_interval,
                [&](const graph::RoutingSnapshot& snap) {
-                   ConnectivitySample sample = analyzer.analyze(snap);
+                   ConnectivitySample sample = analyzer.analyze(snap, pool);
                    if (on_progress) on_progress(sample);
                    series.samples.push_back(sample);
                });
@@ -215,17 +219,25 @@ ExperimentSeries run_experiment(const ExperimentConfig& config,
                                 exec::ThreadPool* pool) {
     const auto start = std::chrono::steady_clock::now();
     ExperimentSeries series;
+    // The pipelined engine analyzes snapshots concurrently and out of order,
+    // which the snapshot-delta cache cannot accept (its reuse rate — and its
+    // one-analysis-in-flight contract — depend on consecutive snapshots).
+    // Under use_delta, run sequentially but keep the pool for within-snapshot
+    // parallelism.
+    const bool delta = config.analyzer.use_delta;
     // Pipelining needs a free caller thread to drive the simulator; from
     // inside a pool task (e.g. a batch experiment), run sequentially instead.
     if (exec::ThreadPool::in_worker()) {
         series = run_sequential(config, on_progress);
     } else if (pool != nullptr) {
-        series = run_pipelined(config, on_progress, *pool);
+        series = delta ? run_sequential(config, on_progress, pool)
+                       : run_pipelined(config, on_progress, *pool);
     } else if (config.analyzer.threads > 1) {
         // No caller-supplied engine: own a pool for the duration of the run
         // (persistent across snapshots — never per-snapshot spawn/join).
         exec::ThreadPool owned(config.analyzer.threads);
-        series = run_pipelined(config, on_progress, owned);
+        series = delta ? run_sequential(config, on_progress, &owned)
+                       : run_pipelined(config, on_progress, owned);
     } else {
         series = run_sequential(config, on_progress);
     }

@@ -10,7 +10,7 @@ int default_thread_count() { return std::max(1, util::repro_threads()); }
 
 ReproScale ReproScale::from_env() {
     ReproScale s;
-    const bool paper = util::repro_scale() == util::ReproScale::kPaper;
+    const bool paper = util::repro_scale() != util::ReproScale::kQuick;
     s.size_small = util::repro_size_small();
     s.size_large = util::repro_size_large();
     s.churn_figs_end =
@@ -227,6 +227,22 @@ ExperimentConfig PaperScenarios::scale_2k() const {
 ExperimentConfig PaperScenarios::scale_5k() const {
     ExperimentConfig cfg =
         base("SCALE-5K:size=5000,churn=1/1,k=20", 5000, 20, false,
+             scen::ChurnSpec{1, 1}, sim::minutes(kScaleFamilyEndMin));
+    cfg.snapshot_interval = sim::minutes(kScaleFamilySnapshotMin);
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::scale_20k() const {
+    ExperimentConfig cfg =
+        base("SCALE-20K:size=20000,churn=1/1,k=20", 20000, 20, false,
+             scen::ChurnSpec{1, 1}, sim::minutes(kScaleFamilyEndMin));
+    cfg.snapshot_interval = sim::minutes(kScaleFamilySnapshotMin);
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::scale_100k() const {
+    ExperimentConfig cfg =
+        base("SCALE-100K:size=100000,churn=1/1,k=20", 100000, 20, false,
              scen::ChurnSpec{1, 1}, sim::minutes(kScaleFamilyEndMin));
     cfg.snapshot_interval = sim::minutes(kScaleFamilySnapshotMin);
     return cfg;

@@ -97,6 +97,11 @@ public:
     // kernel's peak arena bytes.
     [[nodiscard]] ExperimentConfig scale_2k() const;
     [[nodiscard]] ExperimentConfig scale_5k() const;
+    // Upper tiers of the scale family: 20k runs at REPRO_SCALE=paper and
+    // above, 100k only at REPRO_SCALE=full (bench/scale_family gates on
+    // those tiers — the tiers only bound which configs the bench *runs*).
+    [[nodiscard]] ExperimentConfig scale_20k() const;
+    [[nodiscard]] ExperimentConfig scale_100k() const;
 
     // Metric family (beyond the paper): fixed n = 250 / 1000 networks under
     // the paper's 1/1 churn with no data traffic, 180-min horizon, 30-min

@@ -31,6 +31,8 @@ class ThreadPool;
 
 namespace kadsim::flow {
 
+class PairReuseHook;
+
 struct EdgeConnectivityOptions {
     /// Fraction c of vertices used as flow sources (1.0 = exact, all pairs).
     double sample_fraction = 1.0;
@@ -40,6 +42,15 @@ struct EdgeConnectivityOptions {
     /// immutable unit-capacity network and owns a private workspace).
     /// nullptr = inline on the caller; results are bit-identical either way.
     exec::ThreadPool* pool = nullptr;
+    /// Run the flows on a Nagamochi–Ibaraki sparse certificate of the graph
+    /// (graph/certificate.h). Source selection and degree bounds still come
+    /// from the original graph and the certificate order exceeds every
+    /// evaluated pair's cap, so every recorded λ is bit-identical to the
+    /// full sweep.
+    bool use_certificate = false;
+    /// Cross-snapshot pair-reuse hook (pair_reuse.h); nullptr = off. Not
+    /// owned.
+    PairReuseHook* reuse = nullptr;
 };
 
 struct EdgeConnectivityResult {
@@ -55,6 +66,13 @@ struct EdgeConnectivityResult {
     /// Pairs whose capped Dinic run stopped early on reaching the degree
     /// bound min(out_degree(u), in_degree(v)) — λ is then exactly the bound.
     std::uint64_t flows_capped = 0;
+    /// Pairs settled from the pair-reuse hook's witness cache (no flow run;
+    /// subset of pairs_evaluated). 0 unless options.reuse was set.
+    std::uint64_t pairs_reused = 0;
+    /// Certificate accounting (0 unless options.use_certificate): undirected
+    /// symmetric-core edges kept (≤ k·(n−1)) and the build time in µs.
+    std::uint64_t cert_edges_kept = 0;
+    std::uint64_t cert_build_us = 0;
     int sources_used = 0;
     bool complete = false;         ///< complete graph: λ = n−1 without flows
 };

@@ -1,0 +1,65 @@
+// Cross-snapshot pair-reuse hook for the connectivity kernels.
+//
+// Every settled pair comes with a *two-sided* certificate of its value f:
+//
+//   * f disjoint u→v paths — proving κ (or λ) ≥ f — and
+//   * a separating set of exactly f vertices (κ) or edges (λ) — proving
+//     κ (or λ) ≤ f.
+//
+// The κ/λ workers offer every pair to this hook before computing, and hand
+// every settled pair back together with both witness halves; the
+// snapshot-delta cache (analysis/incremental.h) stores them keyed by stable
+// overlay address, and on a later snapshot a pair is reused iff
+//
+//   (a) every witness path still exists edge-for-edge in the current
+//       graph (the paths are still disjoint — their vertex sets did not
+//       change — so value ≥ f still holds), and
+//   (b) the stored cut still separates u from v in the current graph
+//       (checked by one BFS from u avoiding the cut, so value ≤ f still
+//       holds; when the cut is u's own out-row the search dies inside
+//       u's neighbourhood).
+//
+// Together (a) and (b) re-prove value = f against the *current* graph, with
+// no reference to the degree bounds the original computation ran under:
+// reuse survives degree drift anywhere outside the witness, covers pairs
+// settled below their bound, and can never drift — only be refused. (A cut
+// member that has left the network is simply skipped: f intact disjoint
+// paths cannot all be blocked by fewer than f survivors, so the BFS then
+// reaches v and refuses the entry.)
+//
+// Threading contract: lookup() and store() are called concurrently from
+// every flow worker of a sweep. lookup() must only read state that is
+// frozen for the duration of the sweep; store() may buffer internally (a
+// pair is stored at most once per sweep). Implementations must not let a
+// store affect any lookup of the same sweep — that is what keeps results
+// bit-identical across thread counts and work distributions.
+#ifndef KADSIM_FLOW_PAIR_REUSE_H
+#define KADSIM_FLOW_PAIR_REUSE_H
+
+#include <span>
+
+namespace kadsim::flow {
+
+class PairReuseHook {
+public:
+    virtual ~PairReuseHook() = default;
+
+    /// Attempts to settle (u, v) — current-graph vertex ids — from a stored
+    /// witness. Returns the settled value, or -1 to make the kernel compute.
+    [[nodiscard]] virtual int lookup(int u, int v) = 0;
+
+    /// Records a settled pair with its two-sided witness. `path_offsets` has
+    /// one entry per path plus a terminator, path p's interior vertices
+    /// being witness[path_offsets[p] .. path_offsets[p+1]); a zero-length
+    /// path is the direct edge u→v (λ only). `cut` is a separating set of
+    /// size `value`: vertex ids for κ, flattened (tail, head) id pairs for
+    /// λ — the implementation knows which metric it serves. All ids are
+    /// current-graph ids; κ cuts must not contain u or v.
+    virtual void store(int u, int v, int value, std::span<const int> witness,
+                       std::span<const int> path_offsets,
+                       std::span<const int> cut) = 0;
+};
+
+}  // namespace kadsim::flow
+
+#endif  // KADSIM_FLOW_PAIR_REUSE_H

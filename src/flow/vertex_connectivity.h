@@ -29,6 +29,8 @@ class ThreadPool;
 
 namespace kadsim::flow {
 
+class PairReuseHook;
+
 struct ConnectivityOptions {
     /// Fraction c of vertices used as flow sources (1.0 = exact, all pairs).
     double sample_fraction = 1.0;
@@ -42,6 +44,19 @@ struct ConnectivityOptions {
     /// Use the HIPR-style push-relabel solver instead of Dinic (results are
     /// identical; provided for fidelity runs and benchmarking).
     bool use_push_relabel = false;
+    /// Run the flows on a Nagamochi–Ibaraki sparse certificate of the graph
+    /// (graph/certificate.h) instead of the full edge set. Source selection,
+    /// degree bounds and adjacency exclusion still come from the original
+    /// graph, and the certificate order is chosen above every evaluated
+    /// pair's degree cap, so every recorded κ is bit-identical to the full
+    /// sweep — only the network the solver walks shrinks.
+    bool use_certificate = false;
+    /// Cross-snapshot pair-reuse hook (pair_reuse.h); nullptr = off. Pairs
+    /// settled at their degree bound are offered with a disjoint-path
+    /// witness; reused pairs skip the flow run entirely. Witness stores
+    /// need the Dinic solver (ignored under use_push_relabel; lookups still
+    /// apply). Not owned.
+    PairReuseHook* reuse = nullptr;
 };
 
 struct ConnectivityResult {
@@ -70,6 +85,16 @@ struct ConnectivityResult {
     /// Peak flow-kernel arena: the shared CSR network plus every concurrent
     /// worker's workspace (residual caps, undo log, solver scratch).
     std::uint64_t arena_bytes = 0;
+    /// Pairs settled from the pair-reuse hook's witness cache (no flow run;
+    /// subset of pairs_evaluated). 0 unless options.reuse was set.
+    std::uint64_t pairs_reused = 0;
+    /// Certificate accounting (0 unless options.use_certificate): undirected
+    /// symmetric-core edges kept — bounded by k·(n−1) by the NI forest
+    /// decomposition — and the certificate build time in microseconds. The
+    /// certificate digraph itself has ≤ 2·cert_edges_kept + (asymmetric)
+    /// arcs.
+    std::uint64_t cert_edges_kept = 0;
+    std::uint64_t cert_build_us = 0;
     int sources_used = 0;
     bool complete = false;        ///< complete graph: κ = n−1 without flows
 };

@@ -1,0 +1,121 @@
+#include "graph/certificate.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace kadsim::graph {
+
+SparseCertificate build_certificate(const Digraph& g, int k) {
+    KADSIM_ASSERT(k >= 1);
+    const auto start = std::chrono::steady_clock::now();
+    const int n = g.vertex_count();
+    SparseCertificate cert;
+    cert.k = k;
+
+    // Split the arc set: collect the symmetric core as an undirected edge
+    // list (u < v, both arcs present) and count the asymmetric remainder.
+    // has_edge is a binary search over the sorted CSR row of the head.
+    std::vector<std::pair<int, int>> core;
+    for (int u = 0; u < n; ++u) {
+        for (const int v : g.out(u)) {
+            if (u < v && g.has_edge(v, u)) core.emplace_back(u, v);
+        }
+    }
+    cert.core_edges = static_cast<std::int64_t>(core.size());
+
+    // Undirected CSR adjacency of the core, each slot carrying (neighbour,
+    // edge index) so the scan can label edges.
+    std::vector<std::int64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (const auto& [u, v] : core) {
+        ++offsets[static_cast<std::size_t>(u) + 1];
+        ++offsets[static_cast<std::size_t>(v) + 1];
+    }
+    for (int v = 0; v < n; ++v) {
+        offsets[static_cast<std::size_t>(v) + 1] += offsets[static_cast<std::size_t>(v)];
+    }
+    std::vector<std::pair<int, std::int64_t>> adjacency(
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(n)]));
+    std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t e = 0; e < core.size(); ++e) {
+        const auto [u, v] = core[e];
+        adjacency[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = {
+            v, static_cast<std::int64_t>(e)};
+        adjacency[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = {
+            u, static_cast<std::int64_t>(e)};
+    }
+
+    // Nagamochi–Ibaraki scan-first search: repeatedly scan the unscanned
+    // vertex with the largest attachment number r(v); scanning v gives every
+    // edge to an unscanned neighbour w the label r(w)+1 (its forest index)
+    // and increments r(w). Lazy max-bucket selection keeps the whole pass
+    // O(n + m_core); stale bucket entries (r moved on, or already scanned)
+    // are skipped on pop. Label ≤ k ⟺ the edge lies in one of the first k
+    // forests, and each forest has at most n−1 edges.
+    std::vector<int> attach(static_cast<std::size_t>(n), 0);
+    std::vector<char> scanned(static_cast<std::size_t>(n), 0);
+    std::vector<int> label(core.size(), 0);
+    std::vector<std::vector<int>> bucket(static_cast<std::size_t>(n) + 1);
+    bucket[0].reserve(static_cast<std::size_t>(n));
+    for (int v = n - 1; v >= 0; --v) bucket[0].push_back(v);
+    int cur_max = 0;
+    for (int step = 0; step < n; ++step) {
+        int v = -1;
+        while (v < 0) {
+            KADSIM_ASSERT(cur_max >= 0);
+            auto& top = bucket[static_cast<std::size_t>(cur_max)];
+            if (top.empty()) {
+                --cur_max;
+                continue;
+            }
+            const int candidate = top.back();
+            top.pop_back();
+            const auto cs = static_cast<std::size_t>(candidate);
+            if (scanned[cs] == 0 && attach[cs] == cur_max) v = candidate;
+        }
+        scanned[static_cast<std::size_t>(v)] = 1;
+        const auto begin = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+        const auto end =
+            static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1]);
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto [w, e] = adjacency[i];
+            const auto ws = static_cast<std::size_t>(w);
+            if (scanned[ws] != 0) continue;
+            label[static_cast<std::size_t>(e)] = attach[ws] + 1;
+            ++attach[ws];
+            bucket[static_cast<std::size_t>(attach[ws])].push_back(w);
+            cur_max = std::max(cur_max, attach[ws]);
+        }
+    }
+
+    // Assemble the certificate: both arcs of every core edge in the first k
+    // forests, plus the asymmetric arcs verbatim.
+    Digraph h(n);
+    for (std::size_t e = 0; e < core.size(); ++e) {
+        if (label[e] > k) continue;
+        ++cert.core_edges_kept;
+        h.add_edge(core[e].first, core[e].second);
+        h.add_edge(core[e].second, core[e].first);
+    }
+    for (int u = 0; u < n; ++u) {
+        for (const int v : g.out(u)) {
+            if (!g.has_edge(v, u)) {
+                ++cert.asymmetric_arcs;
+                h.add_edge(u, v);
+            }
+        }
+    }
+    h.finalize();
+    KADSIM_ASSERT(cert.core_edges_kept <=
+                  static_cast<std::int64_t>(k) * std::max(0, n - 1));
+    cert.graph = std::move(h);
+    cert.build_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return cert;
+}
+
+}  // namespace kadsim::graph

@@ -33,7 +33,8 @@ double env_double(const char* name, double def) {
 
 ReproScale repro_scale() {
     const auto s = env_string("REPRO_SCALE");
-    if (s && (*s == "paper" || *s == "full")) return ReproScale::kPaper;
+    if (s && *s == "full") return ReproScale::kFull;
+    if (s && *s == "paper") return ReproScale::kPaper;
     return ReproScale::kQuick;
 }
 
@@ -55,7 +56,7 @@ int repro_size_small() {
 }
 
 int repro_size_large() {
-    const std::int64_t def = repro_scale() == ReproScale::kPaper ? 2500 : 400;
+    const std::int64_t def = repro_scale() != ReproScale::kQuick ? 2500 : 400;
     return static_cast<int>(env_int("REPRO_SIZE_LARGE", def));
 }
 

@@ -12,8 +12,10 @@ namespace kadsim::util {
 [[nodiscard]] std::int64_t env_int(const char* name, std::int64_t def);
 [[nodiscard]] double env_double(const char* name, double def);
 
-/// Reproduction scale selected via REPRO_SCALE (quick | paper).
-enum class ReproScale { kQuick, kPaper };
+/// Reproduction scale selected via REPRO_SCALE (quick | paper | full).
+/// "full" is everything "paper" is plus the beyond-paper 100k-node scale
+/// tier — hours of wall time, never part of CI.
+enum class ReproScale { kQuick, kPaper, kFull };
 
 [[nodiscard]] ReproScale repro_scale();
 [[nodiscard]] std::uint64_t repro_seed();       // REPRO_SEED, default 20170327

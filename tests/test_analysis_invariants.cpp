@@ -18,6 +18,7 @@
 #include "flow/even_transform.h"
 #include "flow/sampling.h"
 #include "flow/vertex_connectivity.h"
+#include "graph/certificate.h"
 #include "graph/digraph.h"
 #include "util/rng.h"
 
@@ -254,6 +255,55 @@ TEST(AnalysisInvariants, MetricSuiteDeterministicAcrossExecutionModes) {
     EXPECT_EQ(pooled.bridges, inline_metrics.bridges);
     EXPECT_EQ(pooled.out_degree_min, inline_metrics.out_degree_min);
     EXPECT_EQ(pooled.in_degree_min, inline_metrics.in_degree_min);
+}
+
+// Whitney's chain survives certificate preprocessing: on the sparse
+// certificate built at the kernels' order rule (k above every sampled pair's
+// degree cap), κ_cert(u,v) ≤ λ_cert(u,v) ≤ min(out_degree(u), in_degree(v))
+// still holds against the *original* graph's degree bounds — the certificate
+// never pushes a pair above its full-graph cap — and the certificate's core
+// stays within the Nagamochi–Ibaraki edge budget k·n.
+TEST(AnalysisInvariants, KappaLambdaDegreeChainOnCertificateGraphs) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const int n = 14 + static_cast<int>(seed % 7);
+        const graph::Digraph g = kademlia_like_graph(n, 3, seed * 131);
+        const std::vector<int> in_degrees = g.in_degrees();
+        const std::vector<int> sources =
+            flow::pick_smallest_out_degree_sources(g, 0.25, 2);
+
+        // The kernels' certificate order: strictly above every sampled
+        // source's out-degree, hence above every sampled pair's cap.
+        int k = 1;
+        for (const int u : sources) k = std::max(k, g.out_degree(u) + 1);
+        const graph::SparseCertificate cert = graph::build_certificate(g, k);
+        EXPECT_LE(cert.core_edges_kept,
+                  static_cast<std::int64_t>(k) * static_cast<std::int64_t>(n))
+            << "seed " << seed;
+
+        const graph::Digraph& h = cert.graph;
+        const flow::FlowNetwork even_net = flow::even_transform(h);
+        flow::FlowWorkspace even_ws(even_net);
+        const flow::FlowNetwork unit_net = flow::unit_capacity_network(h);
+        flow::FlowWorkspace unit_ws(unit_net);
+
+        for (const int u : sources) {
+            for (int v = 0; v < n; ++v) {
+                if (v == u) continue;
+                const int bound = std::min(
+                    g.out_degree(u), in_degrees[static_cast<std::size_t>(v)]);
+                const int lambda =
+                    flow::pair_edge_connectivity(h, unit_net, unit_ws, u, v);
+                EXPECT_LE(lambda, bound)
+                    << "seed " << seed << " pair (" << u << "," << v << ")";
+                if (!g.has_edge(u, v)) {
+                    const int kappa = flow::pair_vertex_connectivity(
+                        h, even_net, even_ws, u, v);
+                    EXPECT_LE(kappa, lambda)
+                        << "seed " << seed << " pair (" << u << "," << v << ")";
+                }
+            }
+        }
+    }
 }
 
 // Fragmented graph: the fractions see the pieces, κ/λ are 0.

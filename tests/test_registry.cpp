@@ -170,6 +170,26 @@ TEST(Registry, MetricFamilyFixedSizesAndCadence) {
     EXPECT_NE(m1000.scenario.name.find("METRICS-1000"), std::string::npos);
 }
 
+TEST(Registry, ScaleFamilySpansAllFourTiers) {
+    const PaperScenarios reg(test_scale());
+    const auto s2k = reg.scale_2k();
+    const auto s5k = reg.scale_5k();
+    const auto s20k = reg.scale_20k();
+    const auto s100k = reg.scale_100k();
+    EXPECT_EQ(s2k.scenario.initial_size, 2000);
+    EXPECT_EQ(s5k.scenario.initial_size, 5000);
+    EXPECT_EQ(s20k.scenario.initial_size, 20000);
+    EXPECT_EQ(s100k.scenario.initial_size, 100000);
+    for (const auto& cfg : {s2k, s5k, s20k, s100k}) {
+        EXPECT_EQ(cfg.scenario.fault.churn.label(), "1/1");
+        EXPECT_FALSE(cfg.scenario.traffic.enabled);
+        EXPECT_EQ(cfg.scenario.kad.k, 20);
+        EXPECT_NO_THROW(cfg.scenario.validate());
+    }
+    EXPECT_NE(s20k.scenario.name.find("SCALE-20K"), std::string::npos);
+    EXPECT_NE(s100k.scenario.name.find("SCALE-100K"), std::string::npos);
+}
+
 TEST(Registry, PaperSimulationsUseRandomChurnModel) {
     const PaperScenarios reg(test_scale());
     EXPECT_EQ(reg.sim_a(20).scenario.fault.model, fault::ModelKind::kRandomChurn);

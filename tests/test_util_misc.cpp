@@ -107,6 +107,8 @@ TEST(Env, ScaleKnobs) {
     EXPECT_EQ(repro_scale(), ReproScale::kQuick);
     ::setenv("REPRO_SCALE", "paper", 1);
     EXPECT_EQ(repro_scale(), ReproScale::kPaper);
+    ::setenv("REPRO_SCALE", "full", 1);
+    EXPECT_EQ(repro_scale(), ReproScale::kFull);
     ::unsetenv("REPRO_SCALE");
 
     ::setenv("REPRO_SEED", "77", 1);
