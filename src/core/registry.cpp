@@ -248,6 +248,26 @@ ExperimentConfig PaperScenarios::scale_100k() const {
     return cfg;
 }
 
+ExperimentConfig PaperScenarios::sim_100k() const {
+    ExperimentConfig cfg =
+        base("SIM-100K:size=100000,regions=16,churn=10/10,k=20", 100000, 20, false,
+             scen::ChurnSpec{10, 10}, sim::minutes(kScaleFamilyEndMin));
+    cfg.scenario.regions = 16;
+    cfg.scenario.shard_threads = 0;  // one thread per region, capped by hardware
+    cfg.snapshot_interval = sim::minutes(kScaleFamilySnapshotMin);
+    return cfg;
+}
+
+ExperimentConfig PaperScenarios::sim_1m() const {
+    ExperimentConfig cfg =
+        base("SIM-1M:size=1000000,regions=64,churn=10/10,k=20", 1000000, 20, false,
+             scen::ChurnSpec{10, 10}, sim::minutes(kScaleFamilyEndMin));
+    cfg.scenario.regions = 64;
+    cfg.scenario.shard_threads = 0;
+    cfg.snapshot_interval = sim::minutes(kScaleFamilySnapshotMin);
+    return cfg;
+}
+
 namespace {
 /// Metric-family horizon: setup + stabilization + one hour of churn, with
 /// the standard half-hour snapshot cadence (six analyzed snapshots).

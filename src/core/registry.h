@@ -103,6 +103,15 @@ public:
     [[nodiscard]] ExperimentConfig scale_20k() const;
     [[nodiscard]] ExperimentConfig scale_100k() const;
 
+    // Sharded simulator family (million-node core): region-sharded overlays
+    // exercising the struct-of-arrays node arena, flat buckets and calendar
+    // queue at population scales the flow analysis never sees. Churn rates
+    // are per region (16 × 10/10 and 64 × 10/10 node-swaps per minute).
+    // sim_100k is meant for REPRO_SCALE=paper and above; sim_1m only for
+    // REPRO_SCALE=full — never CI (bench/micro_kademlia gates on the tiers).
+    [[nodiscard]] ExperimentConfig sim_100k() const;
+    [[nodiscard]] ExperimentConfig sim_1m() const;
+
     // Metric family (beyond the paper): fixed n = 250 / 1000 networks under
     // the paper's 1/1 churn with no data traffic, 180-min horizon, 30-min
     // snapshots — sized so `bench/metric_suite` exercises the full

@@ -1,0 +1,113 @@
+// Flat backing store for routing-table buckets.
+//
+// Every bucket of every routing table in a region draws its entry storage
+// from one shared slab of k-sized blocks, and its per-bucket bookkeeping
+// (block handle, fill count, protocol flags) from one contiguous metadata
+// array. A table is then just {self id, metadata range}: no per-bucket
+// std::vector headers, no scattered heap churn as buckets fill and drain
+// under churn — the same flat-memory treatment PR 4 gave the flow kernel.
+//
+// Blocks are allocated lazily on a bucket's first insert and returned to a
+// free list when the bucket drains (or the node crashes), so resident bytes
+// track the number of *populated* buckets, not b × n.
+#ifndef KADSIM_KAD_BUCKET_ARENA_H
+#define KADSIM_KAD_BUCKET_ARENA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "kad/contact.h"
+#include "sim/time.h"
+#include "util/assert.h"
+
+namespace kadsim::kad {
+
+/// One stored contact (identical layout/semantics to the former
+/// RoutingTable::Entry). Within a block, index 0 is the least recently seen
+/// contact — the original protocol's LRU bucket order.
+struct BucketEntry {
+    Contact contact;
+    sim::SimTime last_seen = 0;
+    int consecutive_failures = 0;
+};
+
+/// Per-bucket bookkeeping, allocated as one contiguous range of b entries
+/// per table. The protocol flags ride along so KademliaNode needs no side
+/// tables (the old per-node unordered_set of eviction-ping buckets).
+struct BucketMeta {
+    static constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+    static constexpr std::uint8_t kEvictionPingOutstanding = 1u << 0;
+    static constexpr std::uint8_t kHasReplacement = 1u << 1;
+
+    std::uint32_t block = kNoBlock;
+    std::uint8_t count = 0;
+    std::uint8_t flags = 0;
+};
+
+class BucketArena {
+public:
+    explicit BucketArena(int k) : k_(static_cast<std::uint32_t>(k)) {
+        KADSIM_ASSERT(k > 0);
+    }
+
+    BucketArena(const BucketArena&) = delete;
+    BucketArena& operator=(const BucketArena&) = delete;
+
+    [[nodiscard]] int k() const noexcept { return static_cast<int>(k_); }
+
+    /// Hands out a k-entry block (recycled from drained buckets first).
+    [[nodiscard]] std::uint32_t allocate_block() {
+        if (!free_blocks_.empty()) {
+            const std::uint32_t b = free_blocks_.back();
+            free_blocks_.pop_back();
+            return b;
+        }
+        const std::uint32_t b =
+            static_cast<std::uint32_t>(slab_.size() / k_);
+        slab_.resize(slab_.size() + k_);
+        return b;
+    }
+
+    void free_block(std::uint32_t block) { free_blocks_.push_back(block); }
+
+    /// Entry storage of `block` (k consecutive entries). The pointer is
+    /// invalidated by the next allocate_block — re-fetch after allocating.
+    [[nodiscard]] BucketEntry* block(std::uint32_t b) noexcept {
+        return slab_.data() + static_cast<std::size_t>(b) * k_;
+    }
+    [[nodiscard]] const BucketEntry* block(std::uint32_t b) const noexcept {
+        return slab_.data() + static_cast<std::size_t>(b) * k_;
+    }
+
+    /// Reserves a contiguous range of `buckets` value-initialized BucketMeta
+    /// records (one table's worth) and returns its base index.
+    [[nodiscard]] std::uint32_t allocate_meta(int buckets) {
+        const auto base = static_cast<std::uint32_t>(meta_.size());
+        meta_.resize(meta_.size() + static_cast<std::size_t>(buckets));
+        return base;
+    }
+
+    [[nodiscard]] BucketMeta* meta(std::uint32_t base) noexcept {
+        return meta_.data() + base;
+    }
+    [[nodiscard]] const BucketMeta* meta(std::uint32_t base) const noexcept {
+        return meta_.data() + base;
+    }
+
+    /// Capacity-based resident footprint (bench counters).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return slab_.capacity() * sizeof(BucketEntry) +
+               meta_.capacity() * sizeof(BucketMeta) +
+               free_blocks_.capacity() * sizeof(std::uint32_t);
+    }
+
+private:
+    std::uint32_t k_;
+    std::vector<BucketEntry> slab_;
+    std::vector<std::uint32_t> free_blocks_;
+    std::vector<BucketMeta> meta_;
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_BUCKET_ARENA_H

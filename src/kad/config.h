@@ -64,7 +64,9 @@ struct KademliaConfig {
     /// Throws std::invalid_argument when parameters are out of range.
     void validate() const {
         if (b <= 0 || b > kMaxBits) throw std::invalid_argument("b must be in (0,160]");
-        if (k <= 0) throw std::invalid_argument("k must be positive");
+        // Upper bound from the arena bucket layout (8-bit fill counts); the
+        // paper never goes past k = 30.
+        if (k <= 0 || k > 255) throw std::invalid_argument("k must be in (0,255]");
         if (alpha <= 0) throw std::invalid_argument("alpha must be positive");
         if (s <= 0) throw std::invalid_argument("s must be positive");
         if (rpc_timeout <= 0) throw std::invalid_argument("rpc_timeout must be positive");

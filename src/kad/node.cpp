@@ -2,29 +2,50 @@
 
 #include <algorithm>
 
+#include "kad/node_arena.h"
+#include "util/assert.h"
+
 namespace kadsim::kad {
 
 namespace {
 /// How many of its own contacts a node seeds an iterative lookup with.
 constexpr std::size_t seed_width(int k) { return static_cast<std::size_t>(k); }
+
+/// Per-node storage stays sorted by key, so every find/update is one binary
+/// search (keys are unique: handle_store is find-or-insert). Works on const
+/// and mutable vectors alike.
+template <typename Vec>
+auto find_stored(Vec& storage, const NodeId& key) -> decltype(storage.data()) {
+    const auto pos =
+        std::lower_bound(storage.begin(), storage.end(), key,
+                         [](const auto& obj, const NodeId& k) { return obj.key < k; });
+    if (pos != storage.end() && pos->key == key) return &*pos;
+    return nullptr;
+}
 }  // namespace
 
-KademliaNode::KademliaNode(NodeId id, net::Address address,
-                           const KademliaConfig& config, sim::Simulator& sim,
-                           net::Network& network, NodeDirectory& directory)
-    : id_(id),
-      address_(address),
-      config_(config),
-      sim_(sim),
-      network_(network),
-      directory_(directory),
-      rng_(sim.split_rng()),
-      table_(id, config),
-      bucket_last_lookup_(static_cast<std::size_t>(config.b), 0) {}
+// Accessor shorthand: every field lives in the arena, indexed by address_.
+
+const NodeId& KademliaNode::id() const noexcept { return arena_->ids_[address_]; }
+
+bool KademliaNode::alive() const noexcept { return arena_->alive_[address_] != 0; }
+
+const RoutingTable& KademliaNode::routing_table() const noexcept {
+    return arena_->tables_[address_];
+}
+
+const NodeCounters& KademliaNode::counters() const noexcept {
+    return arena_->counters_[address_];
+}
+
+std::size_t KademliaNode::storage_size() const noexcept {
+    return arena_->storage_[address_].size();
+}
 
 void KademliaNode::join(const std::optional<Contact>& bootstrap) {
-    KADSIM_ASSERT(alive_);
-    bootstrap_ = bootstrap;
+    NodeArena& a = *arena_;
+    KADSIM_ASSERT(alive());
+    a.bootstraps_[address_] = bootstrap;
     if (bootstrap.has_value()) {
         observe_sender(*bootstrap);
     }
@@ -33,46 +54,44 @@ void KademliaNode::join(const std::optional<Contact>& bootstrap) {
     // the strict-k termination of the original protocol — the new node must
     // enter ~k routing tables right away, which is what keeps the minimum
     // connectivity near k under join churn (Table 2).
-    start_lookup(id_, LookupMode::kFindNode, LookupDoneFn{}, false, 0,
+    start_lookup(id(), LookupMode::kFindNode, LookupDoneFn{}, false, 0,
                  /*strict_k=*/true);
 
-    refresh_task_ = sim::PeriodicTask::start(
-        sim_, sim_.now() + config_.refresh_interval, config_.refresh_interval,
-        [this](sim::SimTime) { do_refresh(); });
-    storage_gc_task_ = sim::PeriodicTask::start(
-        sim_, sim_.now() + config_.storage_expiry, config_.storage_expiry / 2,
-        [this](sim::SimTime) { gc_storage(); });
-    if (config_.advertise_per_refresh > 0) {
+    const KademliaConfig& cfg = a.config_;
+    const std::uint32_t gen = a.task_gen_[address_];
+    a.arm_task(address_, NodeArena::TaskKind::kRefresh,
+               a.sim_.now() + cfg.refresh_interval, cfg.refresh_interval, gen);
+    a.arm_task(address_, NodeArena::TaskKind::kStorageGc,
+               a.sim_.now() + cfg.storage_expiry, cfg.storage_expiry / 2, gen);
+    if (cfg.advertise_per_refresh > 0) {
         // Connectivity-boost extension: γ strict-k self-announcements per
         // refresh interval, evenly spread, starting one period after join —
         // fresh joiners get their first repair quickly, which is where the
         // minimum connectivity is pinned under churn.
-        const sim::SimTime period =
-            std::max<sim::SimTime>(1, config_.refresh_interval /
-                                          config_.advertise_per_refresh);
-        advertise_task_ = sim::PeriodicTask::start(
-            sim_, sim_.now() + period, period, [this](sim::SimTime) {
-                if (alive_) {
-                    start_lookup(id_, LookupMode::kFindNode, LookupDoneFn{}, false,
-                                 0, /*strict_k=*/true);
-                }
-            });
+        const sim::SimTime period = std::max<sim::SimTime>(
+            1, cfg.refresh_interval / cfg.advertise_per_refresh);
+        a.arm_task(address_, NodeArena::TaskKind::kAdvertise, a.sim_.now() + period,
+                   period, gen);
     }
 }
 
 void KademliaNode::crash() {
-    if (!alive_) return;
-    alive_ = false;
-    network_.set_up(address_, false);
-    refresh_task_.reset();
-    storage_gc_task_.reset();
-    advertise_task_.reset();
-    pending_.clear();
-    lookups_.clear();
-    free_lookup_slots_.clear();
-    storage_.clear();
-    eviction_pings_.clear();
-    table_.clear();
+    NodeArena& a = *arena_;
+    if (!alive()) return;
+    a.alive_[address_] = 0;
+    a.network_.set_up(address_, false);
+    ++a.task_gen_[address_];  // cancels the maintenance event chains
+    auto& lookups = a.lookups_[address_];
+    lookups.slots.clear();
+    lookups.free_slots.clear();
+    auto& storage = a.storage_[address_];
+    storage.clear();
+    storage.shrink_to_fit();
+    // Clears contacts, replacement candidates and eviction-ping flags, and
+    // returns the bucket blocks to the arena free list. Pending-RPC entries
+    // are released lazily by their timeout events (ids are unique; nothing
+    // observes the map between now and then).
+    a.tables_[address_].clear();
 }
 
 void KademliaNode::lookup_node(const NodeId& target, LookupDoneFn on_done) {
@@ -91,27 +110,29 @@ void KademliaNode::disseminate(const NodeId& key, std::uint64_t value,
 }
 
 std::optional<std::uint64_t> KademliaNode::stored_value(const NodeId& key) const {
-    const auto it = storage_.find(key);
-    if (it == storage_.end() || it->second.expires <= sim_.now()) return std::nullopt;
-    return it->second.value;
+    const auto& storage = arena_->storage_[address_];
+    const StoredObject* obj = find_stored(storage, key);
+    if (obj == nullptr || obj->expires <= arena_->sim_.now()) return std::nullopt;
+    return obj->value;
 }
 
 // ---------------------------------------------------------------- ingress --
 
 void KademliaNode::handle_ping(const Contact& from, std::uint64_t rpc_id) {
-    if (!alive_) return;
+    NodeArena& a = *arena_;
+    if (!alive()) return;
     observe_sender(from);
-    ++counters_.requests_served;
-    KademliaNode* peer = directory_.node_at(from.address);
+    ++a.counters_[address_].requests_served;
+    KademliaNode* peer = a.node_at(from.address);
     if (peer == nullptr) return;
     const Contact me = contact();
-    network_.transmit(address_, from.address, [peer, rpc_id, me] {
+    a.network_.transmit(address_, from.address, [peer, rpc_id, me] {
         peer->handle_ping_response(rpc_id, me);
     });
 }
 
 void KademliaNode::handle_ping_response(std::uint64_t rpc_id, const Contact& from) {
-    if (!alive_) return;
+    if (!alive()) return;
     observe_sender(from);
     PendingRpc pending;
     rpc_succeeded(rpc_id, from, &pending);
@@ -119,29 +140,32 @@ void KademliaNode::handle_ping_response(std::uint64_t rpc_id, const Contact& fro
 
 void KademliaNode::handle_find_node(const Contact& from, std::uint64_t rpc_id,
                                     const NodeId& target) {
-    if (!alive_) return;
+    NodeArena& a = *arena_;
+    if (!alive()) return;
     observe_sender(from);
-    ++counters_.requests_served;
+    ++a.counters_[address_].requests_served;
     std::vector<Contact> closest;
-    closest.reserve(static_cast<std::size_t>(config_.k));
-    table_.closest(target, static_cast<std::size_t>(config_.k), closest, &from.id);
-    KademliaNode* peer = directory_.node_at(from.address);
+    closest.reserve(static_cast<std::size_t>(a.config_.k));
+    a.tables_[address_].closest(target, static_cast<std::size_t>(a.config_.k),
+                                closest, &from.id);
+    KademliaNode* peer = a.node_at(from.address);
     if (peer == nullptr) return;
     const Contact me = contact();
-    network_.transmit(address_, from.address,
-                      [peer, rpc_id, me, contacts = std::move(closest)]() mutable {
-                          peer->handle_find_node_response(rpc_id, me, std::move(contacts));
-                      });
+    a.network_.transmit(address_, from.address,
+                        [peer, rpc_id, me, contacts = std::move(closest)]() mutable {
+                            peer->handle_find_node_response(rpc_id, me,
+                                                            std::move(contacts));
+                        });
 }
 
 void KademliaNode::handle_find_node_response(std::uint64_t rpc_id, const Contact& from,
                                              std::vector<Contact> contacts) {
-    if (!alive_) return;
+    if (!alive()) return;
     observe_sender(from);
     PendingRpc pending;
     rpc_succeeded(rpc_id, from, &pending);
     if (pending.kind != RpcKind::kLookup) return;
-    auto& slot = lookups_[pending.lookup_slot];
+    auto& slot = arena_->lookups_[address_].slots[pending.lookup_slot];
     if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
     slot.state->on_response(from.id, contacts, false);
     pump_lookup(pending.lookup_slot);
@@ -149,40 +173,42 @@ void KademliaNode::handle_find_node_response(std::uint64_t rpc_id, const Contact
 
 void KademliaNode::handle_find_value(const Contact& from, std::uint64_t rpc_id,
                                      const NodeId& key) {
-    if (!alive_) return;
+    NodeArena& a = *arena_;
+    if (!alive()) return;
     observe_sender(from);
-    ++counters_.requests_served;
-    KademliaNode* peer = directory_.node_at(from.address);
+    ++a.counters_[address_].requests_served;
+    KademliaNode* peer = a.node_at(from.address);
     if (peer == nullptr) return;
     const Contact me = contact();
 
-    const auto it = storage_.find(key);
-    if (it != storage_.end() && it->second.expires > sim_.now()) {
-        const std::uint64_t value = it->second.value;
-        network_.transmit(address_, from.address, [peer, rpc_id, me, value] {
+    const StoredObject* obj = find_stored(a.storage_[address_], key);
+    if (obj != nullptr && obj->expires > a.sim_.now()) {
+        const std::uint64_t value = obj->value;
+        a.network_.transmit(address_, from.address, [peer, rpc_id, me, value] {
             peer->handle_find_value_response(rpc_id, me, value, {});
         });
         return;
     }
     std::vector<Contact> closest;
-    closest.reserve(static_cast<std::size_t>(config_.k));
-    table_.closest(key, static_cast<std::size_t>(config_.k), closest, &from.id);
-    network_.transmit(address_, from.address,
-                      [peer, rpc_id, me, contacts = std::move(closest)]() mutable {
-                          peer->handle_find_value_response(rpc_id, me, std::nullopt,
-                                                           std::move(contacts));
-                      });
+    closest.reserve(static_cast<std::size_t>(a.config_.k));
+    a.tables_[address_].closest(key, static_cast<std::size_t>(a.config_.k), closest,
+                                &from.id);
+    a.network_.transmit(address_, from.address,
+                        [peer, rpc_id, me, contacts = std::move(closest)]() mutable {
+                            peer->handle_find_value_response(rpc_id, me, std::nullopt,
+                                                             std::move(contacts));
+                        });
 }
 
 void KademliaNode::handle_find_value_response(std::uint64_t rpc_id, const Contact& from,
                                               std::optional<std::uint64_t> value,
                                               std::vector<Contact> contacts) {
-    if (!alive_) return;
+    if (!alive()) return;
     observe_sender(from);
     PendingRpc pending;
     rpc_succeeded(rpc_id, from, &pending);
     if (pending.kind != RpcKind::kLookup) return;
-    auto& slot = lookups_[pending.lookup_slot];
+    auto& slot = arena_->lookups_[address_].slots[pending.lookup_slot];
     if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
     slot.state->on_response(from.id, contacts, value.has_value());
     pump_lookup(pending.lookup_slot);
@@ -190,20 +216,33 @@ void KademliaNode::handle_find_value_response(std::uint64_t rpc_id, const Contac
 
 void KademliaNode::handle_store(const Contact& from, std::uint64_t rpc_id,
                                 const NodeId& key, std::uint64_t value) {
-    if (!alive_) return;
+    NodeArena& a = *arena_;
+    if (!alive()) return;
     observe_sender(from);
-    ++counters_.requests_served;
-    storage_[key] = StoredObject{value, sim_.now() + config_.storage_expiry};
-    KademliaNode* peer = directory_.node_at(from.address);
+    ++a.counters_[address_].requests_served;
+    auto& storage = a.storage_[address_];
+    const sim::SimTime expires = a.sim_.now() + a.config_.storage_expiry;
+    const auto pos =
+        std::lower_bound(storage.begin(), storage.end(), key,
+                         [](const StoredObject& obj, const NodeId& k) {
+                             return obj.key < k;
+                         });
+    if (pos != storage.end() && pos->key == key) {
+        pos->value = value;
+        pos->expires = expires;
+    } else {
+        storage.insert(pos, StoredObject{key, value, expires});
+    }
+    KademliaNode* peer = a.node_at(from.address);
     if (peer == nullptr) return;
     const Contact me = contact();
-    network_.transmit(address_, from.address, [peer, rpc_id, me] {
+    a.network_.transmit(address_, from.address, [peer, rpc_id, me] {
         peer->handle_store_response(rpc_id, me);
     });
 }
 
 void KademliaNode::handle_store_response(std::uint64_t rpc_id, const Contact& from) {
-    if (!alive_) return;
+    if (!alive()) return;
     observe_sender(from);
     PendingRpc pending;
     rpc_succeeded(rpc_id, from, &pending);
@@ -212,16 +251,18 @@ void KademliaNode::handle_store_response(std::uint64_t rpc_id, const Contact& fr
 // ---------------------------------------------------------------- internals --
 
 void KademliaNode::observe_sender(const Contact& from) {
-    const ObserveResult result = table_.observe(from, sim_.now());
+    NodeArena& a = *arena_;
+    RoutingTable& table = a.tables_[address_];
+    const ObserveResult result = table.observe(from, a.sim_.now());
     if (result == ObserveResult::kBucketFull &&
-        config_.bucket_policy == BucketPolicy::kPingEvict) {
-        const int bucket = table_.bucket_index_of(from.id);
-        if (eviction_pings_.insert(bucket).second) {
-            const auto lrs = table_.least_recently_seen(from.id);
+        a.config_.bucket_policy == BucketPolicy::kPingEvict) {
+        const int bucket = table.bucket_index_of(from.id);
+        if (table.try_mark_eviction(bucket)) {
+            const auto lrs = table.least_recently_seen(from.id);
             if (lrs.has_value()) {
                 send_eviction_ping(*lrs);
             } else {
-                eviction_pings_.erase(bucket);
+                table.clear_eviction(bucket);
             }
         }
     }
@@ -230,51 +271,57 @@ void KademliaNode::observe_sender(const Contact& from) {
 void KademliaNode::start_lookup(const NodeId& target, LookupMode mode,
                                 LookupDoneFn on_done, bool disseminating,
                                 std::uint64_t store_value, bool strict_k) {
-    KADSIM_ASSERT(alive_);
-    ++counters_.lookups_started;
+    NodeArena& a = *arena_;
+    KADSIM_ASSERT(alive());
+    ++a.counters_[address_].lookups_started;
     note_lookup_target(target);
 
+    auto& lookups = a.lookups_[address_];
     std::uint32_t slot_index;
-    if (!free_lookup_slots_.empty()) {
-        slot_index = free_lookup_slots_.back();
-        free_lookup_slots_.pop_back();
+    if (!lookups.free_slots.empty()) {
+        slot_index = lookups.free_slots.back();
+        lookups.free_slots.pop_back();
     } else {
-        slot_index = static_cast<std::uint32_t>(lookups_.size());
-        lookups_.emplace_back();
+        slot_index = static_cast<std::uint32_t>(lookups.slots.size());
+        lookups.slots.emplace_back();
     }
-    auto& slot = lookups_[slot_index];
+    auto& slot = lookups.slots[slot_index];
     slot.state = std::make_unique<LookupState>(
-        id_, target, mode,
-        LookupState::Params{config_.k, config_.alpha, 0, strict_k});
+        id(), target, mode,
+        LookupState::Params{a.config_.k, a.config_.alpha, 0, strict_k});
     slot.on_done = std::move(on_done);
     slot.disseminating = disseminating;
     slot.store_value = store_value;
 
     std::vector<Contact> seeds;
-    seeds.reserve(seed_width(config_.k));
-    table_.closest(target, seed_width(config_.k), seeds);
-    if (seeds.empty() && bootstrap_.has_value() && bootstrap_->id != id_) {
+    seeds.reserve(seed_width(a.config_.k));
+    a.tables_[address_].closest(target, seed_width(a.config_.k), seeds);
+    const auto& bootstrap = a.bootstraps_[address_];
+    if (seeds.empty() && bootstrap.has_value() && bootstrap->id != id()) {
         // Empty table (lost-join or drained by staleness): fall back to the
         // configured bootstrap address and try to re-enter the network.
-        seeds.push_back(*bootstrap_);
+        seeds.push_back(*bootstrap);
     }
     slot.state->seed(seeds);
     pump_lookup(slot_index);
 }
 
 void KademliaNode::pump_lookup(std::uint32_t slot_index) {
+    auto& slots = arena_->lookups_[address_].slots;
     while (true) {
-        auto& slot = lookups_[slot_index];
+        auto& slot = slots[slot_index];
         if (slot.state == nullptr) return;
         const auto next = slot.state->next_query();
         if (!next.has_value()) break;
         send_lookup_query(slot_index, *next);
     }
-    if (lookups_[slot_index].state->finished()) finish_lookup(slot_index);
+    if (slots[slot_index].state->finished()) finish_lookup(slot_index);
 }
 
 void KademliaNode::finish_lookup(std::uint32_t slot_index) {
-    auto& slot = lookups_[slot_index];
+    NodeArena& a = *arena_;
+    auto& lookups = a.lookups_[address_];
+    auto& slot = lookups.slots[slot_index];
     // Detach state before invoking callbacks: a callback may start new
     // lookups, reusing or growing the slot vector.
     std::unique_ptr<LookupState> state = std::move(slot.state);
@@ -284,10 +331,11 @@ void KademliaNode::finish_lookup(std::uint32_t slot_index) {
     slot.state.reset();
     slot.on_done.reset();
     ++slot.generation;  // invalidates in-flight RPC references to this slot
-    free_lookup_slots_.push_back(slot_index);
+    lookups.free_slots.push_back(slot_index);
 
-    ++counters_.lookups_completed;
-    if (state->value_found()) ++counters_.values_found;
+    auto& counters = a.counters_[address_];
+    ++counters.lookups_completed;
+    if (state->value_found()) ++counters.values_found;
 
     const std::vector<Contact> closest = state->successful_closest();
     if (disseminating) {
@@ -299,19 +347,20 @@ void KademliaNode::finish_lookup(std::uint32_t slot_index) {
 }
 
 void KademliaNode::send_lookup_query(std::uint32_t slot_index, const Contact& to) {
-    auto& slot = lookups_[slot_index];
+    NodeArena& a = *arena_;
+    auto& slot = a.lookups_[address_].slots[slot_index];
     const std::uint64_t rpc_id =
         register_rpc(to, RpcKind::kLookup, slot_index, slot.generation);
-    KademliaNode* peer = directory_.node_at(to.address);
+    KademliaNode* peer = a.node_at(to.address);
     KADSIM_ASSERT_MSG(peer != nullptr, "lookup query to unknown address");
     const Contact me = contact();
     const NodeId target = slot.state->target();
     if (slot.state->mode() == LookupMode::kFindValue) {
-        network_.transmit(address_, to.address, [peer, me, rpc_id, target] {
+        a.network_.transmit(address_, to.address, [peer, me, rpc_id, target] {
             peer->handle_find_value(me, rpc_id, target);
         });
     } else {
-        network_.transmit(address_, to.address, [peer, me, rpc_id, target] {
+        a.network_.transmit(address_, to.address, [peer, me, rpc_id, target] {
             peer->handle_find_node(me, rpc_id, target);
         });
     }
@@ -319,55 +368,65 @@ void KademliaNode::send_lookup_query(std::uint32_t slot_index, const Contact& to
 
 void KademliaNode::send_store(const Contact& to, const NodeId& key,
                               std::uint64_t value) {
+    NodeArena& a = *arena_;
     const std::uint64_t rpc_id = register_rpc(to, RpcKind::kStore, 0, 0);
-    ++counters_.stores_sent;
-    KademliaNode* peer = directory_.node_at(to.address);
+    ++a.counters_[address_].stores_sent;
+    KademliaNode* peer = a.node_at(to.address);
     KADSIM_ASSERT_MSG(peer != nullptr, "store to unknown address");
     const Contact me = contact();
-    network_.transmit(address_, to.address, [peer, me, rpc_id, key, value] {
+    a.network_.transmit(address_, to.address, [peer, me, rpc_id, key, value] {
         peer->handle_store(me, rpc_id, key, value);
     });
 }
 
 void KademliaNode::send_eviction_ping(const Contact& to) {
+    NodeArena& a = *arena_;
     const std::uint64_t rpc_id = register_rpc(to, RpcKind::kEviction, 0, 0);
-    KademliaNode* peer = directory_.node_at(to.address);
+    KademliaNode* peer = a.node_at(to.address);
     KADSIM_ASSERT_MSG(peer != nullptr, "ping to unknown address");
     const Contact me = contact();
-    network_.transmit(address_, to.address,
-                      [peer, me, rpc_id] { peer->handle_ping(me, rpc_id); });
+    a.network_.transmit(address_, to.address,
+                        [peer, me, rpc_id] { peer->handle_ping(me, rpc_id); });
 }
 
 std::uint64_t KademliaNode::register_rpc(const Contact& to, RpcKind kind,
                                          std::uint32_t lookup_slot,
                                          std::uint32_t generation) {
-    const std::uint64_t rpc_id = next_rpc_id_++;
-    pending_.emplace(rpc_id, PendingRpc{to, kind, lookup_slot, generation});
-    ++counters_.rpcs_sent;
-    sim_.schedule_in(config_.rpc_timeout,
-                     [this, rpc_id] { on_rpc_timeout(rpc_id); });
+    NodeArena& a = *arena_;
+    const std::uint64_t rpc_id = a.next_rpc_id_++;
+    a.pending_.emplace(rpc_id, PendingRpc{to, kind, lookup_slot, generation});
+    ++a.counters_[address_].rpcs_sent;
+    a.sim_.schedule_in(a.config_.rpc_timeout,
+                       [this, rpc_id] { on_rpc_timeout(rpc_id); });
     return rpc_id;
 }
 
 void KademliaNode::on_rpc_timeout(std::uint64_t rpc_id) {
-    if (!alive_) return;
-    const auto it = pending_.find(rpc_id);
-    if (it == pending_.end()) return;  // answered in time
-    const PendingRpc pending = it->second;
-    pending_.erase(it);
-    ++counters_.rpcs_failed;
+    NodeArena& a = *arena_;
+    const PendingRpc* entry = a.pending_.find(rpc_id);
+    if (entry == nullptr) return;  // answered in time
+    if (!alive()) {
+        // Sent before this node crashed: release the entry, change nothing
+        // else (the pre-arena engine dropped these wholesale in crash()).
+        a.pending_.erase(rpc_id);
+        return;
+    }
+    const PendingRpc pending = *entry;
+    a.pending_.erase(rpc_id);
+    ++a.counters_[address_].rpcs_failed;
 
+    RoutingTable& table = a.tables_[address_];
     // Staleness accounting (§4.1): the contact is dropped after s consecutive
     // failures. Under ping-evict, a removed contact is replaced from the
     // bucket's parking slot inside record_failure.
-    table_.record_failure(pending.to.id, sim_.now());
+    table.record_failure(pending.to.id, a.sim_.now());
 
     if (pending.kind == RpcKind::kEviction) {
-        eviction_pings_.erase(table_.bucket_index_of(pending.to.id));
+        table.clear_eviction(table.bucket_index_of(pending.to.id));
         return;
     }
     if (pending.kind != RpcKind::kLookup) return;
-    auto& slot = lookups_[pending.lookup_slot];
+    auto& slot = a.lookups_[address_].slots[pending.lookup_slot];
     if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
     slot.state->on_failure(pending.to.id);
     pump_lookup(pending.lookup_slot);
@@ -375,53 +434,72 @@ void KademliaNode::on_rpc_timeout(std::uint64_t rpc_id) {
 
 void KademliaNode::rpc_succeeded(std::uint64_t rpc_id, const Contact& from,
                                  PendingRpc* out_pending) {
-    const auto it = pending_.find(rpc_id);
-    if (it == pending_.end()) {
+    NodeArena& a = *arena_;
+    const PendingRpc* entry = a.pending_.find(rpc_id);
+    if (entry == nullptr) {
         out_pending->kind = RpcKind::kNone;  // late reply after timeout
         return;
     }
-    *out_pending = it->second;
-    pending_.erase(it);
+    *out_pending = *entry;
+    a.pending_.erase(rpc_id);
     if (out_pending->kind == RpcKind::kEviction) {
-        eviction_pings_.erase(table_.bucket_index_of(from.id));
+        RoutingTable& table = a.tables_[address_];
+        table.clear_eviction(table.bucket_index_of(from.id));
     }
 }
 
 void KademliaNode::do_refresh() {
-    if (!alive_) return;
-    const sim::SimTime now = sim_.now();
-    for (int bucket = 0; bucket < config_.b; ++bucket) {
+    NodeArena& a = *arena_;
+    if (!alive()) return;
+    const sim::SimTime now = a.sim_.now();
+    const RoutingTable& table = a.tables_[address_];
+    for (int bucket = 0; bucket < a.config_.b; ++bucket) {
         // Only buckets in use are refreshed: with b=160 and realistic network
         // sizes, ~150 buckets cover id ranges containing no nodes at all;
         // refreshing those would make every node probe its own neighbourhood
         // 150 times per hour and over-mix the overlay (the paper's Figs. 2-3
         // hold at kappa ~ k through stabilization, which pins down this
         // reading of "each k-bucket").
-        if (table_.bucket_entries(bucket).empty()) continue;
-        if (config_.refresh_policy == RefreshPolicy::kStaleOnly) {
-            const sim::SimTime last = bucket_last_lookup_[static_cast<std::size_t>(bucket)];
-            if (last + config_.refresh_interval > now) continue;
+        if (table.bucket_entries(bucket).empty()) continue;
+        if (a.config_.refresh_policy == RefreshPolicy::kStaleOnly) {
+            const sim::SimTime last =
+                a.bucket_last_lookup_[static_cast<std::size_t>(address_) *
+                                          static_cast<std::size_t>(a.config_.b) +
+                                      static_cast<std::size_t>(bucket)];
+            if (last + a.config_.refresh_interval > now) continue;
         }
-        const NodeId target = NodeId::random_in_bucket(id_, bucket, rng_, config_.b);
-        const auto delay = static_cast<sim::SimTime>(
-            rng_.next_below(static_cast<std::uint64_t>(config_.refresh_spread)));
-        sim_.schedule_in(delay, [this, target] {
-            if (alive_) lookup_node(target, LookupDoneFn{});
+        const NodeId target =
+            NodeId::random_in_bucket(id(), bucket, a.rngs_[address_], a.config_.b);
+        const auto delay = static_cast<sim::SimTime>(a.rngs_[address_].next_below(
+            static_cast<std::uint64_t>(a.config_.refresh_spread)));
+        a.sim_.schedule_in(delay, [this, target] {
+            if (alive()) lookup_node(target, LookupDoneFn{});
         });
     }
 }
 
+void KademliaNode::do_advertise() {
+    if (!alive()) return;
+    start_lookup(id(), LookupMode::kFindNode, LookupDoneFn{}, false, 0,
+                 /*strict_k=*/true);
+}
+
 void KademliaNode::note_lookup_target(const NodeId& target) {
-    if (target == id_) return;
-    const int bucket = table_.bucket_index_of(target);
-    bucket_last_lookup_[static_cast<std::size_t>(bucket)] = sim_.now();
+    NodeArena& a = *arena_;
+    if (a.config_.refresh_policy != RefreshPolicy::kStaleOnly) return;
+    if (target == id()) return;
+    const int bucket = a.tables_[address_].bucket_index_of(target);
+    a.bucket_last_lookup_[static_cast<std::size_t>(address_) *
+                              static_cast<std::size_t>(a.config_.b) +
+                          static_cast<std::size_t>(bucket)] = a.sim_.now();
 }
 
 void KademliaNode::gc_storage() {
-    if (!alive_) return;
-    const sim::SimTime now = sim_.now();
-    std::erase_if(storage_,
-                  [now](const auto& kv) { return kv.second.expires <= now; });
+    NodeArena& a = *arena_;
+    if (!alive()) return;
+    const sim::SimTime now = a.sim_.now();
+    std::erase_if(a.storage_[address_],
+                  [now](const StoredObject& obj) { return obj.expires <= now; });
 }
 
 }  // namespace kadsim::kad

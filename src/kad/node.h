@@ -1,31 +1,34 @@
 // A Kademlia node: routing table + RPC endpoints + iterative lookups +
 // maintenance (paper §4.1, §5.3).
 //
-// Lifecycle: construct → join() → traffic (lookup/disseminate) + hourly
-// bucket refresh → crash() on churn removal. After crash() the instance is
-// inert (handlers no-op) but remains addressable so in-flight closures stay
-// valid.
+// Lifecycle: construct (via NodeArena::add_node) → join() → traffic
+// (lookup/disseminate) + hourly bucket refresh → crash() on churn removal.
+// After crash() the instance is inert (handlers no-op) but remains
+// addressable so in-flight closures stay valid.
+//
+// The class itself is a 16-byte handle: every field lives in the owning
+// NodeArena's struct-of-arrays storage, indexed by the node's address.
+// Handles have stable addresses for the lifetime of the arena (delivery
+// closures capture `KademliaNode*`).
 #ifndef KADSIM_KAD_NODE_H
 #define KADSIM_KAD_NODE_H
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "kad/config.h"
 #include "kad/contact.h"
-#include "kad/directory.h"
 #include "kad/lookup.h"
 #include "kad/messages.h"
 #include "kad/routing_table.h"
 #include "net/network.h"
-#include "sim/periodic.h"
-#include "sim/simulator.h"
+#include "sim/time.h"
 
 namespace kadsim::kad {
+
+class NodeArena;
 
 /// Aggregate per-node protocol counters (collected by scen::Metrics).
 struct NodeCounters {
@@ -46,18 +49,12 @@ public:
         util::InplaceFunction<void(const NodeId& target, bool value_found,
                                    const std::vector<Contact>& closest), 48>;
 
-    KademliaNode(NodeId id, net::Address address, const KademliaConfig& config,
-                 sim::Simulator& sim, net::Network& network, NodeDirectory& directory);
-
-    KademliaNode(const KademliaNode&) = delete;
-    KademliaNode& operator=(const KademliaNode&) = delete;
-
-    [[nodiscard]] const NodeId& id() const noexcept { return id_; }
+    [[nodiscard]] const NodeId& id() const noexcept;
     [[nodiscard]] net::Address address() const noexcept { return address_; }
-    [[nodiscard]] Contact contact() const noexcept { return Contact{id_, address_}; }
-    [[nodiscard]] bool alive() const noexcept { return alive_; }
-    [[nodiscard]] const RoutingTable& routing_table() const noexcept { return table_; }
-    [[nodiscard]] const NodeCounters& counters() const noexcept { return counters_; }
+    [[nodiscard]] Contact contact() const noexcept { return Contact{id(), address_}; }
+    [[nodiscard]] bool alive() const noexcept;
+    [[nodiscard]] const RoutingTable& routing_table() const noexcept;
+    [[nodiscard]] const NodeCounters& counters() const noexcept;
 
     /// Joins via `bootstrap` (paper §5.3: a random already-joined node):
     /// inserts the bootstrap contact, looks up the node's own id, and starts
@@ -80,7 +77,7 @@ public:
 
     /// Local storage lookup (tests / examples).
     [[nodiscard]] std::optional<std::uint64_t> stored_value(const NodeId& key) const;
-    [[nodiscard]] std::size_t storage_size() const noexcept { return storage_.size(); }
+    [[nodiscard]] std::size_t storage_size() const noexcept;
 
     // --- RPC ingress (invoked by peers through delivery closures) ---
     void handle_ping(const Contact& from, std::uint64_t rpc_id);
@@ -98,6 +95,12 @@ public:
     void handle_store_response(std::uint64_t rpc_id, const Contact& from);
 
 private:
+    friend class NodeArena;
+    friend class PendingRpcMap;  // slot table of in-flight PendingRpc entries
+
+    KademliaNode(NodeArena& arena, net::Address address) noexcept
+        : arena_(&arena), address_(address) {}
+
     struct ActiveLookup {
         std::unique_ptr<LookupState> state;
         LookupDoneFn on_done;
@@ -115,6 +118,12 @@ private:
         std::uint32_t lookup_generation = 0;
     };
 
+    struct StoredObject {
+        NodeId key;
+        std::uint64_t value = 0;
+        sim::SimTime expires = 0;
+    };
+
     /// Any message received from a peer is liveness evidence (§4.1).
     void observe_sender(const Contact& from);
     void start_lookup(const NodeId& target, LookupMode mode, LookupDoneFn on_done,
@@ -130,45 +139,12 @@ private:
     void rpc_succeeded(std::uint64_t rpc_id, const Contact& from,
                        PendingRpc* out_pending);
     void do_refresh();
+    void do_advertise();
     void note_lookup_target(const NodeId& target);
     void gc_storage();
 
-    NodeId id_;
+    NodeArena* arena_;
     net::Address address_;
-    const KademliaConfig& config_;
-    sim::Simulator& sim_;
-    net::Network& network_;
-    NodeDirectory& directory_;
-    util::Rng rng_;
-    RoutingTable table_;
-    bool alive_ = true;
-    /// The configured bootstrap address survives outside the routing table:
-    /// a node whose table drained (e.g. its very first RPC was lost and the
-    /// staleness limit evicted the bootstrap contact) re-seeds lookups from
-    /// it. Without this fallback, message loss during setup would isolate
-    /// nodes permanently — the paper's loss scenarios (§5.8.2) clearly
-    /// recover ("a quick increase in minimum connectivity immediately after
-    /// the setup phase").
-    std::optional<Contact> bootstrap_;
-
-    std::uint64_t next_rpc_id_ = 1;
-    std::unordered_map<std::uint64_t, PendingRpc> pending_;
-    std::vector<ActiveLookup> lookups_;
-    std::vector<std::uint32_t> free_lookup_slots_;
-
-    struct StoredObject {
-        std::uint64_t value = 0;
-        sim::SimTime expires = 0;
-    };
-    std::unordered_map<NodeId, StoredObject, NodeIdHash> storage_;
-
-    std::unique_ptr<sim::PeriodicTask> refresh_task_;
-    std::unique_ptr<sim::PeriodicTask> storage_gc_task_;
-    std::unique_ptr<sim::PeriodicTask> advertise_task_;
-    std::vector<sim::SimTime> bucket_last_lookup_;
-    std::unordered_set<int> eviction_pings_;  // buckets with an outstanding ping
-
-    NodeCounters counters_;
 };
 
 }  // namespace kadsim::kad

@@ -1,0 +1,206 @@
+// Struct-of-arrays storage for every Kademlia node of one overlay (or one
+// region of a sharded overlay).
+//
+// The arena replaces the former vector<unique_ptr<KademliaNode>>: all
+// per-node scalar state lives in parallel vectors indexed by net::Address,
+// routing-bucket entries live in one shared BucketArena slab, and pending
+// RPCs share a single map keyed by arena-globally-unique rpc ids. What
+// remains of KademliaNode is a 16-byte handle (arena pointer + address),
+// kept in a deque so delivery closures can capture stable `KademliaNode*`.
+//
+// The arena is also the address directory (the former NodeDirectory virtual
+// interface): peer resolution on the RPC hot path is now a direct indexed
+// load instead of a virtual call.
+//
+// Determinism contract (byte-identity with the pre-arena engine, pinned by
+// tests/test_fault_equivalence.cpp):
+//  - add_node draws the node's RNG stream at the same sequence point the old
+//    KademliaNode constructor did;
+//  - periodic maintenance is generation-checked self-re-arming events with
+//    exactly the old PeriodicTask schedule (one push per firing, same order
+//    refresh → storage-gc → advertise);
+//  - the shared pending-RPC map is only ever probed by key (ids unique), so
+//    its iteration order is unobservable; entries of crashed nodes are
+//    lazily released by their timeout events.
+#ifndef KADSIM_KAD_NODE_ARENA_H
+#define KADSIM_KAD_NODE_ARENA_H
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "kad/bucket_arena.h"
+#include "kad/config.h"
+#include "kad/node.h"
+#include "kad/routing_table.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace kadsim::kad {
+
+/// Single-probe open-addressing table for in-flight RPCs, keyed by the
+/// strictly increasing rpc id. An id is live from send until its response or
+/// timeout (≤ rpc_timeout), so the live-id span is bounded by send rate ×
+/// timeout; once the power-of-two capacity exceeds that span, two live ids
+/// cannot share a residue. A collision therefore only means the table is too
+/// small — grow past the live span and retry. find/erase are one indexed
+/// load: no hashing, no chains, no probe walks.
+class PendingRpcMap {
+public:
+    PendingRpcMap() : slots_(kInitialSlots) {}
+
+    /// Live entry for `id`, or nullptr (answered / timed out / never sent).
+    [[nodiscard]] KademliaNode::PendingRpc* find(std::uint64_t id) noexcept {
+        Slot& s = slots_[id & (slots_.size() - 1)];
+        return s.id == id ? &s.rpc : nullptr;
+    }
+
+    /// Inserts a fresh id (ids are never reused, so `id` is absent).
+    void emplace(std::uint64_t id, KademliaNode::PendingRpc rpc) {
+        Slot* s = &slots_[id & (slots_.size() - 1)];
+        if (s->id != 0) {
+            grow(id);
+            s = &slots_[id & (slots_.size() - 1)];
+        }
+        s->id = id;
+        s->rpc = rpc;
+    }
+
+    /// Releases a live id (caller guarantees find(id) != nullptr).
+    void erase(std::uint64_t id) noexcept {
+        slots_[id & (slots_.size() - 1)].id = 0;
+    }
+
+    /// Capacity-based footprint for the bench counters.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return slots_.capacity() * sizeof(Slot);
+    }
+
+private:
+    struct Slot {
+        std::uint64_t id = 0;  // 0 = empty (rpc ids start at 1)
+        KademliaNode::PendingRpc rpc;
+    };
+    static constexpr std::size_t kInitialSlots = 1024;
+
+    /// Doubles capacity until it exceeds the live-id span (new id included),
+    /// then rehashes — collision-free by the span argument above.
+    void grow(std::uint64_t new_id) {
+        std::uint64_t lo = new_id;
+        std::uint64_t hi = new_id;
+        for (const Slot& s : slots_) {
+            if (s.id == 0) continue;
+            lo = std::min(lo, s.id);
+            hi = std::max(hi, s.id);
+        }
+        std::size_t cap = slots_.size();
+        while (cap <= hi - lo) cap *= 2;
+        if (cap == slots_.size()) cap *= 2;
+        std::vector<Slot> bigger(cap);
+        for (const Slot& s : slots_) {
+            if (s.id != 0) bigger[s.id & (cap - 1)] = s;
+        }
+        slots_ = std::move(bigger);
+    }
+
+    std::vector<Slot> slots_;
+};
+
+class NodeArena {
+public:
+    /// `config` is validated once here; all three references must outlive
+    /// the arena.
+    NodeArena(const KademliaConfig& config, sim::Simulator& sim,
+              net::Network& network);
+
+    NodeArena(const NodeArena&) = delete;
+    NodeArena& operator=(const NodeArena&) = delete;
+
+    /// Creates the node listening on `address` — addresses must be assigned
+    /// densely in order (address == size()). Draws the node's RNG stream
+    /// from the simulator at call time, so arena construction order defines
+    /// the stream order exactly as per-object construction used to.
+    KademliaNode* add_node(NodeId id, net::Address address);
+
+    /// Address → protocol handle (nullptr if never assigned). Crashed nodes
+    /// keep their (inert) handle so in-flight delivery closures stay valid.
+    [[nodiscard]] KademliaNode* node_at(net::Address address) noexcept {
+        return address < nodes_.size() ? &nodes_[address] : nullptr;
+    }
+    [[nodiscard]] const KademliaNode* node_at(net::Address address) const noexcept {
+        return address < nodes_.size() ? &nodes_[address] : nullptr;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+    [[nodiscard]] const KademliaConfig& config() const noexcept { return config_; }
+    [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+    [[nodiscard]] net::Network& network() noexcept { return network_; }
+
+    [[nodiscard]] const NodeId& id_of(net::Address address) const {
+        return ids_[address];
+    }
+    [[nodiscard]] bool alive(net::Address address) const {
+        return alive_[address] != 0;
+    }
+    [[nodiscard]] const NodeCounters& counters_of(net::Address address) const {
+        return counters_[address];
+    }
+    [[nodiscard]] const RoutingTable& table_of(net::Address address) const {
+        return tables_[address];
+    }
+
+    /// Capacity-based resident footprint of all node state, including the
+    /// shared bucket slab (the bench's arena-bytes counter). O(n) — meant
+    /// for per-snapshot sampling, not per-event.
+    [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+private:
+    friend class KademliaNode;
+
+    enum class TaskKind : std::uint8_t { kRefresh, kStorageGc, kAdvertise };
+
+    /// Generation-checked self-re-arming maintenance event: fires at `at`,
+    /// runs the task, re-arms at now + period — unless the node's task
+    /// generation moved (crash), which cancels the chain. Push pattern is
+    /// identical to the old PeriodicTask (one event per firing).
+    void arm_task(net::Address address, TaskKind kind, sim::SimTime at,
+                  sim::SimTime period, std::uint32_t generation);
+    void run_task(net::Address address, TaskKind kind);
+
+    struct NodeLookups {
+        std::vector<KademliaNode::ActiveLookup> slots;
+        std::vector<std::uint32_t> free_slots;
+    };
+
+    const KademliaConfig& config_;
+    sim::Simulator& sim_;
+    net::Network& network_;
+    BucketArena buckets_;
+
+    std::deque<KademliaNode> nodes_;  // stable 16-byte handles, by address
+    std::vector<NodeId> ids_;
+    std::vector<std::uint8_t> alive_;
+    std::vector<util::Rng> rngs_;
+    std::vector<RoutingTable> tables_;
+    std::vector<std::optional<Contact>> bootstraps_;
+    std::vector<std::uint32_t> task_gen_;
+    std::vector<NodeCounters> counters_;
+    std::vector<NodeLookups> lookups_;
+    std::vector<std::vector<KademliaNode::StoredObject>> storage_;
+    /// address * b + bucket → last lookup touching the bucket; allocated
+    /// only under RefreshPolicy::kStaleOnly (the only reader).
+    std::vector<sim::SimTime> bucket_last_lookup_;
+
+    /// Shared pending-RPC table; ids are arena-globally unique, so per-node
+    /// maps collapsed into one single-probe slot table.
+    PendingRpcMap pending_;
+    std::uint64_t next_rpc_id_ = 1;
+};
+
+}  // namespace kadsim::kad
+
+#endif  // KADSIM_KAD_NODE_ARENA_H

@@ -1,97 +1,142 @@
 #include "kad/routing_table.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace kadsim::kad {
 
+namespace {
+/// closest() scratch, shared per thread rather than per table: region shards
+/// run closest() concurrently but each on its own thread, so there is no
+/// contention and no per-query allocation once the vector is warm.
+struct ClosestScratch {
+    std::vector<std::pair<NodeId, std::uint8_t>> items;  // (distance, entry idx)
+};
+thread_local ClosestScratch t_scratch;
+}  // namespace
+
 RoutingTable::RoutingTable(NodeId self, const KademliaConfig& config)
-    : self_(self), config_(config), buckets_(static_cast<std::size_t>(config.b)) {
+    : self_(self),
+      config_(&config),
+      owned_(std::make_unique<BucketArena>(config.k)),
+      arena_(owned_.get()) {
     config.validate();
+    meta_base_ = arena_->allocate_meta(config.b);
+}
+
+RoutingTable::RoutingTable(NodeId self, const KademliaConfig& config,
+                           BucketArena& arena)
+    : self_(self), config_(&config), arena_(&arena) {
+    meta_base_ = arena_->allocate_meta(config.b);
+}
+
+int RoutingTable::find_in_bucket(const BucketMeta& meta, const NodeId& id) const {
+    if (meta.count == 0) return -1;
+    const Entry* entries = arena_->block(meta.block);
+    for (int i = 0; i < static_cast<int>(meta.count); ++i) {
+        if (entries[i].contact.id == id) return i;
+    }
+    return -1;
 }
 
 ObserveResult RoutingTable::observe(const Contact& c, sim::SimTime now) {
     if (c.id == self_) return ObserveResult::kSelf;
-    Bucket& bucket = bucket_for(c.id);
-    auto& entries = bucket.entries;
+    const int bucket = bucket_index_of(c.id);
+    BucketMeta& meta = meta_of(bucket);
 
-    const auto it = std::find_if(entries.begin(), entries.end(),
-                                 [&](const Entry& e) { return e.contact.id == c.id; });
-    if (it != entries.end()) {
+    const int found = find_in_bucket(meta, c.id);
+    if (found >= 0) {
         // Move to most-recently-seen position (back), reset failure streak.
-        Entry updated = *it;
+        Entry* entries = arena_->block(meta.block);
+        Entry updated = entries[found];
         updated.last_seen = now;
         updated.consecutive_failures = 0;
         updated.contact.address = c.address;
-        entries.erase(it);
-        entries.push_back(updated);
+        std::move(entries + found + 1, entries + meta.count, entries + found);
+        entries[meta.count - 1] = updated;
         return ObserveResult::kUpdated;
     }
 
-    if (entries.size() < static_cast<std::size_t>(config_.k)) {
-        entries.push_back(Entry{c, now, 0});
+    if (meta.count < static_cast<std::uint8_t>(config_->k)) {
+        if (meta.block == BucketMeta::kNoBlock) {
+            meta.block = arena_->allocate_block();  // invalidates entry ptrs
+        }
+        arena_->block(meta.block)[meta.count] = Entry{c, now, 0};
+        ++meta.count;
         ++size_;
+        set_occupancy(bucket, true);
         return ObserveResult::kInserted;
     }
 
-    if (config_.bucket_policy == BucketPolicy::kPingEvict) {
-        bucket.replacement = c;  // newest candidate wins the parking slot
+    if (config_->bucket_policy == BucketPolicy::kPingEvict) {
+        park_replacement(bucket, c);  // newest candidate wins the parking slot
     }
     return ObserveResult::kBucketFull;
 }
 
 bool RoutingTable::record_failure(const NodeId& id, sim::SimTime now) {
     if (id == self_) return false;
-    Bucket& bucket = bucket_for(id);
-    auto& entries = bucket.entries;
-    const auto it = std::find_if(entries.begin(), entries.end(),
-                                 [&](const Entry& e) { return e.contact.id == id; });
-    if (it == entries.end()) return false;
-    if (++it->consecutive_failures < config_.s) return false;
+    const int bucket = bucket_index_of(id);
+    BucketMeta& meta = meta_of(bucket);
+    const int found = find_in_bucket(meta, id);
+    if (found < 0) return false;
+    Entry* entries = arena_->block(meta.block);
+    if (++entries[found].consecutive_failures < config_->s) return false;
 
-    entries.erase(it);
+    std::move(entries + found + 1, entries + meta.count, entries + found);
+    --meta.count;
     --size_;
-    if (bucket.replacement.has_value()) {
-        entries.push_back(Entry{*bucket.replacement, now, 0});
-        ++size_;
-        bucket.replacement.reset();
+    if ((meta.flags & BucketMeta::kHasReplacement) != 0) {
+        promote_replacement(bucket, meta, now);
     }
+    if (meta.count == 0) {
+        arena_->free_block(meta.block);
+        meta.block = BucketMeta::kNoBlock;
+    }
+    set_occupancy(bucket, meta.count > 0);
     return true;
 }
 
 bool RoutingTable::remove(const NodeId& id) {
     if (id == self_) return false;
-    auto& entries = bucket_for(id).entries;
-    const auto it = std::find_if(entries.begin(), entries.end(),
-                                 [&](const Entry& e) { return e.contact.id == id; });
-    if (it == entries.end()) return false;
-    entries.erase(it);
+    const int bucket = bucket_index_of(id);
+    BucketMeta& meta = meta_of(bucket);
+    const int found = find_in_bucket(meta, id);
+    if (found < 0) return false;
+    Entry* entries = arena_->block(meta.block);
+    std::move(entries + found + 1, entries + meta.count, entries + found);
+    --meta.count;
     --size_;
+    if (meta.count == 0) {
+        arena_->free_block(meta.block);
+        meta.block = BucketMeta::kNoBlock;
+        set_occupancy(bucket, false);
+    }
     return true;
 }
 
 void RoutingTable::clear() noexcept {
-    for (auto& bucket : buckets_) {
-        bucket.entries.clear();
-        bucket.replacement.reset();
+    BucketMeta* metas = arena_->meta(meta_base_);
+    for (int b = 0; b < config_->b; ++b) {
+        if (metas[b].block != BucketMeta::kNoBlock) {
+            arena_->free_block(metas[b].block);
+        }
+        metas[b] = BucketMeta{};
     }
     size_ = 0;
-    scratch_.clear();
-    scratch_.shrink_to_fit();
-    bucket_order_.clear();
-    bucket_order_.shrink_to_fit();
+    occupancy_ = {};
+    replacements_.clear();
 }
 
 bool RoutingTable::contains(const NodeId& id) const {
     if (id == self_) return false;
-    const auto& entries = bucket_for(id).entries;
-    return std::any_of(entries.begin(), entries.end(),
-                       [&](const Entry& e) { return e.contact.id == id; });
+    return find_in_bucket(meta_of(bucket_index_of(id)), id) >= 0;
 }
 
 std::optional<Contact> RoutingTable::least_recently_seen(const NodeId& id) const {
-    const auto& entries = bucket_for(id).entries;
-    if (entries.empty()) return std::nullopt;
-    return entries.front().contact;
+    const BucketMeta& meta = meta_of(bucket_index_of(id));
+    if (meta.count == 0) return std::nullopt;
+    return arena_->block(meta.block)[0].contact;
 }
 
 void RoutingTable::closest(const NodeId& target, std::size_t count,
@@ -100,64 +145,131 @@ void RoutingTable::closest(const NodeId& target, std::size_t count,
     // Exact selection without scanning every contact. For d = self ⊕ target,
     // a contact in bucket i has distance-to-target bits: above i taken from
     // d, bit i equal to ¬d_i, bits below i arbitrary — so the per-bucket
-    // distance ranges are pairwise disjoint. Visiting buckets by ascending
-    // range base and sorting only inside each visited bucket yields the
-    // globally closest contacts; stop once `count` are collected.
+    // distance ranges are pairwise disjoint, with range base = d with bits
+    // [0,i] rewritten to (¬d_i, 0…0). Flipping a 1-bit of d lowers the base
+    // below d (the higher the bit, the lower the base); flipping a 0-bit
+    // raises it above d (the lower the bit, the closer to d). Ascending-base
+    // order is therefore: buckets with d_i = 1 by DESCENDING i, then buckets
+    // with d_i = 0 by ASCENDING i — no per-bucket base ids, no sort. Visit
+    // in that order, sorting only inside each visited bucket, and stop once
+    // `count` contacts are collected.
     const NodeId d = self_.distance_to(target);
-    bucket_order_.clear();
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        if (buckets_[i].entries.empty()) continue;
-        NodeId base = d;
-        base.clear_low_bits(static_cast<int>(i) + 1);
-        base.set_bit(static_cast<int>(i), !d.get_bit(static_cast<int>(i)));
-        bucket_order_.emplace_back(base, static_cast<int>(i));
-    }
-    std::sort(bucket_order_.begin(), bucket_order_.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-
+    const BucketMeta* metas = arena_->meta(meta_base_);
+    auto& scratch = t_scratch.items;
     std::size_t collected = 0;
-    for (const auto& [base, index] : bucket_order_) {
-        if (collected >= count) break;
-        const auto& entries = buckets_[static_cast<std::size_t>(index)].entries;
-        scratch_.clear();
-        for (const auto& entry : entries) {
+    const auto visit = [&](int index) {  // false = quota reached, stop
+        const BucketMeta& meta = metas[index];
+        const Entry* entries = arena_->block(meta.block);
+        scratch.clear();
+        for (std::uint8_t i = 0; i < meta.count; ++i) {
+            const Entry& entry = entries[i];
             if (exclude != nullptr && entry.contact.id == *exclude) continue;
-            scratch_.emplace_back(target.distance_to(entry.contact.id), entry.contact);
+            scratch.emplace_back(target.distance_to(entry.contact.id), i);
         }
-        std::sort(scratch_.begin(), scratch_.end(),
+        std::sort(scratch.begin(), scratch.end(),
                   [](const auto& a, const auto& b) { return a.first < b.first; });
-        for (const auto& [dist, contact] : scratch_) {
+        for (const auto& [dist, idx] : scratch) {
             if (collected >= count) break;
-            out.push_back(contact);
+            out.push_back(entries[idx].contact);
             ++collected;
+        }
+        return collected < count;
+    };
+    // Only occupied buckets are walked: set bits of d ∧ occ from the top,
+    // then set bits of ¬d ∧ occ from the bottom.
+    for (int limb = 2; limb >= 0; --limb) {
+        std::uint64_t word = d.limb(limb) & occupancy_[static_cast<std::size_t>(limb)];
+        while (word != 0) {
+            const int bit = 63 - std::countl_zero(word);
+            word &= ~(1ULL << bit);
+            if (!visit(limb * 64 + bit)) return;
+        }
+    }
+    for (int limb = 0; limb < 3; ++limb) {
+        std::uint64_t word = ~d.limb(limb) & occupancy_[static_cast<std::size_t>(limb)];
+        while (word != 0) {
+            const int bit = std::countr_zero(word);
+            word &= word - 1;
+            if (!visit(limb * 64 + bit)) return;
         }
     }
 }
 
 int RoutingTable::nonempty_bucket_count() const noexcept {
+    const BucketMeta* metas = arena_->meta(meta_base_);
     int count = 0;
-    for (const auto& bucket : buckets_) {
-        if (!bucket.entries.empty()) ++count;
+    for (int b = 0; b < config_->b; ++b) {
+        if (metas[b].count > 0) ++count;
     }
     return count;
 }
 
+bool RoutingTable::try_mark_eviction(int bucket) noexcept {
+    BucketMeta& meta = meta_of(bucket);
+    if ((meta.flags & BucketMeta::kEvictionPingOutstanding) != 0) return false;
+    meta.flags |= BucketMeta::kEvictionPingOutstanding;
+    return true;
+}
+
+void RoutingTable::clear_eviction(int bucket) noexcept {
+    meta_of(bucket).flags &=
+        static_cast<std::uint8_t>(~BucketMeta::kEvictionPingOutstanding);
+}
+
+void RoutingTable::park_replacement(int bucket, const Contact& c) {
+    BucketMeta& meta = meta_of(bucket);
+    if ((meta.flags & BucketMeta::kHasReplacement) != 0) {
+        for (auto& [b, contact] : replacements_) {
+            if (b == static_cast<std::uint16_t>(bucket)) {
+                contact = c;
+                return;
+            }
+        }
+        KADSIM_ASSERT_MSG(false, "kHasReplacement set but no parked contact");
+    }
+    replacements_.emplace_back(static_cast<std::uint16_t>(bucket), c);
+    meta.flags |= BucketMeta::kHasReplacement;
+}
+
+void RoutingTable::promote_replacement(int bucket, BucketMeta& meta,
+                                       sim::SimTime now) {
+    const auto it = std::find_if(
+        replacements_.begin(), replacements_.end(),
+        [bucket](const auto& r) { return r.first == static_cast<std::uint16_t>(bucket); });
+    KADSIM_ASSERT(it != replacements_.end());
+    arena_->block(meta.block)[meta.count] = Entry{it->second, now, 0};
+    ++meta.count;
+    ++size_;
+    replacements_.erase(it);
+    meta.flags &= static_cast<std::uint8_t>(~BucketMeta::kHasReplacement);
+}
+
 bool RoutingTable::check_invariants() const {
+    const BucketMeta* metas = arena_->meta(meta_base_);
     std::size_t total = 0;
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        const auto& entries = buckets_[i].entries;
-        if (entries.size() > static_cast<std::size_t>(config_.k)) return false;
-        for (const auto& entry : entries) {
+    for (int b = 0; b < config_->b; ++b) {
+        const BucketMeta& meta = metas[b];
+        if (meta.count > static_cast<std::uint8_t>(config_->k)) return false;
+        if (meta.count > 0 && meta.block == BucketMeta::kNoBlock) return false;
+        const bool occ_bit = (occupancy_[static_cast<std::size_t>(b / 64)] >>
+                              (b % 64) & 1ULL) != 0;
+        if (occ_bit != (meta.count > 0)) return false;
+        const Entry* entries = meta.count > 0 ? arena_->block(meta.block) : nullptr;
+        for (std::uint8_t i = 0; i < meta.count; ++i) {
+            const Entry& entry = entries[i];
             if (entry.contact.id == self_) return false;
             const auto dist = self_.distance_to(entry.contact.id);
             if (dist.is_zero()) return false;
-            if (static_cast<std::size_t>(dist.bucket_index()) != i) return false;
-            if (entry.consecutive_failures >= config_.s) return false;
+            if (dist.bucket_index() != b) return false;
+            if (entry.consecutive_failures >= config_->s) return false;
         }
-        for (std::size_t j = 1; j < entries.size(); ++j) {
+        for (std::uint8_t j = 1; j < meta.count; ++j) {
             if (entries[j - 1].last_seen > entries[j].last_seen) return false;
         }
-        total += entries.size();
+        total += meta.count;
+    }
+    for (const auto& [bucket, contact] : replacements_) {
+        if ((metas[bucket].flags & BucketMeta::kHasReplacement) == 0) return false;
     }
     return total == size_;
 }

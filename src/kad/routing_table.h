@@ -5,12 +5,22 @@
 // least-recently-seen order (front = oldest), per the original protocol.
 // A contact is dropped after `s` consecutive failed communications
 // (the staleness limit, §4.1/§5.3).
+//
+// Storage lives in a BucketArena — one contiguous slab of k-sized blocks
+// shared by every table of a region (NodeArena mode) or owned privately
+// (standalone construction, used by tests and microbenches). The table
+// itself is a thin handle: self id + a contiguous BucketMeta range.
 #ifndef KADSIM_KAD_ROUTING_TABLE_H
 #define KADSIM_KAD_ROUTING_TABLE_H
 
+#include <array>
+#include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "kad/bucket_arena.h"
 #include "kad/config.h"
 #include "kad/contact.h"
 #include "sim/time.h"
@@ -27,13 +37,21 @@ enum class ObserveResult {
 
 class RoutingTable {
 public:
-    struct Entry {
-        Contact contact;
-        sim::SimTime last_seen = 0;
-        int consecutive_failures = 0;
-    };
+    using Entry = BucketEntry;
 
+    /// Standalone table with a private arena (tests/benches); validates the
+    /// config, exactly like the pre-arena constructor.
     RoutingTable(NodeId self, const KademliaConfig& config);
+
+    /// Table drawing storage from a shared arena (NodeArena mode). The arena
+    /// must outlive the table; the caller is responsible for having
+    /// validated `config` once.
+    RoutingTable(NodeId self, const KademliaConfig& config, BucketArena& arena);
+
+    RoutingTable(const RoutingTable&) = delete;
+    RoutingTable& operator=(const RoutingTable&) = delete;
+    RoutingTable(RoutingTable&&) noexcept = default;
+    RoutingTable& operator=(RoutingTable&&) noexcept = default;
 
     /// Records evidence that `c` is alive (any message received from it).
     /// On kBucketFull with BucketPolicy::kPingEvict the contact is parked in
@@ -48,7 +66,8 @@ public:
     /// Forcibly removes a contact (used by tests and by ping-evict logic).
     bool remove(const NodeId& id);
 
-    /// Drops every contact and replacement candidate (crash teardown).
+    /// Drops every contact, replacement candidate and protocol flag (crash
+    /// teardown); entry blocks return to the arena free list.
     void clear() noexcept;
 
     [[nodiscard]] bool contains(const NodeId& id) const;
@@ -59,7 +78,8 @@ public:
 
     /// Appends up to `count` contacts closest (XOR) to `target` into `out`,
     /// ordered by increasing distance. `exclude` (typically the requester) is
-    /// skipped. Exact: considers every stored contact.
+    /// skipped. Exact: considers every stored contact. Uses per-thread
+    /// scratch, so concurrent region shards never contend.
     void closest(const NodeId& target, std::size_t count, std::vector<Contact>& out,
                  const NodeId* exclude = nullptr) const;
 
@@ -67,11 +87,16 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return size_; }
     [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-    /// Invokes fn(const Entry&) for every stored contact (snapshot export).
+    /// Invokes fn(const Entry&) for every stored contact (snapshot export),
+    /// bucket-ascending, LRU order within a bucket.
     template <typename Fn>
     void for_each_entry(Fn&& fn) const {
-        for (const auto& bucket : buckets_) {
-            for (const auto& entry : bucket.entries) fn(entry);
+        const BucketMeta* metas = arena_->meta(meta_base_);
+        for (int b = 0; b < config_->b; ++b) {
+            const BucketMeta& meta = metas[b];
+            if (meta.count == 0) continue;
+            const Entry* entries = arena_->block(meta.block);
+            for (std::uint8_t i = 0; i < meta.count; ++i) fn(entries[i]);
         }
     }
 
@@ -85,35 +110,59 @@ public:
     /// Number of buckets holding at least one contact.
     [[nodiscard]] int nonempty_bucket_count() const noexcept;
 
-    /// Contacts in one bucket (tests/inspection).
-    [[nodiscard]] const std::vector<Entry>& bucket_entries(int index) const {
-        return buckets_[static_cast<std::size_t>(index)].entries;
+    /// Contacts in one bucket (tests/inspection). The view is invalidated by
+    /// any mutation of any table sharing the arena.
+    [[nodiscard]] std::span<const Entry> bucket_entries(int index) const {
+        const BucketMeta& meta = arena_->meta(meta_base_)[index];
+        if (meta.count == 0) return {};
+        return {arena_->block(meta.block), static_cast<std::size_t>(meta.count)};
     }
+
+    /// Marks `bucket` as having an eviction ping in flight; returns false if
+    /// one is already outstanding. (kPingEvict bookkeeping, stored in the
+    /// bucket metadata so a crashed node's clear() resets it for free.)
+    bool try_mark_eviction(int bucket) noexcept;
+    void clear_eviction(int bucket) noexcept;
 
     /// Checks internal invariants (bucket membership, capacity, LRU order by
     /// last_seen); used by tests and debug builds.
     [[nodiscard]] bool check_invariants() const;
 
 private:
-    struct Bucket {
-        std::vector<Entry> entries;              // front = least recently seen
-        std::optional<Contact> replacement;      // kPingEvict parking slot
-    };
-
-    Bucket& bucket_for(const NodeId& id) {
-        return buckets_[static_cast<std::size_t>(bucket_index_of(id))];
+    [[nodiscard]] BucketMeta& meta_of(int bucket) noexcept {
+        return arena_->meta(meta_base_)[bucket];
     }
-    [[nodiscard]] const Bucket& bucket_for(const NodeId& id) const {
-        return buckets_[static_cast<std::size_t>(bucket_index_of(id))];
+    [[nodiscard]] const BucketMeta& meta_of(int bucket) const noexcept {
+        return arena_->meta(meta_base_)[bucket];
+    }
+    /// Index of `id` within the bucket's entries, or -1.
+    [[nodiscard]] int find_in_bucket(const BucketMeta& meta, const NodeId& id) const;
+    void park_replacement(int bucket, const Contact& c);
+    void promote_replacement(int bucket, BucketMeta& meta, sim::SimTime now);
+
+    /// Keeps the nonempty-bucket bitmap in sync after a mutation.
+    void set_occupancy(int bucket, bool nonempty) noexcept {
+        const auto limb = static_cast<std::size_t>(bucket / 64);
+        const std::uint64_t mask = 1ULL << (bucket % 64);
+        if (nonempty) {
+            occupancy_[limb] |= mask;
+        } else {
+            occupancy_[limb] &= ~mask;
+        }
     }
 
     NodeId self_;
-    const KademliaConfig& config_;
-    std::vector<Bucket> buckets_;
+    const KademliaConfig* config_;
+    std::unique_ptr<BucketArena> owned_;  // standalone mode only
+    BucketArena* arena_;
+    std::uint32_t meta_base_ = 0;
     std::size_t size_ = 0;
-    // Scratch for closest(): avoids per-query allocation on the hot path.
-    mutable std::vector<std::pair<NodeId, Contact>> scratch_;
-    mutable std::vector<std::pair<NodeId, int>> bucket_order_;
+    /// Bit i set iff bucket i holds at least one contact — closest() walks
+    /// set bits instead of scanning all b metadata records.
+    std::array<std::uint64_t, 3> occupancy_{};
+    /// kPingEvict parking slots: (bucket, candidate), at most one per bucket
+    /// (kHasReplacement flag). Tiny — only full buckets ever park.
+    std::vector<std::pair<std::uint16_t, Contact>> replacements_;
 };
 
 }  // namespace kadsim::kad

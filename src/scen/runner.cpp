@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "exec/thread_pool.h"
+#include "fault/fault_model.h"
+#include "kad/node_arena.h"
+#include "sim/periodic.h"
 #include "util/logging.h"
 
 namespace kadsim::scen {
@@ -13,115 +18,298 @@ constexpr std::uint32_t kNoLivePos = 0xFFFFFFFFu;
 /// Bounded data-object registry: lookups draw targets from the most recent
 /// disseminations (older objects have expired from node storage anyway).
 constexpr std::size_t kDataRegistryCap = 4096;
+
+/// Seed for region r. Region 0 keeps the scenario seed unchanged — that is
+/// what makes regions = 1 replay the unsharded engine bit-for-bit; the
+/// golden-ratio mix gives the other regions decorrelated streams.
+std::uint64_t region_seed(std::uint64_t seed, int region) {
+    if (region == 0) return seed;
+    return seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(region));
+}
 }  // namespace
+
+/// One shard of the id space: a complete, self-contained overlay simulation
+/// (own clock, network, arena, RNG streams, fault model). For regions = 1
+/// this is exactly the pre-sharding Runner. Regions never touch each other's
+/// state; the owning Runner merges their outputs in region order.
+class Runner::Region {
+public:
+    Region(const ScenarioConfig& config, int index, int count)
+        : config_(config),
+          index_(index),
+          count_(count),
+          sim_(region_seed(config.seed, index)),
+          net_(sim_, config.latency, net::LossModel::from_level(config.loss)),
+          rng_(sim_.split_rng()),
+          fault_(fault::make_fault_model(config.fault)),
+          arena_(config.kad, sim_, net_) {
+        schedule_initial_joins();
+        start_periodic_tasks();
+    }
+
+    void step_to(sim::SimTime t) { sim_.run_until(t); }
+
+    [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+    [[nodiscard]] net::Network& net() noexcept { return net_; }
+    [[nodiscard]] const kad::NodeArena& arena() const noexcept { return arena_; }
+    [[nodiscard]] kad::NodeArena& arena() noexcept { return arena_; }
+    [[nodiscard]] const std::vector<net::Address>& live() const noexcept {
+        return live_;
+    }
+    [[nodiscard]] const std::vector<kad::NodeId>& data_registry() const noexcept {
+        return data_registry_;
+    }
+    [[nodiscard]] const stats::TimeSeries& size_series() const noexcept {
+        return size_series_;
+    }
+    [[nodiscard]] std::uint64_t joins() const noexcept { return joins_; }
+    [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+
+    [[nodiscard]] net::Address local_of(net::Address global) const noexcept {
+        return global / static_cast<net::Address>(count_);
+    }
+    [[nodiscard]] net::Address global_of(net::Address local) const noexcept {
+        return local * static_cast<net::Address>(count_) +
+               static_cast<net::Address>(index_);
+    }
+
+    /// Appends this region's live-node routing views (global addresses).
+    void append_snapshot(graph::RoutingSnapshot& snap) const {
+        for (const net::Address global : live_) {
+            graph::SnapshotNode record;
+            record.address = global;
+            const auto& table = arena_.table_of(local_of(global));
+            record.contacts.reserve(table.size());
+            table.for_each_entry([&](const kad::RoutingTable::Entry& entry) {
+                record.contacts.push_back(global_of(entry.contact.address));
+            });
+            snap.nodes.push_back(std::move(record));
+        }
+    }
+
+    /// Region-local snapshot (the fault view's routing window).
+    [[nodiscard]] graph::RoutingSnapshot snapshot() const {
+        graph::RoutingSnapshot snap;
+        snap.time_ms = sim_.now();
+        snap.removed_total = crashes_;
+        snap.nodes.reserve(live_.size());
+        append_snapshot(snap);
+        return snap;
+    }
+
+    void accumulate(RunnerTotals& t) const {
+        for (net::Address local = 0; local < arena_.size(); ++local) {
+            const auto& c = arena_.counters_of(local);
+            t.protocol.lookups_started += c.lookups_started;
+            t.protocol.lookups_completed += c.lookups_completed;
+            t.protocol.values_found += c.values_found;
+            t.protocol.stores_sent += c.stores_sent;
+            t.protocol.rpcs_sent += c.rpcs_sent;
+            t.protocol.rpcs_failed += c.rpcs_failed;
+            t.protocol.requests_served += c.requests_served;
+        }
+        const net::NetworkCounters nc = net_.counters();
+        t.network.sent += nc.sent;
+        t.network.delivered += nc.delivered;
+        t.network.dropped_loss += nc.dropped_loss;
+        t.network.dropped_dead += nc.dropped_dead;
+        t.joins += joins_;
+        t.crashes += crashes_;
+        t.events_executed += sim_.events_executed();
+    }
+
+private:
+    class FaultViewImpl;
+
+    /// This region's share of the initial population (remainder spread over
+    /// the low regions).
+    [[nodiscard]] int initial_share() const noexcept {
+        return config_.initial_size / count_ +
+               (index_ < config_.initial_size % count_ ? 1 : 0);
+    }
+
+    void schedule_initial_joins() {
+        // "A new node joins the network at a random point in the simulated
+        // time that is evenly distributed between 0 and 30 minutes" (§5.3).
+        const auto window = static_cast<std::uint64_t>(config_.phases.setup_end);
+        const int share = initial_share();
+        for (int i = 0; i < share; ++i) {
+            const auto at = static_cast<sim::SimTime>(rng_.next_below(window));
+            sim_.schedule_at(at, [this] { add_node(); });
+        }
+    }
+
+    void start_periodic_tasks() {
+        // One master minute tick handles faults, traffic and the size series;
+        // the per-action instants are drawn uniformly inside each minute
+        // (§5.3).
+        minute_task_ = sim::PeriodicTask::start(
+            sim_, 0, sim::kMinute, [this](sim::SimTime now) {
+                size_series_.add(sim::to_minutes(now),
+                                 static_cast<double>(live_.size()));
+                if (config_.traffic.enabled) traffic_tick();
+                if (config_.fault.any() && now >= config_.phases.stabilization_end &&
+                    now < config_.phases.end) {
+                    fault_tick();
+                }
+            });
+    }
+
+    void traffic_tick() {
+        // Snapshot the live list: nodes joining during this minute start
+        // traffic with the next tick.
+        for (const net::Address global : live_) {
+            const net::Address local = local_of(global);
+            for (int i = 0; i < config_.traffic.lookups_per_minute; ++i) {
+                const auto delay = static_cast<sim::SimTime>(
+                    rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
+                sim_.schedule_in(delay, [this, local] { issue_lookup(local); });
+            }
+            for (int i = 0; i < config_.traffic.disseminations_per_minute; ++i) {
+                const auto delay = static_cast<sim::SimTime>(
+                    rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
+                sim_.schedule_in(delay, [this, local] { issue_dissemination(local); });
+            }
+        }
+    }
+
+    void fault_tick();  // defined after FaultViewImpl
+
+    void add_node() {
+        const net::Address local = net_.register_endpoint();
+        kad::KademliaNode* fresh = arena_.add_node(node_id_for(local), local);
+
+        // "The bootstrap node is randomly chosen from the already joined
+        // nodes" (§5.3) — completely random, and any node can be affected by
+        // churn.
+        std::optional<kad::Contact> bootstrap;
+        if (!live_.empty()) {
+            const net::Address pick =
+                live_[rng_.next_below(static_cast<std::uint64_t>(live_.size()))];
+            bootstrap = arena_.node_at(local_of(pick))->contact();
+        }
+
+        live_pos_.resize(arena_.size(), kNoLivePos);
+        live_pos_[local] = static_cast<std::uint32_t>(live_.size());
+        live_.push_back(global_of(local));
+        ++joins_;
+
+        fresh->join(bootstrap);
+    }
+
+    void execute_removals();  // defined after FaultViewImpl
+
+    void remove_node(net::Address global) {
+        const net::Address local = local_of(global);
+        KADSIM_ASSERT(local < live_pos_.size() && live_pos_[local] != kNoLivePos);
+        const std::uint32_t index = live_pos_[local];
+
+        // Swap-remove from the live list, keeping positions consistent.
+        live_[index] = live_.back();
+        live_pos_[local_of(live_[index])] = index;
+        live_.pop_back();
+        live_pos_[local] = kNoLivePos;
+        ++crashes_;
+
+        arena_.node_at(local)->crash();
+    }
+
+    void issue_lookup(net::Address local) {
+        kad::KademliaNode* n = arena_.node_at(local);
+        if (n == nullptr || !n->alive()) return;
+        kad::NodeId target;
+        if (!data_registry_.empty()) {
+            target = data_registry_[rng_.next_below(
+                static_cast<std::uint64_t>(data_registry_.size()))];
+        } else {
+            target = kad::NodeId::random(rng_, config_.kad.b);
+        }
+        n->lookup_value(target, {});
+    }
+
+    void issue_dissemination(net::Address local) {
+        kad::KademliaNode* n = arena_.node_at(local);
+        if (n == nullptr || !n->alive()) return;
+        const kad::NodeId key = next_data_id();
+        n->disseminate(key, ++data_counter_, {});
+    }
+
+    [[nodiscard]] kad::NodeId next_data_id() {
+        // Region-seed-keyed names keep data ids distinct across regions while
+        // region 0 reproduces the unsharded name sequence exactly.
+        const std::string name = "kadsim-data-" +
+                                 std::to_string(region_seed(config_.seed, index_)) +
+                                 "-" + std::to_string(data_counter_);
+        const kad::NodeId id = kad::NodeId::hash_of(name, config_.kad.b);
+        if (data_registry_.size() < kDataRegistryCap) {
+            data_registry_.push_back(id);
+        } else {
+            data_registry_[data_counter_ % kDataRegistryCap] = id;
+        }
+        return id;
+    }
+
+    [[nodiscard]] kad::NodeId node_id_for(net::Address local) const {
+        // "Identifiers are generated from a node's network address ... using
+        // a cryptographically secure hash function" (§4.1). Keyed by the
+        // *global* address, so ids are unique across regions and regions = 1
+        // matches the unsharded sequence.
+        const std::string key = "kadsim-node-" + std::to_string(config_.seed) + "-" +
+                                std::to_string(global_of(local));
+        return kad::NodeId::hash_of(key, config_.kad.b);
+    }
+
+    const ScenarioConfig& config_;
+    int index_;
+    int count_;
+    sim::Simulator sim_;
+    net::Network net_;
+    util::Rng rng_;
+    std::unique_ptr<fault::FaultModel> fault_;
+    kad::NodeArena arena_;
+    std::vector<net::Address> live_;       // global addresses, join order
+    std::vector<std::uint32_t> live_pos_;  // local address → index into live_
+    std::vector<kad::NodeId> data_registry_;
+    std::uint64_t data_counter_ = 0;
+    std::uint64_t joins_ = 0;
+    std::uint64_t crashes_ = 0;
+    stats::TimeSeries size_series_;
+    std::unique_ptr<sim::PeriodicTask> minute_task_;
+};
 
 /// The read-only overlay window handed to the fault model. One instance per
 /// fault event; the routing snapshot is built on first use and cached for
-/// the lifetime of the view, so models that ignore routing state pay nothing.
-class Runner::FaultViewImpl final : public fault::FaultView {
+/// the lifetime of the view, so models that ignore routing state pay
+/// nothing. Addresses are global; the window covers this region only (under
+/// sharding each region runs its own fault process).
+class Runner::Region::FaultViewImpl final : public fault::FaultView {
 public:
-    explicit FaultViewImpl(const Runner& runner) : runner_(runner) {}
+    explicit FaultViewImpl(const Region& region) : region_(region) {}
 
-    [[nodiscard]] sim::SimTime now() const override { return runner_.sim_.now(); }
+    [[nodiscard]] sim::SimTime now() const override { return region_.sim_.now(); }
     [[nodiscard]] const std::vector<net::Address>& live() const override {
-        return runner_.live_;
+        return region_.live_;
     }
     [[nodiscard]] bool is_live(net::Address address) const override {
-        return address < runner_.live_pos_.size() &&
-               runner_.live_pos_[address] != kNoLivePos;
+        const net::Address local = region_.local_of(address);
+        return local < region_.live_pos_.size() &&
+               region_.live_pos_[local] != kNoLivePos;
     }
     [[nodiscard]] kad::NodeId node_id(net::Address address) const override {
-        return runner_.node(address)->id();
+        return region_.arena_.id_of(region_.local_of(address));
     }
-    [[nodiscard]] int id_bits() const override { return runner_.config_.kad.b; }
+    [[nodiscard]] int id_bits() const override { return region_.config_.kad.b; }
     [[nodiscard]] const graph::RoutingSnapshot& routing() const override {
-        if (!snapshot_) snapshot_ = runner_.snapshot();
+        if (!snapshot_) snapshot_ = region_.snapshot();
         return *snapshot_;
     }
 
 private:
-    const Runner& runner_;
+    const Region& region_;
     mutable std::optional<graph::RoutingSnapshot> snapshot_;
 };
 
-Runner::Runner(ScenarioConfig config)
-    : config_(std::move(config)),
-      sim_(config_.seed),
-      net_(sim_, config_.latency, net::LossModel::from_level(config_.loss)),
-      rng_(sim_.split_rng()),
-      fault_(fault::make_fault_model(config_.fault)) {
-    config_.validate();
-    schedule_initial_joins();
-    start_periodic_tasks();
-}
-
-Runner::~Runner() = default;
-
-kad::KademliaNode* Runner::node_at(net::Address address) noexcept {
-    if (address >= nodes_.size()) return nullptr;
-    return nodes_[address].get();
-}
-
-const kad::KademliaNode* Runner::node(net::Address address) const {
-    KADSIM_ASSERT(address < nodes_.size());
-    return nodes_[address].get();
-}
-
-kad::KademliaNode* Runner::node(net::Address address) {
-    KADSIM_ASSERT(address < nodes_.size());
-    return nodes_[address].get();
-}
-
-kad::NodeId Runner::node_id_for(net::Address address) const {
-    // "Identifiers are generated from a node's network address ... using a
-    // cryptographically secure hash function" (§4.1).
-    const std::string key =
-        "kadsim-node-" + std::to_string(config_.seed) + "-" + std::to_string(address);
-    return kad::NodeId::hash_of(key, config_.kad.b);
-}
-
-void Runner::schedule_initial_joins() {
-    // "A new node joins the network at a random point in the simulated time
-    // that is evenly distributed between 0 and 30 minutes" (§5.3).
-    const auto window = static_cast<std::uint64_t>(config_.phases.setup_end);
-    for (int i = 0; i < config_.initial_size; ++i) {
-        const auto at = static_cast<sim::SimTime>(rng_.next_below(window));
-        sim_.schedule_at(at, [this] { add_node(); });
-    }
-}
-
-void Runner::start_periodic_tasks() {
-    // One master minute tick handles faults, traffic and the size series; the
-    // per-action instants are drawn uniformly inside each minute (§5.3).
-    minute_task_ = sim::PeriodicTask::start(
-        sim_, 0, sim::kMinute, [this](sim::SimTime now) {
-            size_series_.add(sim::to_minutes(now), live_count());
-            if (config_.traffic.enabled) traffic_tick();
-            if (config_.fault.any() && now >= config_.phases.stabilization_end &&
-                now < config_.phases.end) {
-                fault_tick();
-            }
-        });
-}
-
-void Runner::traffic_tick() {
-    // Snapshot the live list: nodes joining during this minute start traffic
-    // with the next tick.
-    for (const net::Address address : live_) {
-        for (int i = 0; i < config_.traffic.lookups_per_minute; ++i) {
-            const auto delay = static_cast<sim::SimTime>(
-                rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
-            sim_.schedule_in(delay, [this, address] { issue_lookup(address); });
-        }
-        for (int i = 0; i < config_.traffic.disseminations_per_minute; ++i) {
-            const auto delay = static_cast<sim::SimTime>(
-                rng_.next_below(static_cast<std::uint64_t>(sim::kMinute)));
-            sim_.schedule_in(delay, [this, address] { issue_dissemination(address); });
-        }
-    }
-}
-
-void Runner::fault_tick() {
+void Runner::Region::fault_tick() {
     // Draw order is part of the determinism contract (removal instants, then
     // arrival instants) — it reproduces the pre-fault-layer inlined churn.
     const FaultViewImpl view(*this);
@@ -133,84 +321,45 @@ void Runner::fault_tick() {
     }
 }
 
-void Runner::add_node() {
-    const net::Address address = net_.register_endpoint();
-    KADSIM_ASSERT(address == nodes_.size());
-    nodes_.push_back(std::make_unique<kad::KademliaNode>(
-        node_id_for(address), address, config_.kad, sim_, net_, *this));
-    kad::KademliaNode* fresh = nodes_.back().get();
-
-    // "The bootstrap node is randomly chosen from the already joined nodes"
-    // (§5.3) — completely random, and any node can be affected by churn.
-    std::optional<kad::Contact> bootstrap;
-    if (!live_.empty()) {
-        const net::Address pick =
-            live_[rng_.next_below(static_cast<std::uint64_t>(live_.size()))];
-        bootstrap = nodes_[pick]->contact();
-    }
-
-    live_pos_.resize(nodes_.size(), kNoLivePos);
-    live_pos_[address] = static_cast<std::uint32_t>(live_.size());
-    live_.push_back(address);
-    ++joins_;
-
-    fresh->join(bootstrap);
-}
-
-void Runner::execute_removals() {
+void Runner::Region::execute_removals() {
     const FaultViewImpl view(*this);
     for (const net::Address victim : fault_->select_removals(view, rng_)) {
         remove_node(victim);
     }
 }
 
-void Runner::remove_node(net::Address address) {
-    KADSIM_ASSERT(address < live_pos_.size() && live_pos_[address] != kNoLivePos);
-    const std::uint32_t index = live_pos_[address];
-
-    // Swap-remove from the live list, keeping positions consistent.
-    live_[index] = live_.back();
-    live_pos_[live_[index]] = index;
-    live_.pop_back();
-    live_pos_[address] = kNoLivePos;
-    ++crashes_;
-
-    nodes_[address]->crash();
-}
-
-void Runner::issue_lookup(net::Address address) {
-    kad::KademliaNode* n = nodes_[address].get();
-    if (n == nullptr || !n->alive()) return;
-    kad::NodeId target;
-    if (!data_registry_.empty()) {
-        target = data_registry_[rng_.next_below(
-            static_cast<std::uint64_t>(data_registry_.size()))];
-    } else {
-        target = kad::NodeId::random(rng_, config_.kad.b);
+Runner::Runner(ScenarioConfig config) : config_(std::move(config)) {
+    config_.validate();
+    const int count = config_.regions;
+    regions_.reserve(static_cast<std::size_t>(count));
+    for (int r = 0; r < count; ++r) {
+        regions_.push_back(std::make_unique<Region>(config_, r, count));
     }
-    n->lookup_value(target, {});
-}
-
-void Runner::issue_dissemination(net::Address address) {
-    kad::KademliaNode* n = nodes_[address].get();
-    if (n == nullptr || !n->alive()) return;
-    const kad::NodeId key = next_data_id();
-    n->disseminate(key, ++data_counter_, {});
-}
-
-kad::NodeId Runner::next_data_id() {
-    const std::string name = "kadsim-data-" + std::to_string(config_.seed) + "-" +
-                             std::to_string(data_counter_);
-    const kad::NodeId id = kad::NodeId::hash_of(name, config_.kad.b);
-    if (data_registry_.size() < kDataRegistryCap) {
-        data_registry_.push_back(id);
-    } else {
-        data_registry_[data_counter_ % kDataRegistryCap] = id;
+    if (count > 1) {
+        int threads = config_.shard_threads;
+        if (threads == 0) {
+            threads = std::min(count,
+                               static_cast<int>(std::thread::hardware_concurrency()));
+        }
+        // parallel_for runs on the workers plus the calling thread.
+        if (threads > 1) pool_ = std::make_unique<exec::ThreadPool>(threads - 1);
     }
-    return id;
 }
 
-void Runner::step_to(sim::SimTime t) { sim_.run_until(t); }
+Runner::~Runner() = default;
+
+void Runner::step_to(sim::SimTime t) {
+    if (regions_.size() == 1) {
+        regions_[0]->step_to(t);
+        return;
+    }
+    const int count = static_cast<int>(regions_.size());
+    if (pool_ == nullptr) {
+        for (int r = 0; r < count; ++r) regions_[r]->step_to(t);
+        return;
+    }
+    pool_->parallel_for(0, count, [this, t](int r) { regions_[r]->step_to(t); });
+}
 
 void Runner::run(sim::SimTime snapshot_interval,
                  const std::function<void(const graph::RoutingSnapshot&)>& on_snapshot) {
@@ -220,44 +369,106 @@ void Runner::run(sim::SimTime snapshot_interval,
         step_to(t);
         if (on_snapshot) on_snapshot(snapshot());
     }
-    if (sim_.now() < config_.phases.end) step_to(config_.phases.end);
+    if (regions_[0]->sim().now() < config_.phases.end) step_to(config_.phases.end);
 }
 
 graph::RoutingSnapshot Runner::snapshot() const {
     graph::RoutingSnapshot snap;
-    snap.time_ms = sim_.now();
-    snap.removed_total = crashes_;
-    snap.nodes.reserve(live_.size());
-    for (const net::Address address : live_) {
-        graph::SnapshotNode record;
-        record.address = address;
-        const auto& table = nodes_[address]->routing_table();
-        record.contacts.reserve(table.size());
-        table.for_each_entry([&record](const kad::RoutingTable::Entry& entry) {
-            record.contacts.push_back(entry.contact.address);
-        });
-        snap.nodes.push_back(std::move(record));
+    snap.time_ms = regions_[0]->sim().now();
+    std::size_t live = 0;
+    for (const auto& region : regions_) {
+        snap.removed_total += region->crashes();
+        live += region->live().size();
     }
+    snap.nodes.reserve(live);
+    for (const auto& region : regions_) region->append_snapshot(snap);
     return snap;
+}
+
+int Runner::live_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& region : regions_) n += region->live().size();
+    return static_cast<int>(n);
+}
+
+const std::vector<net::Address>& Runner::live_addresses() const {
+    if (regions_.size() == 1) return regions_[0]->live();
+    live_cache_.clear();
+    for (const auto& region : regions_) {
+        live_cache_.insert(live_cache_.end(), region->live().begin(),
+                           region->live().end());
+    }
+    return live_cache_;
+}
+
+sim::Simulator& Runner::simulator() noexcept { return regions_[0]->sim(); }
+
+net::Network& Runner::network() noexcept { return regions_[0]->net(); }
+
+const stats::TimeSeries& Runner::size_series() const {
+    if (regions_.size() == 1) return regions_[0]->size_series();
+    // Every region ticks its minute task on the same schedule, so the series
+    // align point-for-point; the merged series is their sum.
+    series_cache_ = stats::TimeSeries{};
+    const stats::TimeSeries& base = regions_[0]->size_series();
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        double total = 0;
+        for (const auto& region : regions_) {
+            total += region->size_series().value_at(i);
+        }
+        series_cache_.add(base.time_at(i), total);
+    }
+    return series_cache_;
 }
 
 RunnerTotals Runner::totals() const {
     RunnerTotals t;
-    for (const auto& n : nodes_) {
-        const auto& c = n->counters();
-        t.protocol.lookups_started += c.lookups_started;
-        t.protocol.lookups_completed += c.lookups_completed;
-        t.protocol.values_found += c.values_found;
-        t.protocol.stores_sent += c.stores_sent;
-        t.protocol.rpcs_sent += c.rpcs_sent;
-        t.protocol.rpcs_failed += c.rpcs_failed;
-        t.protocol.requests_served += c.requests_served;
-    }
-    t.network = net_.counters();
-    t.joins = joins_;
-    t.crashes = crashes_;
-    t.events_executed = sim_.events_executed();
+    for (const auto& region : regions_) region->accumulate(t);
     return t;
+}
+
+kad::KademliaNode* Runner::node_at(net::Address address) noexcept {
+    const auto count = static_cast<net::Address>(regions_.size());
+    return regions_[address % count]->arena().node_at(address / count);
+}
+
+const kad::KademliaNode* Runner::node(net::Address address) const {
+    const auto count = static_cast<net::Address>(regions_.size());
+    const kad::KademliaNode* n =
+        regions_[address % count]->arena().node_at(address / count);
+    KADSIM_ASSERT(n != nullptr);
+    return n;
+}
+
+kad::KademliaNode* Runner::node(net::Address address) {
+    const auto count = static_cast<net::Address>(regions_.size());
+    kad::KademliaNode* n = regions_[address % count]->arena().node_at(address / count);
+    KADSIM_ASSERT(n != nullptr);
+    return n;
+}
+
+const std::vector<kad::NodeId>& Runner::data_registry() const {
+    if (regions_.size() == 1) return regions_[0]->data_registry();
+    registry_cache_.clear();
+    for (const auto& region : regions_) {
+        registry_cache_.insert(registry_cache_.end(), region->data_registry().begin(),
+                               region->data_registry().end());
+    }
+    return registry_cache_;
+}
+
+std::uint64_t Runner::arena_memory_bytes() const noexcept {
+    std::uint64_t bytes = 0;
+    for (const auto& region : regions_) bytes += region->arena().memory_bytes();
+    return bytes;
+}
+
+std::uint64_t Runner::queue_memory_bytes() const noexcept {
+    std::uint64_t bytes = 0;
+    for (const auto& region : regions_) {
+        bytes += region->sim().queue_memory_bytes();
+    }
+    return bytes;
 }
 
 }  // namespace kadsim::scen

@@ -5,6 +5,17 @@
 // every fault-phase minute boundary the runner asks the model for this
 // minute's removal/arrival instants, and at each fired removal instant for
 // the victims — the runner itself never decides who leaves.
+//
+// Region sharding (million-node runs): with config.regions = R the id space
+// is partitioned into R independent overlays ("regions"), each with its own
+// simulator, network, RNG streams, fault model and node arena. A node's
+// global address is local_address * R + region; everything a caller sees —
+// snapshots, live lists, fault views — speaks global addresses, while the
+// protocol hot path stays region-local. Regions share no mutable state, so
+// step_to() can advance them concurrently on an exec::ThreadPool; results
+// are merged in fixed region order and are byte-identical for any thread
+// count. R = 1 reproduces the unsharded runner bit-for-bit (pinned by
+// tests/test_fault_equivalence.cpp).
 #ifndef KADSIM_SCEN_RUNNER_H
 #define KADSIM_SCEN_RUNNER_H
 
@@ -13,15 +24,16 @@
 #include <memory>
 #include <vector>
 
-#include "fault/fault_model.h"
 #include "graph/snapshot.h"
-#include "kad/directory.h"
 #include "kad/node.h"
 #include "net/network.h"
 #include "scen/scenario.h"
-#include "sim/periodic.h"
 #include "sim/simulator.h"
 #include "stats/timeseries.h"
+
+namespace kadsim::exec {
+class ThreadPool;
+}
 
 namespace kadsim::scen {
 
@@ -34,15 +46,16 @@ struct RunnerTotals {
     std::uint64_t events_executed = 0;
 };
 
-class Runner final : public kad::NodeDirectory {
+class Runner final {
 public:
     explicit Runner(ScenarioConfig config);
-    ~Runner() override;
+    ~Runner();
 
     Runner(const Runner&) = delete;
     Runner& operator=(const Runner&) = delete;
 
-    /// Advances simulated time to `t` (processing all events up to it).
+    /// Advances simulated time to `t` in every region (concurrently when
+    /// sharded; see file doc for the determinism contract).
     void step_to(sim::SimTime t);
 
     /// Convenience driver: runs to config.phases.end, invoking `on_snapshot`
@@ -50,69 +63,57 @@ public:
     void run(sim::SimTime snapshot_interval,
              const std::function<void(const graph::RoutingSnapshot&)>& on_snapshot);
 
-    /// Routing tables of all live nodes, as a connectivity-graph source.
+    /// Routing tables of all live nodes (global addresses), regions merged
+    /// in region order — a connectivity-graph source.
     [[nodiscard]] graph::RoutingSnapshot snapshot() const;
 
-    [[nodiscard]] int live_count() const noexcept {
-        return static_cast<int>(live_.size());
-    }
-    [[nodiscard]] const std::vector<net::Address>& live_addresses() const noexcept {
-        return live_;
-    }
+    [[nodiscard]] int live_count() const noexcept;
 
-    [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+    /// Live global addresses, regions concatenated in region order.
+    [[nodiscard]] const std::vector<net::Address>& live_addresses() const;
+
+    /// Region 0's simulator/network — the whole engine for unsharded runs
+    /// (tests drive the virtual clock through these).
+    [[nodiscard]] sim::Simulator& simulator() noexcept;
+    [[nodiscard]] net::Network& network() noexcept;
+
     [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
-    [[nodiscard]] net::Network& network() noexcept { return net_; }
 
-    /// Per-minute network-size series (paper figures' right-hand axis).
-    [[nodiscard]] const stats::TimeSeries& size_series() const noexcept {
-        return size_series_;
-    }
+    /// Per-minute network-size series (paper figures' right-hand axis);
+    /// sharded runs sum the per-region sizes minute by minute.
+    [[nodiscard]] const stats::TimeSeries& size_series() const;
 
     [[nodiscard]] RunnerTotals totals() const;
 
-    /// kad::NodeDirectory: address → protocol instance (shells persist after
-    /// crash so in-flight closures stay valid).
-    [[nodiscard]] kad::KademliaNode* node_at(net::Address address) noexcept override;
+    /// Global address → protocol instance (shells persist after crash so
+    /// in-flight closures stay valid); nullptr when never assigned.
+    [[nodiscard]] kad::KademliaNode* node_at(net::Address address) noexcept;
 
-    /// Direct node access for tests/examples.
+    /// Direct node access for tests/examples (global address).
     [[nodiscard]] const kad::KademliaNode* node(net::Address address) const;
     [[nodiscard]] kad::KademliaNode* node(net::Address address);
 
-    /// Ids of all data objects disseminated so far (bounded registry).
-    [[nodiscard]] const std::vector<kad::NodeId>& data_registry() const noexcept {
-        return data_registry_;
-    }
+    /// Ids of all data objects disseminated so far (bounded registry),
+    /// regions concatenated in region order.
+    [[nodiscard]] const std::vector<kad::NodeId>& data_registry() const;
+
+    /// Resident footprint of all node arenas (bench counter). O(n).
+    [[nodiscard]] std::uint64_t arena_memory_bytes() const noexcept;
+
+    /// Resident footprint of all event queues (bench counter).
+    [[nodiscard]] std::uint64_t queue_memory_bytes() const noexcept;
 
 private:
-    class FaultViewImpl;
-
-    void schedule_initial_joins();
-    void start_periodic_tasks();
-    void traffic_tick();
-    void fault_tick();
-    void add_node();
-    void execute_removals();
-    void remove_node(net::Address address);
-    void issue_lookup(net::Address address);
-    void issue_dissemination(net::Address address);
-    [[nodiscard]] kad::NodeId next_data_id();
-    [[nodiscard]] kad::NodeId node_id_for(net::Address address) const;
+    class Region;
 
     ScenarioConfig config_;
-    sim::Simulator sim_;
-    net::Network net_;
-    util::Rng rng_;
-    std::unique_ptr<fault::FaultModel> fault_;
-    std::vector<std::unique_ptr<kad::KademliaNode>> nodes_;  // by address
-    std::vector<net::Address> live_;
-    std::vector<std::uint32_t> live_pos_;  // address → index into live_
-    std::vector<kad::NodeId> data_registry_;
-    std::uint64_t data_counter_ = 0;
-    std::uint64_t joins_ = 0;
-    std::uint64_t crashes_ = 0;
-    stats::TimeSeries size_series_;
-    std::unique_ptr<sim::PeriodicTask> minute_task_;
+    std::vector<std::unique_ptr<Region>> regions_;
+    std::unique_ptr<exec::ThreadPool> pool_;
+    // Merged views, rebuilt on demand for sharded runs (R = 1 returns region
+    // 0's storage directly, no copy).
+    mutable std::vector<net::Address> live_cache_;
+    mutable std::vector<kad::NodeId> registry_cache_;
+    mutable stats::TimeSeries series_cache_;
 };
 
 }  // namespace kadsim::scen

@@ -60,6 +60,19 @@ struct ScenarioConfig {
     PhasePlan phases;
     std::uint64_t seed = 1;
 
+    /// Region sharding (million-node runs): the id space is split into
+    /// `regions` independent overlays, each with its own simulator, network
+    /// and node arena, stepped concurrently and merged in fixed region order.
+    ///
+    /// `regions` is a *logical* parameter — changing it changes the simulated
+    /// system (per-region seeds, per-region churn/traffic rates: ChurnSpec
+    /// and TrafficSpec intensities apply to each region independently when
+    /// regions > 1). `shard_threads` is an *execution-only* knob: results are
+    /// byte-identical for any thread count, because regions share no mutable
+    /// state and are merged in region order (0 or 1 = step serially).
+    int regions = 1;
+    int shard_threads = 0;
+
     void validate() const {
         kad.validate();
         fault.validate();
@@ -79,6 +92,11 @@ struct ScenarioConfig {
         if (traffic.lookups_per_minute < 0 || traffic.disseminations_per_minute < 0) {
             throw std::invalid_argument("traffic rates must be >= 0");
         }
+        if (regions < 1) throw std::invalid_argument("regions must be >= 1");
+        if (regions > initial_size) {
+            throw std::invalid_argument("regions must not exceed initial_size");
+        }
+        if (shard_threads < 0) throw std::invalid_argument("shard_threads must be >= 0");
     }
 };
 

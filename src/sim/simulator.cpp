@@ -5,7 +5,7 @@ namespace kadsim::sim {
 std::uint64_t Simulator::run_until(SimTime end) {
     std::uint64_t executed = 0;
     while (!queue_.empty() && queue_.next_time() <= end) {
-        EventQueue::Entry entry = queue_.pop();
+        CalendarQueue::Entry entry = queue_.pop();
         KADSIM_ASSERT_MSG(entry.time >= now_, "time went backwards");
         now_ = entry.time;
         entry.fn();
@@ -21,7 +21,7 @@ std::uint64_t Simulator::run_until(SimTime end) {
 std::uint64_t Simulator::run_all() {
     std::uint64_t executed = 0;
     while (!queue_.empty()) {
-        EventQueue::Entry entry = queue_.pop();
+        CalendarQueue::Entry entry = queue_.pop();
         KADSIM_ASSERT_MSG(entry.time >= now_, "time went backwards");
         now_ = entry.time;
         entry.fn();

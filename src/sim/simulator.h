@@ -2,13 +2,16 @@
 //
 // Single-threaded by design: protocols run as callbacks on a virtual clock;
 // determinism comes from the stable event queue plus per-component RNG
-// streams handed out by split_rng().
+// streams handed out by split_rng(). The pending set is the calendar queue
+// (O(1) amortized near-future band); its pop order is bit-identical to the
+// reference binary heap in event_queue.h, so switching cost the replay
+// goldens nothing.
 #ifndef KADSIM_SIM_SIMULATOR_H
 #define KADSIM_SIM_SIMULATOR_H
 
 #include <cstdint>
 
-#include "sim/event_queue.h"
+#include "sim/calendar_queue.h"
 #include "sim/time.h"
 #include "util/assert.h"
 #include "util/rng.h"
@@ -54,8 +57,13 @@ public:
     }
     [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
 
+    /// Capacity-based footprint of the pending-event set (bench counters).
+    [[nodiscard]] std::size_t queue_memory_bytes() const noexcept {
+        return queue_.memory_bytes();
+    }
+
 private:
-    EventQueue queue_;
+    CalendarQueue queue_;
     util::Rng master_rng_;
     SimTime now_ = 0;
     std::uint64_t next_stream_ = 0;

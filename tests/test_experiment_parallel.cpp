@@ -63,6 +63,21 @@ TEST(ExperimentParallel, PipelinedSeriesBitIdenticalAcrossThreadCounts) {
     expect_identical(sequential, pipelined);
 }
 
+TEST(ExperimentParallel, ShardedScenarioSeriesBitIdenticalAcrossShardThreads) {
+    // Region-sharded simulation feeding the full experiment pipeline: the
+    // shard thread count must not leak into any analyzed sample.
+    const auto run_with = [](int shard_threads) {
+        ExperimentConfig cfg = tiny_experiment(13, 1);
+        cfg.scenario.initial_size = 32;
+        cfg.scenario.regions = 4;
+        cfg.scenario.shard_threads = shard_threads;
+        return run_experiment(cfg);
+    };
+    const auto serial = run_with(1);
+    expect_identical(serial, run_with(2));
+    expect_identical(serial, run_with(4));
+}
+
 TEST(ExperimentParallel, CallerSuppliedPoolMatchesSequential) {
     const auto sequential = run_experiment(tiny_experiment(12, 1));
     exec::ThreadPool pool(4);

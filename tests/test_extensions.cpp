@@ -5,43 +5,46 @@
 #include "core/analyzer.h"
 #include "core/experiment.h"
 #include "kad/node.h"
+#include "kad/node_arena.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
 namespace kadsim {
 namespace {
 
-/// Minimal directory fixture (mirrors tests/test_kad_node.cpp).
-class Harness : public kad::NodeDirectory {
+/// Minimal arena fixture (mirrors tests/test_kad_node.cpp).
+class Harness {
 public:
     explicit Harness(kad::KademliaConfig config, net::LossModel loss = {})
-        : config_(config), sim_(99), net_(sim_, net::LatencyModel{5, 25}, loss) {}
+        : config_(config),
+          sim_(99),
+          net_(sim_, net::LatencyModel{5, 25}, loss),
+          arena_(config_, sim_, net_) {}
 
     kad::KademliaNode* add_node(std::optional<std::size_t> bootstrap_index) {
         const net::Address address = net_.register_endpoint();
         auto id = kad::NodeId::hash_of("ext-node-" + std::to_string(address),
                                        config_.b);
-        nodes_.push_back(std::make_unique<kad::KademliaNode>(id, address, config_,
-                                                             sim_, net_, *this));
+        kad::KademliaNode* node = arena_.add_node(id, address);
         std::optional<kad::Contact> bootstrap;
-        if (bootstrap_index.has_value()) bootstrap = nodes_[*bootstrap_index]->contact();
-        nodes_.back()->join(bootstrap);
-        return nodes_.back().get();
-    }
-
-    kad::KademliaNode* node_at(net::Address address) noexcept override {
-        return address < nodes_.size() ? nodes_[address].get() : nullptr;
+        if (bootstrap_index.has_value()) {
+            bootstrap = arena_.node_at(*bootstrap_index)->contact();
+        }
+        node->join(bootstrap);
+        return node;
     }
 
     void run_for(sim::SimTime d) { sim_.run_until(sim_.now() + d); }
     [[nodiscard]] net::Network& network() { return net_; }
-    [[nodiscard]] kad::KademliaNode& node(std::size_t i) { return *nodes_[i]; }
+    [[nodiscard]] kad::KademliaNode& node(std::size_t i) {
+        return *arena_.node_at(static_cast<net::Address>(i));
+    }
 
 private:
     kad::KademliaConfig config_;
     sim::Simulator sim_;
     net::Network net_;
-    std::vector<std::unique_ptr<kad::KademliaNode>> nodes_;
+    kad::NodeArena arena_;
 };
 
 kad::KademliaConfig config_with(int k, int s) {

@@ -9,6 +9,8 @@
 // a hash mismatch.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -131,6 +133,56 @@ TEST(FaultEquivalence, SimEQuickScaleSeriesMatchesPreRefactorGolden) {
     // structure / degree columns) has its own golden.
     EXPECT_EQ(util::to_hex(util::sha1(serialize_full(series))),
               "542860fcc1966fae1883a76f5354410efce8573d");
+}
+
+// Region-sharded stepping pins: `regions` is a logical parameter, but
+// `shard_threads` is execution-only — for a fixed region count the whole
+// run (merged snapshot bytes, engine totals, live count) must be
+// byte-identical whether regions step serially or on 2 or 4 pool threads.
+TEST(FaultEquivalence, ShardedSteppingIsThreadCountInvariant) {
+    const auto run_digest = [](int shard_threads) {
+        core::ExperimentConfig cfg = small_churny();
+        cfg.scenario.regions = 4;
+        cfg.scenario.shard_threads = shard_threads;
+        scen::Runner runner(cfg.scenario);
+        runner.step_to(sim::minutes(180));
+        std::ostringstream out;
+        runner.snapshot().save(out);
+        const auto t = runner.totals();
+        out << t.events_executed << ',' << t.network.sent << ','
+            << t.network.delivered << ',' << t.joins << ',' << t.crashes << ','
+            << t.protocol.rpcs_sent << ',' << runner.live_count();
+        return util::to_hex(util::sha1(out.str()));
+    };
+    const std::string serial = run_digest(1);
+    EXPECT_EQ(serial, run_digest(2));
+    EXPECT_EQ(serial, run_digest(4));
+}
+
+// An unsharded run is the regions = 1 special case of the sharded engine;
+// the pre-refactor goldens above pin that path. This pins the sharded
+// address layout: global addresses are unique and region-tagged, and the
+// merged live list agrees with the per-node views.
+TEST(FaultEquivalence, ShardedSnapshotSpeaksGlobalAddresses) {
+    core::ExperimentConfig cfg = small_churny();
+    cfg.scenario.regions = 4;
+    cfg.scenario.shard_threads = 1;
+    scen::Runner runner(cfg.scenario);
+    runner.step_to(sim::minutes(60));
+
+    const auto& live = runner.live_addresses();
+    EXPECT_EQ(static_cast<int>(live.size()), runner.live_count());
+    std::set<net::Address> seen;
+    for (const net::Address a : live) {
+        EXPECT_TRUE(seen.insert(a).second) << "duplicate global address " << a;
+        const kad::KademliaNode* n = runner.node(a);
+        ASSERT_NE(n, nullptr);
+        EXPECT_TRUE(n->alive());
+    }
+    // All four regions received their share of the initial population.
+    std::array<int, 4> per_region{};
+    for (const net::Address a : live) ++per_region[a % 4];
+    for (int r = 0; r < 4; ++r) EXPECT_GT(per_region[r], 0) << "region " << r;
 }
 
 }  // namespace

@@ -9,27 +9,29 @@
 #include <vector>
 
 #include "kad/node.h"
+#include "kad/node_arena.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
 namespace kadsim::kad {
 namespace {
 
-class MiniNetwork : public NodeDirectory {
+class MiniNetwork {
 public:
     explicit MiniNetwork(KademliaConfig config, std::uint64_t seed = 11,
                          net::LossModel loss = {})
-        : config_(config), sim_(seed), net_(sim_, net::LatencyModel{5, 25}, loss) {}
+        : config_(config),
+          sim_(seed),
+          net_(sim_, net::LatencyModel{5, 25}, loss),
+          arena_(config_, sim_, net_) {}
 
     KademliaNode* add_node(std::optional<std::size_t> bootstrap_index) {
         const net::Address address = net_.register_endpoint();
         auto id = NodeId::hash_of("mini-node-" + std::to_string(address), config_.b);
-        nodes_.push_back(std::make_unique<KademliaNode>(id, address, config_, sim_,
-                                                        net_, *this));
-        KademliaNode* node = nodes_.back().get();
+        KademliaNode* node = arena_.add_node(id, address);
         std::optional<Contact> bootstrap;
         if (bootstrap_index.has_value()) {
-            bootstrap = nodes_[*bootstrap_index]->contact();
+            bootstrap = arena_.node_at(*bootstrap_index)->contact();
         }
         node->join(bootstrap);
         return node;
@@ -47,12 +49,10 @@ public:
 
     void run_for(sim::SimTime d) { sim_.run_until(sim_.now() + d); }
 
-    KademliaNode* node_at(net::Address address) noexcept override {
-        return address < nodes_.size() ? nodes_[address].get() : nullptr;
+    [[nodiscard]] KademliaNode& node(std::size_t i) {
+        return *arena_.node_at(static_cast<net::Address>(i));
     }
-
-    [[nodiscard]] KademliaNode& node(std::size_t i) { return *nodes_[i]; }
-    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+    [[nodiscard]] std::size_t size() const { return arena_.size(); }
     [[nodiscard]] sim::Simulator& sim() { return sim_; }
     [[nodiscard]] net::Network& network() { return net_; }
 
@@ -60,8 +60,8 @@ public:
     [[nodiscard]] std::vector<NodeId> global_closest(const NodeId& target,
                                                      std::size_t k) const {
         std::vector<NodeId> ids;
-        for (const auto& n : nodes_) {
-            if (n->alive()) ids.push_back(n->id());
+        for (net::Address a = 0; a < arena_.size(); ++a) {
+            if (arena_.alive(a)) ids.push_back(arena_.id_of(a));
         }
         std::sort(ids.begin(), ids.end(), [&target](const NodeId& a, const NodeId& b) {
             return target.distance_to(a) < target.distance_to(b);
@@ -74,7 +74,7 @@ private:
     KademliaConfig config_;
     sim::Simulator sim_;
     net::Network net_;
-    std::vector<std::unique_ptr<KademliaNode>> nodes_;
+    NodeArena arena_;
 };
 
 KademliaConfig small_config(int k = 8, int s = 2) {
