@@ -10,6 +10,7 @@
 // curves are directly comparable per snapshot.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
 #include "util/table.h"
@@ -42,7 +43,8 @@ int main() {
     // each run sits at the same removal budget.
     const auto& random_run = spec.runs[0].series;
     util::TextTable table({"t(min)", "budget", "Min random", "Min degree",
-                           "Min kappa", "targeted<=random"});
+                           "Min kappa", "ok random", "ok kappa",
+                           "targeted<=random"});
     bool all_hold = true;
     std::size_t compared = 0;
     for (std::size_t i = 0; i < random_run.samples.size(); ++i) {
@@ -65,13 +67,52 @@ int main() {
                        util::TextTable::num(static_cast<long long>(r.kappa_min)),
                        util::TextTable::num(static_cast<long long>(degree.kappa_min)),
                        util::TextTable::num(static_cast<long long>(kappa.kappa_min)),
+                       util::TextTable::num(r.probe_success_rate, 3),
+                       util::TextTable::num(kappa.probe_success_rate, 3),
                        holds ? "yes" : "NO"});
     }
-    std::printf("equal-budget comparison (targeted vs random):\n%s\n",
+    std::printf("equal-budget comparison (targeted vs random; 'ok' = probe "
+                "lookup success rate):\n%s\n",
                 table.to_string().c_str());
     std::printf("shape check: kappa-targeted kappa_min <= random kappa_min at "
                 "every equal removal budget (%zu snapshots): %s\n",
                 compared, all_hold ? "PASS" : "FAIL");
+
+    // --- κ vs lookup crossover: do lookups fail before κ hits zero? --------
+    // Per attack model: the first snapshot where κ_min reached 0 against the
+    // first where the probe-lookup success rate dropped below one half.
+    // κ_min = 0 means *some* pair lost all vertex-disjoint paths; lookups
+    // degrade only once routing tables lose the target region entirely, so
+    // κ is expected to hit zero first — each run's verdict records whether
+    // that ordering actually held.
+    util::TextTable cross({"attack", "kappa_min=0 at", "lookup<50% at",
+                           "kappa fails first?"});
+    for (const auto& run : spec.runs) {
+        double kappa_zero_at = -1.0;
+        double degraded_at = -1.0;
+        for (const auto& s : run.series.samples) {
+            if (kappa_zero_at < 0.0 && s.n > 0 && s.kappa_min == 0) {
+                kappa_zero_at = s.time_min;
+            }
+            if (degraded_at < 0.0 && s.probes_done > 0 &&
+                s.probe_success_rate < 0.5) {
+                degraded_at = s.time_min;
+            }
+        }
+        const char* verdict =
+            kappa_zero_at < 0.0
+                ? (degraded_at < 0.0 ? "neither failed" : "NO (lookups only)")
+            : degraded_at < 0.0 ? "yes (lookups never)"
+            : kappa_zero_at <= degraded_at ? "yes"
+                                           : "NO";
+        auto instant = [](double t) {
+            return t < 0.0 ? std::string("never") : util::TextTable::num(t, 0);
+        };
+        cross.add_row({run.label, instant(kappa_zero_at), instant(degraded_at),
+                       verdict});
+    }
+    std::printf("kappa-vs-lookup crossover (per attack model):\n%s\n",
+                cross.to_string().c_str());
     // The shape check is the acceptance gate: a regression must fail the run.
     return rc != 0 ? rc : (all_hold ? 0 : 1);
 }

@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <charconv>
 #include <chrono>
@@ -34,7 +36,9 @@ std::string cache_key(const core::ExperimentConfig& cfg) {
         << "|end=" << s.phases.end << "|snap=" << cfg.snapshot_interval
         << "|c=" << cfg.analyzer.sample_c << "|minsrc=" << cfg.analyzer.min_sources
         << "|policy=" << static_cast<int>(s.kad.bucket_policy)
-        << "|refresh=" << static_cast<int>(s.kad.refresh_policy);
+        << "|refresh=" << static_cast<int>(s.kad.refresh_policy)
+        << "|boost=" << s.kad.lookup_boost
+        << "|probes=" << s.traffic.probes_per_snapshot;
     return key.str();
 }
 
@@ -69,8 +73,9 @@ bool load_cached(const std::string& path, const std::string& key,
     if (!std::getline(in, line)) return false;  // column header
     while (std::getline(in, line)) {
         core::ResilienceSample sample;
-        // Pre-metric-suite cache files fail here and re-simulate: the key
-        // line still matches but rows lack the appended metric columns.
+        // Cache files from before a column append fail here and
+        // re-simulate: the key line still matches but rows lack the
+        // appended metric/lookup columns.
         if (!parse_sample_row(line, sample)) return false;
         out.samples.push_back(sample);
     }
@@ -88,14 +93,21 @@ void store_cached(const std::string& path, const std::string& key,
     // Metric columns are strictly appended.
     out << "time_min,n,m,kappa_min,kappa_avg,scc,reciprocity,pairs,removed,"
            "lambda_min,lambda_avg,scc_frac,wcc_frac,articulation,bridges,"
-           "deg_out_min,deg_in_min,kappa_gap\n";
+           "deg_out_min,deg_in_min,kappa_gap,"
+           "lookups,lookup_ok,lookup_hop_p50,lookup_hop_p99,lookup_lat_p50,"
+           "lookup_lat_p99,probes,probe_ok,probe_hop_p50,probe_hop_p99\n";
     for (const auto& s : series.samples) {
         out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
             << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
             << s.pairs_evaluated << ',' << s.removed_total << ',' << s.lambda_min
             << ',' << s.lambda_avg << ',' << s.scc_frac << ',' << s.wcc_frac << ','
             << s.articulation_points << ',' << s.bridges << ',' << s.out_degree_min
-            << ',' << s.in_degree_min << ',' << s.kappa_degree_gap << '\n';
+            << ',' << s.in_degree_min << ',' << s.kappa_degree_gap << ','
+            << s.lookups_done << ',' << s.lookup_success_rate << ','
+            << s.lookup_hop_p50 << ',' << s.lookup_hop_p99 << ','
+            << s.lookup_latency_p50_ms << ',' << s.lookup_latency_p99_ms << ','
+            << s.probes_done << ',' << s.probe_success_rate << ','
+            << s.probe_hop_p50 << ',' << s.probe_hop_p99 << '\n';
     }
 }
 
@@ -109,6 +121,7 @@ std::string write_bench_json(const FigureSpec& spec) {
         << "  \"paper_ref\": \"" << json_escape(spec.paper_ref) << "\",\n"
         << "  \"threads\": " << spec.threads << ",\n"
         << "  \"wall_seconds\": " << spec.wall_seconds << ",\n"
+        << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n"
         << "  \"runs\": [\n";
     for (std::size_t i = 0; i < spec.runs.size(); ++i) {
         const auto& run = spec.runs[i];
@@ -156,7 +169,40 @@ std::string write_bench_json(const FigureSpec& spec) {
         for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
             out << (j > 0 ? "," : "") << run.series.samples[j].articulation_points;
         }
+        // Lookup-workload series (same snapshot order): does the overlay
+        // still resolve lookups as κ degrades? `kappa_zero_at_min` /
+        // `lookup_degraded_at_min` are the crossover instants — first
+        // snapshot where κ_min hit zero vs. first where probe success
+        // dropped below one half (-1 = never happened in this run).
+        double kappa_zero_at = -1.0;
+        double degraded_at = -1.0;
+        for (const auto& sample : run.series.samples) {
+            if (kappa_zero_at < 0.0 && sample.n > 0 && sample.kappa_min == 0) {
+                kappa_zero_at = sample.time_min;
+            }
+            if (degraded_at < 0.0 && sample.probes_done > 0 &&
+                sample.probe_success_rate < 0.5) {
+                degraded_at = sample.time_min;
+            }
+        }
         out << "], "
+            << "\"lookup_success\": [";
+        for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
+            out << (j > 0 ? "," : "") << run.series.samples[j].lookup_success_rate;
+        }
+        out << "], "
+            << "\"probe_success\": [";
+        for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
+            out << (j > 0 ? "," : "") << run.series.samples[j].probe_success_rate;
+        }
+        out << "], "
+            << "\"probe_hop_p50\": [";
+        for (std::size_t j = 0; j < run.series.samples.size(); ++j) {
+            out << (j > 0 ? "," : "") << run.series.samples[j].probe_hop_p50;
+        }
+        out << "], "
+            << "\"kappa_zero_at_min\": " << kappa_zero_at << ", "
+            << "\"lookup_degraded_at_min\": " << degraded_at << ", "
             << "\"wall_seconds\": " << run.wall_seconds << "}"
             << (i + 1 < spec.runs.size() ? "," : "") << '\n';
     }
@@ -170,6 +216,13 @@ std::string output_dir() {
     const std::string dir = "bench_out";
     util::ensure_directory(dir);
     return dir;
+}
+
+std::uint64_t peak_rss_bytes() {
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
 }
 
 std::string json_escape(const std::string& in) {
@@ -214,7 +267,17 @@ bool parse_sample_row(std::string_view line, core::ResilienceSample& out) {
            parse_field(line, out.articulation_points) &&
            parse_field(line, out.bridges) && parse_field(line, out.out_degree_min) &&
            parse_field(line, out.in_degree_min) &&
-           parse_field(line, out.kappa_degree_gap, /*last=*/true);
+           parse_field(line, out.kappa_degree_gap) &&
+           parse_field(line, out.lookups_done) &&
+           parse_field(line, out.lookup_success_rate) &&
+           parse_field(line, out.lookup_hop_p50) &&
+           parse_field(line, out.lookup_hop_p99) &&
+           parse_field(line, out.lookup_latency_p50_ms) &&
+           parse_field(line, out.lookup_latency_p99_ms) &&
+           parse_field(line, out.probes_done) &&
+           parse_field(line, out.probe_success_rate) &&
+           parse_field(line, out.probe_hop_p50) &&
+           parse_field(line, out.probe_hop_p99, /*last=*/true);
 }
 
 void ProgressSink::line(const std::string& label, const std::string& text) {
@@ -397,7 +460,10 @@ int run_figure(FigureSpec& spec) {
     util::CsvWriter csv(csv_path);
     csv.write_row({"config", "time_min", "n", "m", "kappa_min", "kappa_avg", "scc",
                    "reciprocity", "pairs", "lambda_min", "lambda_avg", "scc_frac",
-                   "wcc_frac", "articulation", "bridges", "kappa_gap"});
+                   "wcc_frac", "articulation", "bridges", "kappa_gap", "lookups",
+                   "lookup_ok", "lookup_hop_p50", "lookup_hop_p99", "lookup_lat_p50",
+                   "lookup_lat_p99", "probes", "probe_ok", "probe_hop_p50",
+                   "probe_hop_p99"});
     for (const auto& run : spec.runs) {
         for (const auto& s : run.series.samples) {
             csv.write_row({run.label, util::CsvWriter::field(s.time_min),
@@ -417,7 +483,19 @@ int run_figure(FigureSpec& spec) {
                                static_cast<long long>(s.articulation_points)),
                            util::CsvWriter::field(static_cast<long long>(s.bridges)),
                            util::CsvWriter::field(
-                               static_cast<long long>(s.kappa_degree_gap))});
+                               static_cast<long long>(s.kappa_degree_gap)),
+                           util::CsvWriter::field(
+                               static_cast<long long>(s.lookups_done)),
+                           util::CsvWriter::field(s.lookup_success_rate),
+                           util::CsvWriter::field(s.lookup_hop_p50),
+                           util::CsvWriter::field(s.lookup_hop_p99),
+                           util::CsvWriter::field(s.lookup_latency_p50_ms),
+                           util::CsvWriter::field(s.lookup_latency_p99_ms),
+                           util::CsvWriter::field(
+                               static_cast<long long>(s.probes_done)),
+                           util::CsvWriter::field(s.probe_success_rate),
+                           util::CsvWriter::field(s.probe_hop_p50),
+                           util::CsvWriter::field(s.probe_hop_p99)});
         }
     }
     std::printf("csv: %s\n", csv_path.c_str());

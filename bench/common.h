@@ -17,6 +17,7 @@
 #ifndef KADSIM_BENCH_COMMON_H
 #define KADSIM_BENCH_COMMON_H
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -83,7 +84,12 @@ void print_header(const FigureSpec& spec, const core::ReproScale& scale);
 /// Escapes `"` and `\` for embedding in the BENCH_<id>.json writers.
 [[nodiscard]] std::string json_escape(const std::string& in);
 
-/// Parses one cache-CSV data row (the 18-column ResilienceSample
+/// Peak resident set size of this process so far (getrusage ru_maxrss),
+/// bytes. Every BENCH_<id>.json records it alongside wall time so memory
+/// regressions show up in the same artifact as throughput regressions.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Parses one cache-CSV data row (the 28-column ResilienceSample
 /// serialization of store_cached) into `out`. Returns false on any
 /// malformed, short, or over-long row — the caller treats that as a cache
 /// miss. std::from_chars end to end: parsing allocates nothing, which keeps

@@ -4,13 +4,15 @@
 //
 // BM_SimThroughput5k is the million-node-core acceptance meter: steady-state
 // events/sec of the full n = 5000 churn+traffic scenario, with peak-RSS and
-// arena/queue footprint counters in the JSON output. The sharded smoke
-// benches (sim_100k at REPRO_SCALE=paper+, sim_1m at full only — never CI)
-// are registered conditionally in main().
+// arena/queue footprint counters in the JSON output. BM_LookupThroughput is
+// the lookup-engine meter: full iterative FIND_NODE walks through the
+// LookupArena probe path, lookups/sec + arena/histogram counters. The
+// sharded smoke benches (sim_100k and the 100k lookup meter at
+// REPRO_SCALE=paper+, sim_1m at full only — never CI) are registered
+// conditionally in main().
 #include <benchmark/benchmark.h>
 
-#include <sys/resource.h>
-
+#include "bench/common.h"
 #include "core/registry.h"
 #include "kad/routing_table.h"
 #include "scen/runner.h"
@@ -23,21 +25,15 @@ namespace {
 
 using namespace kadsim;
 
-/// Peak resident set of this process so far (ru_maxrss is KB on Linux).
-std::uint64_t peak_rss_bytes() {
-    struct rusage usage {};
-    getrusage(RUSAGE_SELF, &usage);
-    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
-}
-
-/// Attaches the memory counters every simulator bench reports.
+/// Attaches the memory counters every simulator bench reports
+/// (bench::peak_rss_bytes is the shared getrusage helper).
 void report_memory(benchmark::State& state, const scen::Runner& runner) {
     state.counters["arena_bytes"] =
         benchmark::Counter(static_cast<double>(runner.arena_memory_bytes()));
     state.counters["queue_bytes"] =
         benchmark::Counter(static_cast<double>(runner.queue_memory_bytes()));
     state.counters["peak_rss_bytes"] =
-        benchmark::Counter(static_cast<double>(peak_rss_bytes()));
+        benchmark::Counter(static_cast<double>(bench::peak_rss_bytes()));
 }
 
 void BM_RoutingTableObserve(benchmark::State& state) {
@@ -187,6 +183,56 @@ void BM_SimThroughput5k(benchmark::State& state) {
 }
 BENCHMARK(BM_SimThroughput5k)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/// Shared body of the lookup-rate benches: bootstrap a steady overlay (no
+/// churn, no background traffic — the lookup engine is the only thing
+/// running), then drive full iterative FIND_NODE walks through the probe
+/// path of the LookupArena in waves of `wave` lookups per region.
+/// verify_truth is off: the O(live) ground-truth scan would dominate the
+/// walk being measured. lookups_per_sec is the acceptance metric;
+/// hist_merges counts streaming-histogram merges (one per region per wave —
+/// the no-per-sample-storage evidence), arena bytes cover in-flight slots.
+void lookup_throughput(benchmark::State& state, int n, int regions, int wave) {
+    scen::ScenarioConfig cfg;
+    cfg.initial_size = n;
+    cfg.seed = 42;
+    cfg.kad.k = 20;
+    cfg.kad.s = 1;
+    cfg.regions = regions;
+    cfg.phases.end = sim::minutes(100000);
+    scen::Runner runner(cfg);
+    runner.step_to(sim::minutes(30));  // bootstrap + first refresh complete
+    std::uint64_t lookups = 0;
+    stats::ProbeStats merged;
+    for (auto _ : state) {
+        const auto wave_stats =
+            runner.run_lookup_probes(wave, /*verify_truth=*/false);
+        lookups += wave_stats.probes;
+        merged.merge(wave_stats);
+    }
+    state.counters["lookups_per_sec"] =
+        benchmark::Counter(static_cast<double>(lookups),
+                           benchmark::Counter::kIsRate);
+    state.counters["lookup_arena_bytes"] = benchmark::Counter(
+        static_cast<double>(runner.lookup_arena_bytes()));
+    state.counters["hist_merges"] =
+        benchmark::Counter(static_cast<double>(merged.hops.merges()));
+    state.counters["hop_p50"] =
+        benchmark::Counter(static_cast<double>(merged.hops.quantile(0.50)));
+    state.SetItemsProcessed(static_cast<std::int64_t>(lookups));
+    report_memory(state, runner);
+}
+
+void BM_LookupThroughput(benchmark::State& state) {
+    lookup_throughput(state, 2000, static_cast<int>(state.range(0)), 64);
+}
+BENCHMARK(BM_LookupThroughput)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// The acceptance-scale variant (n = 100k, 8 regions) — registered in main()
+/// above the quick tier only, like the sharded smoke benches.
+void BM_LookupThroughput100k(benchmark::State& state) {
+    lookup_throughput(state, 100000, 8, 256);
+}
+
 /// Shared body of the tier-gated sharded smoke benches: build the registry
 /// scenario, step `minutes` of simulated time once, report engine counters
 /// and the memory footprint. One iteration — the cost is the point.
@@ -224,6 +270,9 @@ int main(int argc, char** argv) {
         benchmark::RegisterBenchmark("BM_Sim100kSmoke", BM_Sim100kSmoke)
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);
+        benchmark::RegisterBenchmark("BM_LookupThroughput100k",
+                                     BM_LookupThroughput100k)
+            ->Unit(benchmark::kMillisecond);
     }
     if (util::repro_scale() == util::ReproScale::kFull) {
         benchmark::RegisterBenchmark("BM_Sim1mSmoke", BM_Sim1mSmoke)

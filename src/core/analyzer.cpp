@@ -13,6 +13,32 @@ ResilienceSample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& sna
     ResilienceSample sample;
     sample.time_min = static_cast<double>(snap.time_ms) / 60000.0;
     sample.removed_total = snap.removed_total;
+    // Lookup workload companions (Runner-filled; zeros when the snapshot
+    // came from elsewhere). Quantiles walk the streamed histograms — there
+    // is no per-sample storage anywhere in this pipeline.
+    sample.lookups_done = snap.lookups.completed;
+    if (snap.lookups.completed > 0) {
+        sample.lookup_success_rate =
+            static_cast<double>(snap.lookups.succeeded) /
+            static_cast<double>(snap.lookups.completed);
+        sample.lookup_hop_p50 =
+            static_cast<double>(snap.lookups.hops.quantile(0.50));
+        sample.lookup_hop_p99 =
+            static_cast<double>(snap.lookups.hops.quantile(0.99));
+        sample.lookup_latency_p50_ms =
+            static_cast<double>(snap.lookups.latency_ms.quantile(0.50));
+        sample.lookup_latency_p99_ms =
+            static_cast<double>(snap.lookups.latency_ms.quantile(0.99));
+    }
+    sample.probes_done = snap.probes.probes;
+    if (snap.probes.probes > 0) {
+        sample.probe_success_rate = static_cast<double>(snap.probes.succeeded) /
+                                    static_cast<double>(snap.probes.probes);
+        sample.probe_hop_p50 =
+            static_cast<double>(snap.probes.hops.quantile(0.50));
+        sample.probe_hop_p99 =
+            static_cast<double>(snap.probes.hops.quantile(0.99));
+    }
     const graph::Digraph g = snap.to_digraph();
     sample.n = g.vertex_count();
     sample.m = g.edge_count();

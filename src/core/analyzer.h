@@ -74,6 +74,20 @@ struct ResilienceSample {
     /// κ sits below its degree ceiling (0 ⇔ the weakest vertex's links are
     /// fully disjoint paths).
     int kappa_degree_gap = 0;
+
+    // --- lookup workload metrics (src/stats/histogram.h) -----------------
+    // Filled from the Runner-attached snapshot companions; appended after
+    // the metric-suite block per the serialization contract above.
+    std::uint64_t lookups_done = 0;     ///< measured lookups this interval
+    double lookup_success_rate = 0.0;   ///< of lookups_done (0 when none)
+    double lookup_hop_p50 = 0.0;
+    double lookup_hop_p99 = 0.0;
+    double lookup_latency_p50_ms = 0.0;
+    double lookup_latency_p99_ms = 0.0;
+    std::uint64_t probes_done = 0;      ///< snapshot-time probe walks
+    double probe_success_rate = 0.0;    ///< reached the true closest node
+    double probe_hop_p50 = 0.0;
+    double probe_hop_p99 = 0.0;
 };
 
 /// The pre-metric-suite name; κ-focused call sites keep using it.

@@ -3,19 +3,32 @@
 #include <algorithm>
 #include <numeric>
 
+#include "stats/histogram.h"
+
 namespace kadsim::graph {
 
-DegreeSummary summarize_degrees(std::vector<int> degrees) {
+DegreeSummary summarize_degrees(std::vector<int> degrees, bool exact_sort) {
     DegreeSummary s;
     if (degrees.empty()) return s;
-    std::sort(degrees.begin(), degrees.end());
-    s.min = degrees.front();
-    s.max = degrees.back();
     s.mean = static_cast<double>(
                  std::accumulate(degrees.begin(), degrees.end(), std::int64_t{0})) /
              static_cast<double>(degrees.size());
-    s.median = degrees[degrees.size() / 2];
-    s.p10 = degrees[degrees.size() / 10];
+    if (exact_sort) {
+        std::sort(degrees.begin(), degrees.end());
+        s.min = degrees.front();
+        s.max = degrees.back();
+        s.median = degrees[degrees.size() / 2];
+        s.p10 = degrees[degrees.size() / 10];
+        return s;
+    }
+    // Counting path: value_at_index(i) == std::sort(degrees)[i] exactly
+    // (degrees are non-negative), so both paths report identical numbers.
+    stats::CountHistogram hist;
+    for (const int d : degrees) hist.add(d);
+    s.min = static_cast<int>(hist.min());
+    s.max = static_cast<int>(hist.max());
+    s.median = static_cast<int>(hist.value_at_index(degrees.size() / 2));
+    s.p10 = static_cast<int>(hist.value_at_index(degrees.size() / 10));
     return s;
 }
 

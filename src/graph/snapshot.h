@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "stats/histogram.h"
 
 namespace kadsim::graph {
 
@@ -26,6 +27,13 @@ struct RoutingSnapshot {
     /// Cumulative nodes removed by the fault layer when this snapshot was
     /// taken (scen::Runner fills it; not part of the save()/parse() format).
     std::uint64_t removed_total = 0;
+    /// Lookup workload metrics for the interval since the previous snapshot
+    /// (measured lookups completed by live traffic / refresh), and the
+    /// side-effect-free probe results taken at this instant. Like
+    /// removed_total these are Runner-filled companions, not part of the
+    /// save()/parse() format.
+    stats::LookupTraffic lookups;
+    stats::ProbeStats probes;
     std::vector<SnapshotNode> nodes;
 
     /// Compacts addresses to [0, n) and keeps only edges between live nodes:

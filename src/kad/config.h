@@ -61,6 +61,16 @@ struct KademliaConfig {
     /// under churn — without touching k. 0 = paper behaviour.
     int advertise_per_refresh = 0;
 
+    /// Salah-style lookup improvement (this repo's reading of Salah &
+    /// Strufe's adaptive-parallelism scheme, PAPERS.md): each query failure
+    /// observed during a lookup widens that lookup's in-flight window by
+    /// one, up to α + lookup_boost — failures are evidence of a stale
+    /// neighbourhood, and a wider wave restores progress without raising α
+    /// globally. The no-progress termination rule keeps using the base α.
+    /// 0 = paper behaviour (the default; the fault-equivalence goldens pin
+    /// it).
+    int lookup_boost = 0;
+
     /// Throws std::invalid_argument when parameters are out of range.
     void validate() const {
         if (b <= 0 || b > kMaxBits) throw std::invalid_argument("b must be in (0,160]");
@@ -72,6 +82,9 @@ struct KademliaConfig {
         if (rpc_timeout <= 0) throw std::invalid_argument("rpc_timeout must be positive");
         if (refresh_interval <= 0) {
             throw std::invalid_argument("refresh_interval must be positive");
+        }
+        if (lookup_boost < 0 || lookup_boost > 255) {
+            throw std::invalid_argument("lookup_boost must be in [0,255]");
         }
     }
 };

@@ -10,6 +10,11 @@
 // next_query() for contacts to send FIND_NODE/FIND_VALUE to and feeds back
 // on_response()/on_failure(). This keeps the trickiest protocol logic
 // unit-testable without a simulator.
+//
+// Since the LookupArena refactor the machine itself lives in
+// kad/lookup_arena.h (struct-of-arrays, slot-recycled, zero steady-state
+// allocation); LookupState is a one-slot façade kept for unit tests and
+// standalone callers. The simulator's hot path uses the arena directly.
 #ifndef KADSIM_KAD_LOOKUP_H
 #define KADSIM_KAD_LOOKUP_H
 
@@ -18,16 +23,9 @@
 #include <vector>
 
 #include "kad/contact.h"
+#include "kad/lookup_arena.h"
 
 namespace kadsim::kad {
-
-enum class LookupMode { kFindNode, kFindValue };
-
-struct LookupStats {
-    int rpcs_sent = 0;
-    int rpcs_failed = 0;
-    int rpcs_succeeded = 0;
-};
 
 class LookupState {
 public:
@@ -41,70 +39,69 @@ public:
         bool strict_k = false;
     };
 
-    LookupState(NodeId self, NodeId target, LookupMode mode, Params params);
+    LookupState(NodeId self, NodeId target, LookupMode mode, Params params)
+        : arena_(LookupArena::Params{params.k, params.alpha,
+                                     params.shortlist_cap, 0}),
+          slot_(arena_.begin(self, target, mode, params.strict_k, 0)) {}
 
     /// Seeds the shortlist with the caller's own closest contacts.
-    void seed(std::span<const Contact> contacts);
+    void seed(std::span<const Contact> contacts) { arena_.seed(slot_, contacts); }
 
     /// Next contact to query, marking it in-flight — or nullopt when either α
     /// queries are outstanding or no un-queried candidate remains among the k
     /// closest non-failed entries. Call repeatedly until nullopt.
-    [[nodiscard]] std::optional<Contact> next_query();
+    [[nodiscard]] std::optional<Contact> next_query() {
+        return arena_.next_query(slot_);
+    }
 
     /// Successful reply from `from` carrying its closest contacts.
     /// `value_found` short-circuits a kFindValue lookup.
     void on_response(const NodeId& from, std::span<const Contact> returned,
-                     bool value_found);
+                     bool value_found) {
+        arena_.on_response(slot_, from, returned, value_found);
+    }
 
     /// Query to `from` failed (timeout).
-    void on_failure(const NodeId& from);
+    void on_failure(const NodeId& from) { arena_.on_failure(slot_, from); }
 
     /// True once the lookup reached a terminal state (§4.1): k successful
     /// contacts, value found, α consecutive responses without getting closer
     /// to the target (with the closest known candidate contacted), or
     /// candidate exhaustion.
-    [[nodiscard]] bool finished() const;
+    [[nodiscard]] bool finished() const { return arena_.finished(slot_); }
 
-    [[nodiscard]] bool value_found() const noexcept { return value_found_; }
-    [[nodiscard]] const NodeId& target() const noexcept { return target_; }
-    [[nodiscard]] LookupMode mode() const noexcept { return mode_; }
-    [[nodiscard]] int inflight() const noexcept { return inflight_; }
-    [[nodiscard]] const LookupStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] bool value_found() const noexcept {
+        return arena_.value_found(slot_);
+    }
+    [[nodiscard]] const NodeId& target() const noexcept {
+        return arena_.target(slot_);
+    }
+    [[nodiscard]] LookupMode mode() const noexcept { return arena_.mode(slot_); }
+    [[nodiscard]] int inflight() const noexcept { return arena_.inflight(slot_); }
+    [[nodiscard]] const LookupStats& stats() const noexcept {
+        return arena_.stats(slot_);
+    }
+    /// Iteration depth of the deepest successful contact (see
+    /// LookupArena::hop_count).
+    [[nodiscard]] int hop_count() const noexcept {
+        return arena_.hop_count(slot_);
+    }
 
     /// Successfully contacted nodes, closest-first, at most k.
-    [[nodiscard]] std::vector<Contact> successful_closest() const;
+    [[nodiscard]] std::vector<Contact> successful_closest() const {
+        std::vector<Contact> out;
+        arena_.successful_closest(slot_, out);
+        return out;
+    }
 
     /// Number of distinct candidates ever tracked (tests).
     [[nodiscard]] std::size_t shortlist_size() const noexcept {
-        return shortlist_.size();
+        return arena_.shortlist_size(slot_);
     }
 
 private:
-    enum class State : std::uint8_t { kNew, kInflight, kOk, kFailed };
-
-    struct Candidate {
-        NodeId distance;  // to target (cached sort key)
-        Contact contact;
-        State state = State::kNew;
-    };
-
-    /// Returns true when the candidate was inserted AND is now the closest
-    /// known candidate ("progress in getting closer", §4.1).
-    bool insert_candidate(const Contact& c);
-    [[nodiscard]] bool has_launchable() const;
-    [[nodiscard]] bool closest_candidate_contacted() const;
-    Candidate* find_by_id(const NodeId& id);
-
-    NodeId self_;
-    NodeId target_;
-    LookupMode mode_;
-    Params params_;
-    std::vector<Candidate> shortlist_;  // sorted by distance, ascending
-    int inflight_ = 0;
-    int ok_ = 0;
-    int no_progress_streak_ = 0;  // consecutive responses without improvement
-    bool value_found_ = false;
-    LookupStats stats_;
+    LookupArena arena_;
+    LookupArena::Slot slot_;
 };
 
 }  // namespace kadsim::kad

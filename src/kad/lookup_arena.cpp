@@ -1,0 +1,251 @@
+#include "kad/lookup_arena.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace kadsim::kad {
+
+LookupArena::LookupArena(Params params) : params_(params) {
+    KADSIM_ASSERT(params_.k > 0 && params_.alpha > 0 && params_.boost >= 0);
+    if (params_.shortlist_cap == 0) {
+        params_.shortlist_cap = static_cast<std::size_t>(4 * params_.k);
+    }
+    stride_ = params_.shortlist_cap;
+}
+
+LookupArena::Slot LookupArena::begin(const NodeId& self, const NodeId& target,
+                                     LookupMode mode, bool strict_k,
+                                     sim::SimTime now) {
+    Slot slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+    } else {
+        slot = static_cast<Slot>(self_.size());
+        self_.emplace_back();
+        target_.emplace_back();
+        mode_.emplace_back();
+        strict_.emplace_back();
+        value_found_.emplace_back();
+        size_.emplace_back();
+        inflight_.emplace_back();
+        ok_.emplace_back();
+        streak_.emplace_back();
+        widen_.emplace_back();
+        hops_.emplace_back();
+        issued_.emplace_back();
+        stats_.emplace_back();
+        entries_.resize(self_.size() * stride_);
+    }
+    self_[slot] = self;
+    target_[slot] = target;
+    mode_[slot] = static_cast<std::uint8_t>(mode);
+    strict_[slot] = strict_k ? 1 : 0;
+    value_found_[slot] = 0;
+    size_[slot] = 0;
+    inflight_[slot] = 0;
+    ok_[slot] = 0;
+    streak_[slot] = 0;
+    widen_[slot] = 0;
+    hops_[slot] = 0;
+    issued_[slot] = now;
+    stats_[slot] = LookupStats{};
+    ++live_;
+    return slot;
+}
+
+void LookupArena::release(Slot slot) {
+    KADSIM_ASSERT(slot < self_.size());
+    size_[slot] = 0;
+    free_.push_back(slot);
+    --live_;
+}
+
+void LookupArena::seed(Slot slot, std::span<const Contact> contacts) {
+    for (const auto& c : contacts) insert_candidate(slot, c, 0);
+}
+
+bool LookupArena::insert_candidate(Slot slot, const Contact& c,
+                                   std::uint8_t depth) {
+    if (c.id == self_[slot]) return false;  // never query ourselves
+    const NodeId dist = target_[slot].distance_to(c.id);
+    Entry* base = slab(slot);
+    const std::size_t count = size_[slot];
+    // Sorted insert position by distance.
+    const auto pos = static_cast<std::size_t>(
+        std::lower_bound(base, base + count, dist,
+                         [](const Entry& e, const NodeId& d) {
+                             return e.distance < d;
+                         }) -
+        base);
+    // Duplicate check: candidates with equal distance must be the same id
+    // (XOR metric is injective in the second argument), so one comparison
+    // suffices. Duplicates keep their original depth.
+    if (pos != count && base[pos].distance == dist) return false;
+
+    if (count >= stride_) {
+        if (pos == count) return false;  // farther than everything
+        // Drop the farthest droppable (kNew/kFailed) entry to make room;
+        // in-flight and succeeded entries are load-bearing state.
+        std::size_t victim = count;  // "end" sentinel
+        for (std::size_t it = count; it-- > 0;) {
+            if (base[it].state == State::kNew || base[it].state == State::kFailed) {
+                victim = it;
+                break;
+            }
+        }
+        if (victim == count || victim < pos) return false;
+        // erase(victim) + insert(pos) with pos <= victim collapses to one
+        // right-shift of [pos, victim) — same element order as the vector
+        // original, without touching entries past the victim.
+        std::move_backward(base + pos, base + victim, base + victim + 1);
+        base[pos] = Entry{dist, c, State::kNew, depth};
+        return pos == 0;
+    }
+    std::move_backward(base + pos, base + count, base + count + 1);
+    base[pos] = Entry{dist, c, State::kNew, depth};
+    ++size_[slot];
+    return pos == 0;
+}
+
+bool LookupArena::has_launchable(Slot slot) const {
+    // A candidate is launchable if it is un-queried and sits among the k
+    // closest non-failed entries (the classic "query the k closest" window).
+    const Entry* base = slab(slot);
+    const std::size_t count = size_[slot];
+    int window = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (base[i].state == State::kFailed) continue;
+        if (base[i].state == State::kNew) return true;
+        if (++window >= params_.k) break;
+    }
+    return false;
+}
+
+std::optional<Contact> LookupArena::next_query(Slot slot) {
+    // The in-flight window is α, widened by one per observed failure up to
+    // α + boost when the Salah-style knob is on (widen_ stays 0 otherwise).
+    const int window_cap = params_.alpha + widen_[slot];
+    if (finished(slot) || inflight_[slot] >= window_cap) return std::nullopt;
+    Entry* base = slab(slot);
+    const std::size_t count = size_[slot];
+    int window = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (base[i].state == State::kFailed) continue;
+        if (base[i].state == State::kNew) {
+            base[i].state = State::kInflight;
+            ++inflight_[slot];
+            ++stats_[slot].rpcs_sent;
+            return base[i].contact;
+        }
+        if (++window >= params_.k) break;
+    }
+    return std::nullopt;
+}
+
+LookupArena::Entry* LookupArena::find_by_id(Slot slot, const NodeId& id) {
+    const NodeId dist = target_[slot].distance_to(id);
+    Entry* base = slab(slot);
+    const std::size_t count = size_[slot];
+    const auto pos = static_cast<std::size_t>(
+        std::lower_bound(base, base + count, dist,
+                         [](const Entry& e, const NodeId& d) {
+                             return e.distance < d;
+                         }) -
+        base);
+    if (pos != count && base[pos].distance == dist) return base + pos;
+    return nullptr;
+}
+
+void LookupArena::on_response(Slot slot, const NodeId& from,
+                              std::span<const Contact> returned,
+                              bool value_found) {
+    Entry* cand = find_by_id(slot, from);
+    if (cand == nullptr || cand->state != State::kInflight) return;  // stale
+    cand->state = State::kOk;
+    const std::uint8_t depth = cand->depth;
+    --inflight_[slot];
+    ++ok_[slot];
+    ++stats_[slot].rpcs_succeeded;
+    if (depth >= hops_[slot] && hops_[slot] < 255) {
+        hops_[slot] = static_cast<std::uint8_t>(depth + 1);
+    }
+    if (value_found && mode(slot) == LookupMode::kFindValue) {
+        value_found_[slot] = 1;
+    }
+    if (value_found_[slot] != 0) return;
+    const std::uint8_t next_depth =
+        depth < 255 ? static_cast<std::uint8_t>(depth + 1) : depth;
+    bool improved = false;
+    for (const auto& c : returned) {
+        // NOTE: insert_candidate may shift the slab, invalidating `cand` —
+        // everything needed from it was copied out above.
+        if (insert_candidate(slot, c, next_depth)) improved = true;
+    }
+    // "No more progress is made in getting closer to the target" (§4.1):
+    // count consecutive responses that fail to produce a new closest
+    // candidate; α such responses (one full query wave) end the lookup.
+    if (improved) {
+        streak_[slot] = 0;
+    } else {
+        ++streak_[slot];
+    }
+}
+
+void LookupArena::on_failure(Slot slot, const NodeId& from) {
+    Entry* cand = find_by_id(slot, from);
+    if (cand == nullptr || cand->state != State::kInflight) return;
+    cand->state = State::kFailed;
+    --inflight_[slot];
+    ++stats_[slot].rpcs_failed;
+    if (widen_[slot] < params_.boost) ++widen_[slot];
+}
+
+bool LookupArena::closest_candidate_contacted(Slot slot) const {
+    const Entry* base = slab(slot);
+    const std::size_t count = size_[slot];
+    for (std::size_t i = 0; i < count; ++i) {
+        if (base[i].state == State::kFailed) continue;
+        return base[i].state == State::kOk;
+    }
+    return true;  // nothing left to contact
+}
+
+bool LookupArena::finished(Slot slot) const {
+    if (value_found_[slot] != 0) return true;
+    if (ok_[slot] >= params_.k) return true;
+    if (strict_[slot] == 0 && streak_[slot] >= params_.alpha &&
+        closest_candidate_contacted(slot)) {
+        return true;
+    }
+    return inflight_[slot] == 0 && !has_launchable(slot);
+}
+
+void LookupArena::successful_closest(Slot slot, std::vector<Contact>& out) const {
+    const Entry* base = slab(slot);
+    const std::size_t count = size_[slot];
+    std::size_t taken = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (base[i].state == State::kOk) {
+            out.push_back(base[i].contact);
+            if (++taken == static_cast<std::size_t>(params_.k)) break;
+        }
+    }
+}
+
+std::size_t LookupArena::memory_bytes() const noexcept {
+    return self_.capacity() * sizeof(NodeId) +
+           target_.capacity() * sizeof(NodeId) +
+           mode_.capacity() + strict_.capacity() + value_found_.capacity() +
+           size_.capacity() * sizeof(std::uint16_t) +
+           inflight_.capacity() * sizeof(std::int16_t) +
+           ok_.capacity() * sizeof(std::int16_t) +
+           streak_.capacity() * sizeof(std::int16_t) +
+           widen_.capacity() + hops_.capacity() +
+           issued_.capacity() * sizeof(sim::SimTime) +
+           stats_.capacity() * sizeof(LookupStats) +
+           entries_.capacity() * sizeof(Entry) + free_.capacity() * sizeof(Slot);
+}
+
+}  // namespace kadsim::kad

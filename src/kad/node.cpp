@@ -55,7 +55,7 @@ void KademliaNode::join(const std::optional<Contact>& bootstrap) {
     // enter ~k routing tables right away, which is what keeps the minimum
     // connectivity near k under join churn (Table 2).
     start_lookup(id(), LookupMode::kFindNode, LookupDoneFn{}, false, 0,
-                 /*strict_k=*/true);
+                 /*strict_k=*/true, /*measured=*/false);
 
     const KademliaConfig& cfg = a.config_;
     const std::uint32_t gen = a.task_gen_[address_];
@@ -82,6 +82,14 @@ void KademliaNode::crash() {
     a.network_.set_up(address_, false);
     ++a.task_gen_[address_];  // cancels the maintenance event chains
     auto& lookups = a.lookups_[address_];
+    // Return in-flight arena slots before dropping the handles; crashed
+    // lookups never reach finish_lookup (not counted as completed).
+    for (auto& slot : lookups.slots) {
+        if (slot.arena_slot != LookupArena::kInvalidSlot) {
+            a.lookup_arena_.release(slot.arena_slot);
+            slot.arena_slot = LookupArena::kInvalidSlot;
+        }
+    }
     lookups.slots.clear();
     lookups.free_slots.clear();
     auto& storage = a.storage_[address_];
@@ -95,18 +103,22 @@ void KademliaNode::crash() {
 }
 
 void KademliaNode::lookup_node(const NodeId& target, LookupDoneFn on_done) {
-    start_lookup(target, LookupMode::kFindNode, std::move(on_done), false, 0, false);
+    start_lookup(target, LookupMode::kFindNode, std::move(on_done), false, 0, false,
+                 /*measured=*/true);
 }
 
 void KademliaNode::lookup_value(const NodeId& key, LookupDoneFn on_done) {
-    start_lookup(key, LookupMode::kFindValue, std::move(on_done), false, 0, false);
+    start_lookup(key, LookupMode::kFindValue, std::move(on_done), false, 0, false,
+                 /*measured=*/true);
 }
 
 void KademliaNode::disseminate(const NodeId& key, std::uint64_t value,
                                LookupDoneFn on_done) {
     // STORE placement is strict-k (original protocol): the object must land
-    // on the k closest nodes, so the locate phase may not stop early.
-    start_lookup(key, LookupMode::kFindNode, std::move(on_done), true, value, true);
+    // on the k closest nodes, so the locate phase may not stop early. The
+    // locate walk is maintenance, not a measured lookup.
+    start_lookup(key, LookupMode::kFindNode, std::move(on_done), true, value, true,
+                 /*measured=*/false);
 }
 
 std::optional<std::uint64_t> KademliaNode::stored_value(const NodeId& key) const {
@@ -166,8 +178,11 @@ void KademliaNode::handle_find_node_response(std::uint64_t rpc_id, const Contact
     rpc_succeeded(rpc_id, from, &pending);
     if (pending.kind != RpcKind::kLookup) return;
     auto& slot = arena_->lookups_[address_].slots[pending.lookup_slot];
-    if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
-    slot.state->on_response(from.id, contacts, false);
+    if (slot.generation != pending.lookup_generation ||
+        slot.arena_slot == LookupArena::kInvalidSlot) {
+        return;
+    }
+    arena_->lookup_arena_.on_response(slot.arena_slot, from.id, contacts, false);
     pump_lookup(pending.lookup_slot);
 }
 
@@ -209,8 +224,12 @@ void KademliaNode::handle_find_value_response(std::uint64_t rpc_id, const Contac
     rpc_succeeded(rpc_id, from, &pending);
     if (pending.kind != RpcKind::kLookup) return;
     auto& slot = arena_->lookups_[address_].slots[pending.lookup_slot];
-    if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
-    slot.state->on_response(from.id, contacts, value.has_value());
+    if (slot.generation != pending.lookup_generation ||
+        slot.arena_slot == LookupArena::kInvalidSlot) {
+        return;
+    }
+    arena_->lookup_arena_.on_response(slot.arena_slot, from.id, contacts,
+                                      value.has_value());
     pump_lookup(pending.lookup_slot);
 }
 
@@ -270,10 +289,12 @@ void KademliaNode::observe_sender(const Contact& from) {
 
 void KademliaNode::start_lookup(const NodeId& target, LookupMode mode,
                                 LookupDoneFn on_done, bool disseminating,
-                                std::uint64_t store_value, bool strict_k) {
+                                std::uint64_t store_value, bool strict_k,
+                                bool measured) {
     NodeArena& a = *arena_;
     KADSIM_ASSERT(alive());
     ++a.counters_[address_].lookups_started;
+    if (measured) ++a.traffic_.issued;
     note_lookup_target(target);
 
     auto& lookups = a.lookups_[address_];
@@ -286,15 +307,14 @@ void KademliaNode::start_lookup(const NodeId& target, LookupMode mode,
         lookups.slots.emplace_back();
     }
     auto& slot = lookups.slots[slot_index];
-    slot.state = std::make_unique<LookupState>(
-        id(), target, mode,
-        LookupState::Params{a.config_.k, a.config_.alpha, 0, strict_k});
+    slot.arena_slot =
+        a.lookup_arena_.begin(id(), target, mode, strict_k, a.sim_.now());
     slot.on_done = std::move(on_done);
     slot.disseminating = disseminating;
+    slot.measured = measured;
     slot.store_value = store_value;
 
-    std::vector<Contact> seeds;
-    seeds.reserve(seed_width(a.config_.k));
+    auto& seeds = a.acquire_scratch();
     a.tables_[address_].closest(target, seed_width(a.config_.k), seeds);
     const auto& bootstrap = a.bootstraps_[address_];
     if (seeds.empty() && bootstrap.has_value() && bootstrap->id != id()) {
@@ -302,20 +322,24 @@ void KademliaNode::start_lookup(const NodeId& target, LookupMode mode,
         // configured bootstrap address and try to re-enter the network.
         seeds.push_back(*bootstrap);
     }
-    slot.state->seed(seeds);
+    a.lookup_arena_.seed(slot.arena_slot, seeds);
+    a.release_scratch();
     pump_lookup(slot_index);
 }
 
 void KademliaNode::pump_lookup(std::uint32_t slot_index) {
-    auto& slots = arena_->lookups_[address_].slots;
+    NodeArena& a = *arena_;
+    auto& slots = a.lookups_[address_].slots;
     while (true) {
         auto& slot = slots[slot_index];
-        if (slot.state == nullptr) return;
-        const auto next = slot.state->next_query();
+        if (slot.arena_slot == LookupArena::kInvalidSlot) return;
+        const auto next = a.lookup_arena_.next_query(slot.arena_slot);
         if (!next.has_value()) break;
         send_lookup_query(slot_index, *next);
     }
-    if (slots[slot_index].state->finished()) finish_lookup(slot_index);
+    if (a.lookup_arena_.finished(slots[slot_index].arena_slot)) {
+        finish_lookup(slot_index);
+    }
 }
 
 void KademliaNode::finish_lookup(std::uint32_t slot_index) {
@@ -323,27 +347,42 @@ void KademliaNode::finish_lookup(std::uint32_t slot_index) {
     auto& lookups = a.lookups_[address_];
     auto& slot = lookups.slots[slot_index];
     // Detach state before invoking callbacks: a callback may start new
-    // lookups, reusing or growing the slot vector.
-    std::unique_ptr<LookupState> state = std::move(slot.state);
+    // lookups, reusing or growing the slot vector (and the arena slot).
+    const LookupArena::Slot arena_slot = slot.arena_slot;
     LookupDoneFn on_done = std::move(slot.on_done);
     const bool disseminating = slot.disseminating;
+    const bool measured = slot.measured;
     const std::uint64_t store_value = slot.store_value;
-    slot.state.reset();
+    slot.arena_slot = LookupArena::kInvalidSlot;
     slot.on_done.reset();
     ++slot.generation;  // invalidates in-flight RPC references to this slot
     lookups.free_slots.push_back(slot_index);
 
     auto& counters = a.counters_[address_];
     ++counters.lookups_completed;
-    if (state->value_found()) ++counters.values_found;
+    const bool value_found = a.lookup_arena_.value_found(arena_slot);
+    const NodeId target = a.lookup_arena_.target(arena_slot);
+    if (value_found) ++counters.values_found;
 
-    const std::vector<Contact> closest = state->successful_closest();
+    auto& closest = a.acquire_scratch();
+    a.lookup_arena_.successful_closest(arena_slot, closest);
+    if (measured) {
+        stats::LookupTraffic& t = a.traffic_;
+        ++t.completed;
+        if (value_found || !closest.empty()) ++t.succeeded;
+        if (value_found) ++t.values_found;
+        t.hops.add(a.lookup_arena_.hop_count(arena_slot));
+        t.latency_ms.add(a.sim_.now() - a.lookup_arena_.issued_at(arena_slot));
+    }
+    a.lookup_arena_.release(arena_slot);
+
     if (disseminating) {
-        for (const auto& c : closest) send_store(c, state->target(), store_value);
+        for (const auto& c : closest) send_store(c, target, store_value);
     }
     if (on_done.has_value()) {
-        on_done(state->target(), state->value_found(), closest);
+        on_done(target, value_found, closest);
     }
+    a.release_scratch();
 }
 
 void KademliaNode::send_lookup_query(std::uint32_t slot_index, const Contact& to) {
@@ -354,8 +393,8 @@ void KademliaNode::send_lookup_query(std::uint32_t slot_index, const Contact& to
     KademliaNode* peer = a.node_at(to.address);
     KADSIM_ASSERT_MSG(peer != nullptr, "lookup query to unknown address");
     const Contact me = contact();
-    const NodeId target = slot.state->target();
-    if (slot.state->mode() == LookupMode::kFindValue) {
+    const NodeId target = a.lookup_arena_.target(slot.arena_slot);
+    if (a.lookup_arena_.mode(slot.arena_slot) == LookupMode::kFindValue) {
         a.network_.transmit(address_, to.address, [peer, me, rpc_id, target] {
             peer->handle_find_value(me, rpc_id, target);
         });
@@ -427,8 +466,11 @@ void KademliaNode::on_rpc_timeout(std::uint64_t rpc_id) {
     }
     if (pending.kind != RpcKind::kLookup) return;
     auto& slot = a.lookups_[address_].slots[pending.lookup_slot];
-    if (slot.generation != pending.lookup_generation || slot.state == nullptr) return;
-    slot.state->on_failure(pending.to.id);
+    if (slot.generation != pending.lookup_generation ||
+        slot.arena_slot == LookupArena::kInvalidSlot) {
+        return;
+    }
+    a.lookup_arena_.on_failure(slot.arena_slot, pending.to.id);
     pump_lookup(pending.lookup_slot);
 }
 
@@ -481,7 +523,7 @@ void KademliaNode::do_refresh() {
 void KademliaNode::do_advertise() {
     if (!alive()) return;
     start_lookup(id(), LookupMode::kFindNode, LookupDoneFn{}, false, 0,
-                 /*strict_k=*/true);
+                 /*strict_k=*/true, /*measured=*/false);
 }
 
 void KademliaNode::note_lookup_target(const NodeId& target) {

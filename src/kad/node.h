@@ -102,10 +102,16 @@ private:
         : arena_(&arena), address_(address) {}
 
     struct ActiveLookup {
-        std::unique_ptr<LookupState> state;
+        /// Slot in the owning NodeArena's shared LookupArena, or
+        /// kInvalidSlot when idle. The per-lookup heap allocation the old
+        /// unique_ptr<LookupState> field paid is gone.
+        std::uint32_t arena_slot = LookupArena::kInvalidSlot;
         LookupDoneFn on_done;
         std::uint32_t generation = 0;
         bool disseminating = false;
+        /// Counted in the arena's LookupTraffic histograms: application-level
+        /// lookups (lookup_node / lookup_value), not joins/advertisements.
+        bool measured = false;
         std::uint64_t store_value = 0;
     };
 
@@ -127,7 +133,8 @@ private:
     /// Any message received from a peer is liveness evidence (§4.1).
     void observe_sender(const Contact& from);
     void start_lookup(const NodeId& target, LookupMode mode, LookupDoneFn on_done,
-                      bool disseminating, std::uint64_t store_value, bool strict_k);
+                      bool disseminating, std::uint64_t store_value, bool strict_k,
+                      bool measured);
     void pump_lookup(std::uint32_t slot);
     void finish_lookup(std::uint32_t slot);
     void send_lookup_query(std::uint32_t slot, const Contact& to);

@@ -6,7 +6,12 @@ namespace kadsim::kad {
 
 NodeArena::NodeArena(const KademliaConfig& config, sim::Simulator& sim,
                      net::Network& network)
-    : config_(config), sim_(sim), network_(network), buckets_(config.k) {
+    : config_(config),
+      sim_(sim),
+      network_(network),
+      buckets_(config.k),
+      lookup_arena_(
+          LookupArena::Params{config.k, config.alpha, 0, config.lookup_boost}) {
     config.validate();
 }
 
@@ -78,6 +83,12 @@ std::uint64_t NodeArena::memory_bytes() const noexcept {
     }
     bytes += buckets_.memory_bytes();
     bytes += pending_.memory_bytes();
+    bytes += lookup_arena_.memory_bytes();
+    bytes += contact_scratch_.capacity() * sizeof(contact_scratch_[0]);
+    for (const auto& buf : contact_scratch_) {
+        bytes += buf->capacity() * sizeof(Contact);
+    }
+    bytes += traffic_.hops.memory_bytes() + traffic_.latency_ms.memory_bytes();
     return bytes;
 }
 

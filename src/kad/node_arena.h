@@ -28,15 +28,18 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "kad/bucket_arena.h"
 #include "kad/config.h"
+#include "kad/lookup_arena.h"
 #include "kad/node.h"
 #include "kad/routing_table.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "stats/histogram.h"
 #include "util/rng.h"
 
 namespace kadsim::kad {
@@ -158,6 +161,18 @@ public:
     /// for per-snapshot sampling, not per-event.
     [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
 
+    /// Cumulative workload metrics of every measured lookup issued by this
+    /// arena's nodes (lookup_node / lookup_value — traffic and refresh).
+    /// scen::Runner merges these across regions in fixed region order.
+    [[nodiscard]] const stats::LookupTraffic& lookup_traffic() const noexcept {
+        return traffic_;
+    }
+
+    /// The shared in-flight lookup storage (footprint counters, tests).
+    [[nodiscard]] const LookupArena& lookup_arena() const noexcept {
+        return lookup_arena_;
+    }
+
 private:
     friend class KademliaNode;
 
@@ -176,10 +191,30 @@ private:
         std::vector<std::uint32_t> free_slots;
     };
 
+    /// Scratch contact buffer for the allocation-free lookup path, indexed
+    /// by reentrancy depth: finish_lookup callbacks may synchronously start
+    /// (and finish) nested lookups, so a single buffer would be clobbered.
+    /// Buffers are heap-pinned (unique_ptr) so references stay valid while
+    /// the outer vector grows; after warmup acquire/release allocate
+    /// nothing.
+    [[nodiscard]] std::vector<Contact>& acquire_scratch() {
+        if (scratch_in_use_ == contact_scratch_.size()) {
+            contact_scratch_.push_back(std::make_unique<std::vector<Contact>>());
+        }
+        auto& buf = *contact_scratch_[scratch_in_use_++];
+        buf.clear();
+        return buf;
+    }
+    void release_scratch() noexcept { --scratch_in_use_; }
+
     const KademliaConfig& config_;
     sim::Simulator& sim_;
     net::Network& network_;
     BucketArena buckets_;
+    LookupArena lookup_arena_;
+    stats::LookupTraffic traffic_;
+    std::vector<std::unique_ptr<std::vector<Contact>>> contact_scratch_;
+    std::size_t scratch_in_use_ = 0;
 
     std::deque<KademliaNode> nodes_;  // stable 16-byte handles, by address
     std::vector<NodeId> ids_;

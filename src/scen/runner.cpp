@@ -42,7 +42,9 @@ public:
           net_(sim_, config.latency, net::LossModel::from_level(config.loss)),
           rng_(sim_.split_rng()),
           fault_(fault::make_fault_model(config.fault)),
-          arena_(config.kad, sim_, net_) {
+          arena_(config.kad, sim_, net_),
+          probe_arena_(kad::LookupArena::Params{
+              config.kad.k, config.kad.alpha, 0, config.kad.lookup_boost}) {
         schedule_initial_joins();
         start_periodic_tasks();
     }
@@ -64,6 +66,89 @@ public:
     }
     [[nodiscard]] std::uint64_t joins() const noexcept { return joins_; }
     [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+
+    [[nodiscard]] std::uint64_t lookup_arena_bytes() const noexcept {
+        return arena_.lookup_arena().memory_bytes() + probe_arena_.memory_bytes();
+    }
+
+    /// `count` side-effect-free lookup probes over this region's live
+    /// routing tables (see Runner::run_lookup_probes for the contract): each
+    /// probe picks a random live source and a random target, replays the
+    /// iterative FIND_NODE walk synchronously against the current tables
+    /// (dead contacts answer as timeouts), and succeeds when it reaches the
+    /// ground-truth closest live node. The probe RNG is derived from the
+    /// region seed and the current instant — the simulation streams (rng_,
+    /// per-node RNGs) are never advanced.
+    void run_probes(int count, bool verify_truth, stats::ProbeStats& out) {
+        if (count <= 0 || live_.empty()) return;
+        util::Rng prng(region_seed(config_.seed, index_) ^
+                       (0xD1B54A32D192ED03ull *
+                        static_cast<std::uint64_t>(sim_.now() + 1)));
+        const auto k = static_cast<std::size_t>(config_.kad.k);
+        for (int i = 0; i < count; ++i) {
+            const net::Address src_global =
+                live_[prng.next_below(static_cast<std::uint64_t>(live_.size()))];
+            const net::Address src = local_of(src_global);
+            const kad::NodeId self = arena_.id_of(src);
+            const kad::NodeId target = kad::NodeId::random(prng, config_.kad.b);
+            // Ground truth: the live node closest to the target (O(live);
+            // probes are per-snapshot, not per-event). The throughput bench
+            // skips it (verify_truth = false) — the scan would dominate the
+            // walk it is trying to measure. The truth scan consumes no
+            // randomness, so the walk itself is identical either way.
+            net::Address truth = src;
+            if (verify_truth) {
+                kad::NodeId best = target.distance_to(self);
+                for (const net::Address g : live_) {
+                    const net::Address local = local_of(g);
+                    const kad::NodeId d = target.distance_to(arena_.id_of(local));
+                    if (d < best) {
+                        best = d;
+                        truth = local;
+                    }
+                }
+            }
+
+            const auto slot = probe_arena_.begin(
+                self, target, kad::LookupMode::kFindNode, false, 0);
+            probe_seeds_.clear();
+            arena_.table_of(src).closest(target, k, probe_seeds_);
+            probe_arena_.seed(slot, probe_seeds_);
+            while (auto next = probe_arena_.next_query(slot)) {
+                const net::Address peer = next->address;
+                if (arena_.alive(peer)) {
+                    probe_resp_.clear();
+                    arena_.table_of(peer).closest(target, k, probe_resp_, &self);
+                    probe_arena_.on_response(slot, next->id, probe_resp_, false);
+                } else {
+                    probe_arena_.on_failure(slot, next->id);
+                }
+            }
+            ++out.probes;
+            probe_closest_.clear();
+            probe_arena_.successful_closest(slot, probe_closest_);
+            bool ok;
+            if (verify_truth) {
+                ok = truth == src;  // the source itself is closest
+                if (!ok) {
+                    const kad::NodeId truth_id = arena_.id_of(truth);
+                    for (const auto& c : probe_closest_) {
+                        if (c.id == truth_id) {
+                            ok = true;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                // Unverified mode: "success" = the walk terminated with a
+                // non-empty confirmed shortlist.
+                ok = !probe_closest_.empty();
+            }
+            if (ok) ++out.succeeded;
+            out.hops.add(probe_arena_.hop_count(slot));
+            probe_arena_.release(slot);
+        }
+    }
 
     [[nodiscard]] net::Address local_of(net::Address global) const noexcept {
         return global / static_cast<net::Address>(count_);
@@ -267,6 +352,12 @@ private:
     util::Rng rng_;
     std::unique_ptr<fault::FaultModel> fault_;
     kad::NodeArena arena_;
+    /// Scratch arena + buffers for run_probes (slot/buffers recycled across
+    /// probes and waves — no steady-state allocation).
+    kad::LookupArena probe_arena_;
+    std::vector<kad::Contact> probe_seeds_;
+    std::vector<kad::Contact> probe_resp_;
+    std::vector<kad::Contact> probe_closest_;
     std::vector<net::Address> live_;       // global addresses, join order
     std::vector<std::uint32_t> live_pos_;  // local address → index into live_
     std::vector<kad::NodeId> data_registry_;
@@ -364,10 +455,22 @@ void Runner::step_to(sim::SimTime t) {
 void Runner::run(sim::SimTime snapshot_interval,
                  const std::function<void(const graph::RoutingSnapshot&)>& on_snapshot) {
     KADSIM_ASSERT(snapshot_interval > 0);
+    // Interval extraction state is local to this driver: snapshot() and
+    // lookup_traffic() stay idempotent/cumulative for direct callers.
+    stats::LookupTraffic prev;
     for (sim::SimTime t = snapshot_interval; t <= config_.phases.end;
          t += snapshot_interval) {
         step_to(t);
-        if (on_snapshot) on_snapshot(snapshot());
+        if (on_snapshot) {
+            graph::RoutingSnapshot snap = snapshot();
+            const stats::LookupTraffic cur = lookup_traffic();
+            snap.lookups = cur.diff(prev);
+            prev = cur;
+            if (config_.traffic.probes_per_snapshot > 0) {
+                snap.probes = run_lookup_probes(config_.traffic.probes_per_snapshot);
+            }
+            on_snapshot(snap);
+        }
     }
     if (regions_[0]->sim().now() < config_.phases.end) step_to(config_.phases.end);
 }
@@ -469,6 +572,41 @@ std::uint64_t Runner::queue_memory_bytes() const noexcept {
         bytes += region->sim().queue_memory_bytes();
     }
     return bytes;
+}
+
+std::uint64_t Runner::lookup_arena_bytes() const noexcept {
+    std::uint64_t bytes = 0;
+    for (const auto& region : regions_) bytes += region->lookup_arena_bytes();
+    return bytes;
+}
+
+stats::LookupTraffic Runner::lookup_traffic() const {
+    stats::LookupTraffic out;
+    // Fixed region order — same merge contract as snapshot()/totals().
+    for (const auto& region : regions_) out.merge(region->arena().lookup_traffic());
+    return out;
+}
+
+stats::ProbeStats Runner::run_lookup_probes(int per_region, bool verify_truth) {
+    const int count = static_cast<int>(regions_.size());
+    std::vector<stats::ProbeStats> per(regions_.size());
+    if (pool_ != nullptr) {
+        // Regions probe concurrently (each touches only its own tables and
+        // scratch arena); the merge below runs in fixed region order, so the
+        // result is byte-identical for any thread count.
+        pool_->parallel_for(0, count, [this, per_region, verify_truth, &per](int r) {
+            regions_[static_cast<std::size_t>(r)]->run_probes(
+                per_region, verify_truth, per[static_cast<std::size_t>(r)]);
+        });
+    } else {
+        for (int r = 0; r < count; ++r) {
+            regions_[static_cast<std::size_t>(r)]->run_probes(
+                per_region, verify_truth, per[static_cast<std::size_t>(r)]);
+        }
+    }
+    stats::ProbeStats out;
+    for (const auto& p : per) out.merge(p);
+    return out;
 }
 
 }  // namespace kadsim::scen

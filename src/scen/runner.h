@@ -29,6 +29,7 @@
 #include "net/network.h"
 #include "scen/scenario.h"
 #include "sim/simulator.h"
+#include "stats/histogram.h"
 #include "stats/timeseries.h"
 
 namespace kadsim::exec {
@@ -60,6 +61,9 @@ public:
 
     /// Convenience driver: runs to config.phases.end, invoking `on_snapshot`
     /// every `snapshot_interval` (first snapshot at t = snapshot_interval).
+    /// Each delivered snapshot additionally carries the interval's lookup
+    /// traffic (diff of the cumulative per-region tallies) and — when
+    /// config.traffic.probes_per_snapshot > 0 — a fresh probe wave.
     void run(sim::SimTime snapshot_interval,
              const std::function<void(const graph::RoutingSnapshot&)>& on_snapshot);
 
@@ -102,6 +106,27 @@ public:
 
     /// Resident footprint of all event queues (bench counter).
     [[nodiscard]] std::uint64_t queue_memory_bytes() const noexcept;
+
+    /// Resident footprint of the lookup arenas (in-flight lookup slots plus
+    /// the probe scratch arenas; bench counter).
+    [[nodiscard]] std::uint64_t lookup_arena_bytes() const noexcept;
+
+    /// Cumulative measured-lookup metrics, regions merged in fixed region
+    /// order (idempotent — run() turns consecutive values into per-interval
+    /// diffs for the snapshot it delivers).
+    [[nodiscard]] stats::LookupTraffic lookup_traffic() const;
+
+    /// Runs `per_region` side-effect-free lookup probes in every region
+    /// (concurrently when sharded) and merges the results in fixed region
+    /// order. Probes walk the live routing tables synchronously with an RNG
+    /// derived from (region seed, current instant) — simulator state, node
+    /// tables and the simulation RNG streams are never touched, so replay
+    /// determinism is preserved exactly. `verify_truth = false` skips the
+    /// per-probe O(live) ground-truth scan (throughput benches: success then
+    /// means "walk terminated with a confirmed shortlist"); the walk and hop
+    /// counts are identical either way.
+    [[nodiscard]] stats::ProbeStats run_lookup_probes(int per_region,
+                                                      bool verify_truth = true);
 
 private:
     class Region;

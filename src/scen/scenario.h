@@ -29,6 +29,14 @@ struct TrafficSpec {
     bool enabled = false;
     int lookups_per_minute = 10;
     int disseminations_per_minute = 1;
+    /// Side-effect-free lookup probes per region at every Runner::run()
+    /// snapshot: synthetic FIND_NODE walks over the live routing tables
+    /// (own RNG stream, no messages, no table updates) that measure "would
+    /// a lookup succeed right now?". Independent of `enabled`, so attack
+    /// scenarios — which run with traffic off precisely because live
+    /// traffic repairs the tables — still get a lookup-success series
+    /// alongside κ/λ. 0 disables.
+    int probes_per_snapshot = 64;
 };
 
 /// Phase boundaries (§5.4). Events scheduled at random times happen inside
@@ -91,6 +99,9 @@ struct ScenarioConfig {
         // silently only to blow up when someone flips `enabled` on.
         if (traffic.lookups_per_minute < 0 || traffic.disseminations_per_minute < 0) {
             throw std::invalid_argument("traffic rates must be >= 0");
+        }
+        if (traffic.probes_per_snapshot < 0) {
+            throw std::invalid_argument("probes_per_snapshot must be >= 0");
         }
         if (regions < 1) throw std::invalid_argument("regions must be >= 1");
         if (regions > initial_size) {

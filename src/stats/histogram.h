@@ -1,0 +1,260 @@
+// Mergeable streaming histograms for the lookup workload engine.
+//
+// The million-lookup traffic engine cannot afford per-sample storage (a
+// paper-scale run issues millions of FIND_NODE walks), so hop counts and
+// latencies stream into fixed-bucket histograms instead: O(1) add, O(buckets)
+// quantile, and bucket-wise merge across regions. Bucket counts are integers,
+// so merging is commutative and associative — but the simulator still merges
+// in fixed region order (region 0, 1, …, R−1), the same contract that makes
+// sharded stepping bit-identical across thread counts (docs/architecture.md,
+// "Determinism under sharding").
+//
+// Two shapes cover every caller:
+//  - CountHistogram: exact counts over small non-negative integers (hop
+//    counts, vertex degrees). Quantiles equal the exact sorted-order values.
+//  - Log2Histogram: log2 buckets with 8 sub-buckets per octave for wide-range
+//    values (lookup latency in ms). Quantiles are bucket lower bounds —
+//    relative error bounded by 1/8 of an octave.
+#ifndef KADSIM_STATS_HISTOGRAM_H
+#define KADSIM_STATS_HISTOGRAM_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kadsim::stats {
+
+/// Exact counting histogram over small non-negative integers. Memory is
+/// O(max value observed); add() clamps negatives to zero. value_at_index(i)
+/// reproduces std::sort(samples)[i] without the sort, which is what lets
+/// graph_stats swap its sort-per-call percentile path for this class without
+/// changing a single reported number.
+class CountHistogram {
+public:
+    void add(std::int64_t value) {
+        const auto idx = static_cast<std::size_t>(value < 0 ? 0 : value);
+        if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+        ++counts_[idx];
+        ++total_;
+    }
+
+    /// Bucket-wise addition of another histogram. Bumps the merge counter
+    /// (observable in bench JSON as evidence the merge path is engaged).
+    void merge(const CountHistogram& other) {
+        if (other.counts_.size() > counts_.size()) {
+            counts_.resize(other.counts_.size(), 0);
+        }
+        for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+            counts_[i] += other.counts_[i];
+        }
+        total_ += other.total_;
+        merges_ += other.merges_ + 1;
+    }
+
+    /// Bucket-wise subtraction of an earlier cumulative state of the same
+    /// accumulation (interval extraction). `prev` must be a prefix history
+    /// of *this*; the merge counter carries over from *this*.
+    [[nodiscard]] CountHistogram diff(const CountHistogram& prev) const {
+        CountHistogram out = *this;
+        for (std::size_t i = 0; i < prev.counts_.size(); ++i) {
+            out.counts_[i] -= prev.counts_[i];
+        }
+        out.total_ -= prev.total_;
+        return out;
+    }
+
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] std::uint64_t merges() const noexcept { return merges_; }
+    [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+    /// Value at 0-based position `idx` of the sorted sample multiset
+    /// (exact). `idx` past the end returns the maximum observed value;
+    /// an empty histogram returns 0.
+    [[nodiscard]] std::int64_t value_at_index(std::uint64_t idx) const noexcept {
+        std::uint64_t seen = 0;
+        std::int64_t last = 0;
+        for (std::size_t v = 0; v < counts_.size(); ++v) {
+            if (counts_[v] == 0) continue;
+            last = static_cast<std::int64_t>(v);
+            seen += counts_[v];
+            if (seen > idx) return last;
+        }
+        return last;
+    }
+
+    /// Exact quantile: value at sorted index floor(q·total), clamped to the
+    /// last sample. quantile(0.5) of {1,2,3,4} is sorted[2] = 3 — the same
+    /// `sorted[n/2]` convention graph_stats has always used.
+    [[nodiscard]] std::int64_t quantile(double q) const noexcept {
+        if (total_ == 0) return 0;
+        auto idx = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        if (idx >= total_) idx = total_ - 1;
+        return value_at_index(idx);
+    }
+
+    [[nodiscard]] std::int64_t min() const noexcept {
+        return value_at_index(0);
+    }
+    [[nodiscard]] std::int64_t max() const noexcept {
+        return total_ == 0 ? 0 : value_at_index(total_ - 1);
+    }
+
+    /// Raw bucket counts (tests / serialization into determinism digests).
+    [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept {
+        return counts_;
+    }
+
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return counts_.capacity() * sizeof(std::uint64_t);
+    }
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+/// Log-scale histogram: one octave per power of two, split into 8
+/// sub-buckets (HDR-style, 3 sub-bucket bits). Values 0–7 get exact unit
+/// buckets; larger values land in bucket [2^m + s·2^(m-3), …). Fixed
+/// storage (488 buckets covers all of int64), no allocation after
+/// construction — safe inside the zero-alloc lookup path.
+class Log2Histogram {
+public:
+    static constexpr int kSubBits = 3;
+    static constexpr std::size_t kBuckets =
+        8 + (62 - kSubBits) * (std::size_t{1} << kSubBits);  // 480 + 8 = 488
+
+    static constexpr std::size_t index_of(std::int64_t value) noexcept {
+        const auto v = static_cast<std::uint64_t>(value < 0 ? 0 : value);
+        if (v < 8) return static_cast<std::size_t>(v);
+        const int major = std::bit_width(v) - 1;  // >= 3
+        const auto minor =
+            static_cast<std::size_t>((v >> (major - kSubBits)) & 7u);
+        return static_cast<std::size_t>(major - 2) * 8 + minor;
+    }
+
+    /// Lower bound of bucket `idx` — the value quantiles report.
+    static constexpr std::int64_t bucket_floor(std::size_t idx) noexcept {
+        if (idx < 8) return static_cast<std::int64_t>(idx);
+        const int major = static_cast<int>(idx / 8) + 2;
+        const auto minor = static_cast<std::uint64_t>(idx % 8);
+        return static_cast<std::int64_t>((std::uint64_t{1} << major) |
+                                         (minor << (major - kSubBits)));
+    }
+
+    void add(std::int64_t value) noexcept {
+        ++counts_[index_of(value)];
+        ++total_;
+    }
+
+    void merge(const Log2Histogram& other) noexcept {
+        for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+        total_ += other.total_;
+        merges_ += other.merges_ + 1;
+    }
+
+    [[nodiscard]] Log2Histogram diff(const Log2Histogram& prev) const noexcept {
+        Log2Histogram out = *this;
+        for (std::size_t i = 0; i < kBuckets; ++i) out.counts_[i] -= prev.counts_[i];
+        out.total_ -= prev.total_;
+        return out;
+    }
+
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] std::uint64_t merges() const noexcept { return merges_; }
+    [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+    /// Quantile as the lower bound of the bucket holding sorted index
+    /// floor(q·total) — same index convention as CountHistogram::quantile.
+    [[nodiscard]] std::int64_t quantile(double q) const noexcept {
+        if (total_ == 0) return 0;
+        auto idx = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        if (idx >= total_) idx = total_ - 1;
+        std::uint64_t seen = 0;
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            if (counts_[i] == 0) continue;
+            last = i;
+            seen += counts_[i];
+            if (seen > idx) return bucket_floor(i);
+        }
+        return bucket_floor(last);
+    }
+
+    [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept {
+        return counts_;
+    }
+
+    [[nodiscard]] static constexpr std::size_t memory_bytes() noexcept {
+        return kBuckets * sizeof(std::uint64_t);
+    }
+
+private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+/// Aggregate workload metrics for application-level lookups (FIND_NODE /
+/// FIND_VALUE walks started via KademliaNode::lookup_node / lookup_value —
+/// traffic and bucket refresh; joins, advertisements and dissemination
+/// locates are maintenance and excluded). Accumulated per region inside
+/// NodeArena, merged in fixed region order by scen::Runner.
+struct LookupTraffic {
+    std::uint64_t issued = 0;       ///< lookups started
+    std::uint64_t completed = 0;    ///< lookups that reached a terminal state
+    std::uint64_t succeeded = 0;    ///< completed with >= 1 successful contact
+    std::uint64_t values_found = 0; ///< kFindValue short-circuits
+    CountHistogram hops;            ///< iteration depth per completed lookup
+    Log2Histogram latency_ms;       ///< issue -> completion wall (simulated ms)
+
+    void merge(const LookupTraffic& other) {
+        issued += other.issued;
+        completed += other.completed;
+        succeeded += other.succeeded;
+        values_found += other.values_found;
+        hops.merge(other.hops);
+        latency_ms.merge(other.latency_ms);
+    }
+
+    /// Interval view: counts since `prev` (an earlier cumulative state).
+    [[nodiscard]] LookupTraffic diff(const LookupTraffic& prev) const {
+        LookupTraffic out = *this;
+        out.issued -= prev.issued;
+        out.completed -= prev.completed;
+        out.succeeded -= prev.succeeded;
+        out.values_found -= prev.values_found;
+        out.hops = hops.diff(prev.hops);
+        out.latency_ms = latency_ms.diff(prev.latency_ms);
+        return out;
+    }
+
+    [[nodiscard]] std::uint64_t hist_merges() const noexcept {
+        return hops.merges() + latency_ms.merges();
+    }
+};
+
+/// Side-effect-free snapshot-time lookup probes (scen::Runner): synthetic
+/// FIND_NODE walks over the live routing tables that never touch simulator
+/// state, used to measure "would a lookup succeed right now?" even in
+/// scenarios that run with traffic disabled (the attack benches).
+struct ProbeStats {
+    std::uint64_t probes = 0;
+    std::uint64_t succeeded = 0;  ///< found the ground-truth closest live node
+    CountHistogram hops;
+
+    void merge(const ProbeStats& other) {
+        probes += other.probes;
+        succeeded += other.succeeded;
+        hops.merge(other.hops);
+    }
+};
+
+}  // namespace kadsim::stats
+
+#endif  // KADSIM_STATS_HISTOGRAM_H

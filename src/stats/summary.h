@@ -2,6 +2,12 @@
 //
 // Table 2 reports "the means and the Relative Variance (RV), i.e.
 // Variance/Mean, of the minimum connectivity during the churn phase".
+//
+// Summary carries no per-sample storage and therefore has no percentiles.
+// Callers that need quantiles stream into stats/histogram.h instead
+// (CountHistogram for exact small-integer quantiles, Log2Histogram for
+// wide-range values); graph_stats' percentile path runs on CountHistogram,
+// with the historical exact sort behind its `exact_sort` flag.
 #ifndef KADSIM_STATS_SUMMARY_H
 #define KADSIM_STATS_SUMMARY_H
 

@@ -58,7 +58,12 @@ std::string row_for(const core::ResilienceSample& s) {
         << s.pairs_evaluated << ',' << s.removed_total << ',' << s.lambda_min
         << ',' << s.lambda_avg << ',' << s.scc_frac << ',' << s.wcc_frac << ','
         << s.articulation_points << ',' << s.bridges << ',' << s.out_degree_min
-        << ',' << s.in_degree_min << ',' << s.kappa_degree_gap;
+        << ',' << s.in_degree_min << ',' << s.kappa_degree_gap << ','
+        << s.lookups_done << ',' << s.lookup_success_rate << ','
+        << s.lookup_hop_p50 << ',' << s.lookup_hop_p99 << ','
+        << s.lookup_latency_p50_ms << ',' << s.lookup_latency_p99_ms << ','
+        << s.probes_done << ',' << s.probe_success_rate << ','
+        << s.probe_hop_p50 << ',' << s.probe_hop_p99;
     return out.str();
 }
 
@@ -84,6 +89,16 @@ core::ResilienceSample sample_for(int i) {
     s.out_degree_min = 5 + i % 4;
     s.in_degree_min = 6 + i % 9;
     s.kappa_degree_gap = 2 + i % 3;
+    s.lookups_done = 40u + static_cast<std::uint64_t>(i % 13);
+    s.lookup_success_rate = 0.9375;
+    s.lookup_hop_p50 = 3.0 + i % 2;
+    s.lookup_hop_p99 = 6.0 + i % 3;
+    s.lookup_latency_p50_ms = 448.0;
+    s.lookup_latency_p99_ms = 1792.0;
+    s.probes_done = 64u;
+    s.probe_success_rate = 0.984375;
+    s.probe_hop_p50 = 3.0;
+    s.probe_hop_p99 = 5.0 + i % 2;
     return s;
 }
 
@@ -109,12 +124,26 @@ TEST(BenchCache, ParseRoundTripsStoreFormat) {
     EXPECT_EQ(parsed.out_degree_min, expected.out_degree_min);
     EXPECT_EQ(parsed.in_degree_min, expected.in_degree_min);
     EXPECT_EQ(parsed.kappa_degree_gap, expected.kappa_degree_gap);
+    EXPECT_EQ(parsed.lookups_done, expected.lookups_done);
+    EXPECT_EQ(parsed.lookup_success_rate, expected.lookup_success_rate);
+    EXPECT_EQ(parsed.lookup_hop_p50, expected.lookup_hop_p50);
+    EXPECT_EQ(parsed.lookup_hop_p99, expected.lookup_hop_p99);
+    EXPECT_EQ(parsed.lookup_latency_p50_ms, expected.lookup_latency_p50_ms);
+    EXPECT_EQ(parsed.lookup_latency_p99_ms, expected.lookup_latency_p99_ms);
+    EXPECT_EQ(parsed.probes_done, expected.probes_done);
+    EXPECT_EQ(parsed.probe_success_rate, expected.probe_success_rate);
+    EXPECT_EQ(parsed.probe_hop_p50, expected.probe_hop_p50);
+    EXPECT_EQ(parsed.probe_hop_p99, expected.probe_hop_p99);
 }
 
 TEST(BenchCache, RejectsMalformedRows) {
     core::ResilienceSample s;
     // Pre-metric-suite row: the eight original columns only.
     EXPECT_FALSE(bench::parse_sample_row("0.5,60,700,3,9.5,1,0.98,1194", s));
+    // Pre-lookup-engine row: all 18 metric columns but no lookup columns —
+    // older caches miss cleanly and re-simulate.
+    EXPECT_FALSE(bench::parse_sample_row(
+        "0.5,60,700,3,9.5,1,0.98,1194,0,4,21.5,0.99,1,0,0,5,6,2", s));
     EXPECT_FALSE(bench::parse_sample_row("", s));
     EXPECT_FALSE(bench::parse_sample_row("garbage", s));
     // Trailing junk after the final column.

@@ -37,6 +37,30 @@ TEST(GraphStats, GraphDegreeSummaries) {
     EXPECT_DOUBLE_EQ(in.mean, 1.0);
 }
 
+TEST(GraphStats, CountingPathMatchesExactSortOnSmallInputs) {
+    // The default counting-histogram path must report the same quantiles as
+    // the historical sort-per-call path (`exact_sort = true`) — including
+    // duplicates, skewed shapes and single elements.
+    const std::vector<std::vector<int>> cases = {
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+        {5, 5, 5, 5, 5},
+        {0},
+        {7, 0, 7, 0, 7},
+        {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4},
+        {100, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+        {0, 0, 0, 0, 0, 0, 0, 0, 0, 42},
+    };
+    for (const auto& degrees : cases) {
+        const auto counting = summarize_degrees(degrees);
+        const auto sorted = summarize_degrees(degrees, /*exact_sort=*/true);
+        EXPECT_EQ(counting.min, sorted.min);
+        EXPECT_EQ(counting.max, sorted.max);
+        EXPECT_DOUBLE_EQ(counting.mean, sorted.mean);
+        EXPECT_EQ(counting.median, sorted.median);
+        EXPECT_EQ(counting.p10, sorted.p10);
+    }
+}
+
 TEST(GraphStats, HistogramBucketsCoverRange) {
     const auto counts = degree_histogram({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5);
     ASSERT_EQ(counts.size(), 5u);

@@ -1,6 +1,11 @@
 // Summary statistics and time series (Table 2's mean / relative variance).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
 #include "stats/summary.h"
 #include "stats/timeseries.h"
 
@@ -83,6 +88,129 @@ TEST(TimeSeries, SummarizeAll) {
     const Summary s = ts.summarize();
     EXPECT_EQ(s.count(), 2u);
     EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+// --- mergeable streaming histograms (stats/histogram.h) ---------------------
+
+TEST(CountHistogram, QuantilesMatchSortedIndexConvention) {
+    // quantile(q) must equal sorted[floor(q*n)] — the `sorted[n/2]` /
+    // `sorted[n/10]` convention graph_stats has always reported.
+    std::vector<std::int64_t> samples = {9, 1, 4, 4, 7, 2, 2, 2, 8, 5, 3, 6};
+    CountHistogram h;
+    for (const auto v : samples) h.add(v);
+    std::sort(samples.begin(), samples.end());
+    EXPECT_EQ(h.total(), samples.size());
+    EXPECT_EQ(h.min(), samples.front());
+    EXPECT_EQ(h.max(), samples.back());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(h.value_at_index(i), samples[i]) << "index " << i;
+    }
+    EXPECT_EQ(h.quantile(0.5), samples[samples.size() / 2]);
+    EXPECT_EQ(h.quantile(0.1), samples[samples.size() / 10]);
+    EXPECT_EQ(h.quantile(0.99), samples[(samples.size() * 99) / 100]);
+    // Clamped at both ends.
+    EXPECT_EQ(h.quantile(0.0), samples.front());
+    EXPECT_EQ(h.quantile(1.0), samples.back());
+}
+
+TEST(CountHistogram, MergeEqualsCombinedStream) {
+    CountHistogram a;
+    CountHistogram b;
+    CountHistogram combined;
+    for (int v = 0; v < 40; ++v) {
+        ((v % 3 == 0) ? a : b).add(v % 11);
+        combined.add(v % 11);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total(), combined.total());
+    EXPECT_EQ(a.merges(), 1u);
+    ASSERT_EQ(a.counts().size(), combined.counts().size());
+    for (std::size_t i = 0; i < a.counts().size(); ++i) {
+        EXPECT_EQ(a.counts()[i], combined.counts()[i]);
+    }
+}
+
+TEST(CountHistogram, DiffRecoversInterval) {
+    CountHistogram cumulative;
+    for (const auto v : {1, 2, 3}) cumulative.add(v);
+    const CountHistogram checkpoint = cumulative;
+    for (const auto v : {3, 5, 5, 9}) cumulative.add(v);
+    const CountHistogram interval = cumulative.diff(checkpoint);
+    EXPECT_EQ(interval.total(), 4u);
+    EXPECT_EQ(interval.min(), 3);
+    EXPECT_EQ(interval.max(), 9);
+    EXPECT_EQ(interval.quantile(0.5), 5);
+}
+
+TEST(CountHistogram, EmptyAndNegativeClamp) {
+    CountHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.quantile(0.5), 0);
+    h.add(-7);  // clamps to bucket 0
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Log2Histogram, ExactBelowEightAndMonotoneQuantiles) {
+    Log2Histogram h;
+    for (const auto v : {0, 1, 2, 3, 4, 5, 6, 7}) h.add(v);
+    // Values below 8 occupy exact unit buckets.
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(Log2Histogram::index_of(static_cast<std::int64_t>(i)), i);
+        EXPECT_EQ(Log2Histogram::bucket_floor(i), static_cast<std::int64_t>(i));
+    }
+    for (const auto v : {100, 1000, 10000, 100000}) h.add(v);
+    std::int64_t prev = -1;
+    for (const double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const auto cur = h.quantile(q);
+        EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+        prev = cur;
+    }
+    // A bucket floor never exceeds the value mapped into the bucket.
+    for (const std::int64_t v : {9, 17, 100, 12345, 1 << 30}) {
+        EXPECT_LE(Log2Histogram::bucket_floor(Log2Histogram::index_of(v)), v);
+        EXPECT_GT(Log2Histogram::bucket_floor(Log2Histogram::index_of(v) + 1), v);
+    }
+}
+
+TEST(Log2Histogram, MergeCountersAccumulate) {
+    Log2Histogram a;
+    Log2Histogram b;
+    Log2Histogram c;
+    a.add(5);
+    b.add(300);
+    c.add(7);
+    b.merge(c);   // b.merges = 1
+    a.merge(b);   // a.merges = 1 + (b.merges) + 1... carried transitively
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.merges(), 2u);  // one merge into b, one into a
+    EXPECT_EQ(a.quantile(0.0), 5);
+}
+
+TEST(LookupTrafficAggregate, MergeAndDiff) {
+    LookupTraffic a;
+    a.issued = 10;
+    a.completed = 8;
+    a.succeeded = 7;
+    for (int i = 0; i < 8; ++i) {
+        a.hops.add(3);
+        a.latency_ms.add(480);
+    }
+    LookupTraffic b = a;
+    b.issued = 4;
+    b.completed = 4;
+    b.succeeded = 4;
+    a.merge(b);
+    EXPECT_EQ(a.issued, 14u);
+    EXPECT_EQ(a.completed, 12u);
+    EXPECT_EQ(a.hops.total(), 16u);
+    EXPECT_GE(a.hist_merges(), 2u);
+
+    const LookupTraffic interval = a.diff(b);
+    EXPECT_EQ(interval.issued, 10u);
+    EXPECT_EQ(interval.completed, 8u);
+    EXPECT_EQ(interval.hops.total(), 8u);
+    EXPECT_EQ(interval.hops.quantile(0.5), 3);
 }
 
 }  // namespace
