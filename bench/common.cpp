@@ -203,7 +203,8 @@ std::string write_bench_json(const FigureSpec& spec) {
         out << "], "
             << "\"kappa_zero_at_min\": " << kappa_zero_at << ", "
             << "\"lookup_degraded_at_min\": " << degraded_at << ", "
-            << "\"wall_seconds\": " << run.wall_seconds << "}"
+            << "\"wall_seconds\": " << run.wall_seconds << ", "
+            << "\"snapshot_capture_us\": " << run.series.snapshot_capture_us << "}"
             << (i + 1 < spec.runs.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";

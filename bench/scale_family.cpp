@@ -45,6 +45,7 @@ struct ScaleRun {
     std::uint64_t peak_arena_bytes = 0;
     std::uint64_t arcs_touched = 0;
     std::uint64_t full_resets_avoided = 0;
+    std::uint64_t snapshot_capture_us = 0;
 };
 
 void run_one(ScaleRun& run, exec::ThreadPool& pool, bench::ProgressSink& sink) {
@@ -52,7 +53,7 @@ void run_one(ScaleRun& run, exec::ThreadPool& pool, bench::ProgressSink& sink) {
     const core::ConnectivityAnalyzer analyzer(run.config.analyzer);
     scen::Runner runner(run.config.scenario);
     runner.run(run.config.snapshot_interval, [&](const graph::RoutingSnapshot& snap) {
-        const graph::Digraph g = snap.to_digraph();
+        const graph::Digraph g = snap.to_digraph(&pool);
         const flow::ConnectivityResult r = analyzer.analyze_graph(g, &pool);
         core::ConnectivitySample sample;
         sample.time_min = static_cast<double>(snap.time_ms) / 60000.0;
@@ -70,6 +71,7 @@ void run_one(ScaleRun& run, exec::ThreadPool& pool, bench::ProgressSink& sink) {
     run.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    run.snapshot_capture_us = runner.snapshot_capture_us();
 }
 
 // --- incremental-analysis gate ---------------------------------------------
@@ -234,7 +236,8 @@ void write_json(const std::vector<ScaleRun>& runs, const GateResult& gate,
             << "\"wall_seconds\": " << run.wall_seconds << ", "
             << "\"peak_arena_bytes\": " << run.peak_arena_bytes << ", "
             << "\"arcs_touched\": " << run.arcs_touched << ", "
-            << "\"full_resets_avoided\": " << run.full_resets_avoided << "}"
+            << "\"full_resets_avoided\": " << run.full_resets_avoided << ", "
+            << "\"snapshot_capture_us\": " << run.snapshot_capture_us << "}"
             << (i + 1 < runs.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";

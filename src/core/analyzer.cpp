@@ -39,7 +39,10 @@ ResilienceSample ConnectivityAnalyzer::analyze(const graph::RoutingSnapshot& sna
         sample.probe_hop_p99 =
             static_cast<double>(snap.probes.hops.quantile(0.99));
     }
-    const graph::Digraph g = snap.to_digraph();
+    // Pool-assisted CSR compaction — but not from inside a pool lane (the
+    // pipelined driver analyzes on a worker; nested fan-out would deadlock).
+    const graph::Digraph g = snap.to_digraph(
+        (pool != nullptr && !exec::ThreadPool::in_worker()) ? pool : nullptr);
     sample.n = g.vertex_count();
     sample.m = g.edge_count();
     if (sample.n == 0) return sample;

@@ -99,6 +99,7 @@ ExperimentSeries run_sequential(const ExperimentConfig& config,
                    series.samples.push_back(sample);
                });
     series.network_size = runner.size_series();
+    series.snapshot_capture_us = runner.snapshot_capture_us();
     return series;
 }
 
@@ -209,6 +210,7 @@ ExperimentSeries run_pipelined(const ExperimentConfig& config,
 
     series.samples = emitter.take();
     series.network_size = runner.size_series();
+    series.snapshot_capture_us = runner.snapshot_capture_us();
     return series;
 }
 

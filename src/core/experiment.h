@@ -43,6 +43,9 @@ struct ExperimentSeries {
     /// Wall-clock cost of producing this series (not part of the result
     /// data; 0 when the series was loaded from a cache).
     double wall_seconds = 0.0;
+    /// Cumulative runner time spent capturing routing snapshots (same
+    /// caveat: measurement metadata, 0 when cache-loaded).
+    std::uint64_t snapshot_capture_us = 0;
 
     [[nodiscard]] stats::TimeSeries kappa_min_series() const;
     [[nodiscard]] stats::TimeSeries kappa_avg_series() const;

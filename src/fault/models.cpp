@@ -23,7 +23,7 @@ std::vector<sim::SimTime> uniform_instants(int count, util::Rng& rng) {
 
 /// Live out-neighbour count of one snapshot node (its connectivity-graph
 /// out-degree: stale entries pointing at departed nodes don't count, §4.2).
-int live_out_degree(const graph::SnapshotNode& node, const FaultView& view) {
+int live_out_degree(const graph::SnapshotNodeView& node, const FaultView& view) {
     int degree = 0;
     for (const net::Address contact : node.contacts) {
         if (view.is_live(contact)) ++degree;
@@ -94,18 +94,22 @@ std::vector<net::Address> TargetedKappaAttack::select_removals(const FaultView& 
     // its smallest-address live contact. Once the pin's out-degree hits 0,
     // κ_min = 0 and the attack moves to the next-weakest node.
     const graph::RoutingSnapshot& snap = view.routing();
-    const graph::SnapshotNode* pin = nullptr;
+    // The iterator yields views by value; the copied spans stay valid — they
+    // point into the snapshot's flat storage, not the iterator.
+    graph::SnapshotNodeView pin{};
+    bool have_pin = false;
     int pin_degree = std::numeric_limits<int>::max();
-    for (const auto& node : snap.nodes) {
+    for (const graph::SnapshotNodeView node : snap.nodes) {
         const int degree = live_out_degree(node, view);
         if (degree == 0) continue;  // already fully starved
         if (degree < pin_degree ||
-            (degree == pin_degree && node.address < pin->address)) {
-            pin = &node;
+            (degree == pin_degree && node.address < pin.address)) {
+            pin = node;
+            have_pin = true;
             pin_degree = degree;
         }
     }
-    if (pin == nullptr) {
+    if (!have_pin) {
         // No live edges at all: κ is already 0 everywhere; keep the removal
         // budget flowing deterministically.
         return {*std::min_element(live.begin(), live.end())};
@@ -113,7 +117,7 @@ std::vector<net::Address> TargetedKappaAttack::select_removals(const FaultView& 
 
     net::Address victim = 0;
     bool found = false;
-    for (const net::Address contact : pin->contacts) {
+    for (const net::Address contact : pin.contacts) {
         if (view.is_live(contact) && (!found || contact < victim)) {
             victim = contact;
             found = true;

@@ -34,6 +34,29 @@ void Digraph::finalize() {
     finalized_ = true;
 }
 
+Digraph Digraph::from_csr(int n, std::vector<std::int64_t> offsets,
+                          std::vector<int> targets) {
+    Digraph g(n);
+    KADSIM_ASSERT(offsets.size() == static_cast<std::size_t>(n) + 1);
+    KADSIM_ASSERT(offsets.front() == 0 &&
+                  offsets.back() == static_cast<std::int64_t>(targets.size()));
+#ifndef NDEBUG
+    for (int u = 0; u < n; ++u) {
+        for (std::int64_t p = offsets[static_cast<std::size_t>(u)];
+             p < offsets[static_cast<std::size_t>(u) + 1]; ++p) {
+            const int v = targets[static_cast<std::size_t>(p)];
+            KADSIM_ASSERT(v >= 0 && v < n && v != u);
+            KADSIM_ASSERT(p == offsets[static_cast<std::size_t>(u)] ||
+                          targets[static_cast<std::size_t>(p) - 1] < v);
+        }
+    }
+#endif
+    g.offsets_ = std::move(offsets);
+    g.targets_ = std::move(targets);
+    g.finalized_ = true;
+    return g;
+}
+
 bool Digraph::has_edge(int u, int v) const {
     const auto row = out(u);
     return std::binary_search(row.begin(), row.end(), v);

@@ -34,6 +34,15 @@ public:
     /// the last add_edge.
     void finalize();
 
+    /// Adopts already-compacted CSR arrays without the add_edge/finalize
+    /// round-trip (the flat snapshot pipeline builds rows directly). The
+    /// caller guarantees the finalize() postconditions: offsets has n+1
+    /// entries starting at 0 and ending at targets.size(), and every row is
+    /// strictly increasing with in-range targets and no self-loops (checked
+    /// in debug builds).
+    [[nodiscard]] static Digraph from_csr(int n, std::vector<std::int64_t> offsets,
+                                          std::vector<int> targets);
+
     [[nodiscard]] int vertex_count() const noexcept { return n_; }
     [[nodiscard]] std::int64_t edge_count() const noexcept {
         KADSIM_ASSERT(finalized_);

@@ -1,0 +1,156 @@
+// Flat routing-snapshot storage: every live node's address plus the raw
+// contents of its routing table, held as one CSR slab (offsets/contacts)
+// instead of one heap vector per node. This is the §5.2 capture path at
+// million-node scale — Runner::capture() fills the three arrays in place
+// (zero per-node allocation at steady state), and to_digraph() compacts the
+// raw slab into the analysis-ready graph::Digraph with a dense address→index
+// translation and a per-row counting compaction, optionally fanned out over
+// an exec::ThreadPool (byte-identical for any thread count).
+//
+// Contacts are stored exactly as the routing tables hold them: they may
+// reference departed nodes and (for parsed files) the owner itself or
+// duplicates — to_digraph() drops/dedupes them, reproducing the legacy
+// hash-remap path bit for bit.
+#ifndef KADSIM_GRAPH_FLAT_SNAPSHOT_H
+#define KADSIM_GRAPH_FLAT_SNAPSHOT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/assert.h"
+
+namespace kadsim::exec {
+class ThreadPool;
+}
+
+namespace kadsim::graph {
+
+/// By-value view of one node's slice of a FlatSnapshot: the address and a
+/// span over its stored contacts. The span points into the snapshot's
+/// contact slab and stays valid until the snapshot is mutated or destroyed —
+/// cheap to copy, safe to hold across loop iterations (unlike a pointer to a
+/// loop-local proxy).
+struct SnapshotNodeView {
+    std::uint32_t address = 0;
+    std::span<const std::uint32_t> contacts;
+};
+
+class FlatSnapshot {
+public:
+    /// Invariant: offsets.size() == addresses.size() + 1 whenever any node
+    /// exists (offsets[0] = 0, offsets[i+1] - offsets[i] = node i's contact
+    /// count); a default-constructed snapshot holds three empty arrays.
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return addresses_.size(); }
+    [[nodiscard]] std::size_t contact_count() const noexcept { return contacts_.size(); }
+
+    [[nodiscard]] SnapshotNodeView node(std::size_t i) const noexcept {
+        return {addresses_[i], contacts_of(i)};
+    }
+
+    [[nodiscard]] std::span<const std::uint32_t> contacts_of(std::size_t i) const noexcept {
+        return {contacts_.data() + offsets_[i],
+                static_cast<std::size_t>(offsets_[i + 1] - offsets_[i])};
+    }
+
+    [[nodiscard]] std::uint32_t address_of(std::size_t i) const noexcept {
+        return addresses_[i];
+    }
+
+    /// Drops every node but keeps the array capacities — the reuse contract
+    /// behind zero-allocation steady-state capture.
+    void clear() noexcept {
+        addresses_.clear();
+        offsets_.clear();
+        contacts_.clear();
+    }
+
+    void reserve(std::size_t nodes) {
+        addresses_.reserve(nodes);
+        offsets_.reserve(nodes + 1);
+    }
+
+    /// Append-only build API (parse path, tests): opens a new row.
+    void push_node(std::uint32_t address) {
+        if (offsets_.empty()) offsets_.push_back(0);
+        addresses_.push_back(address);
+        offsets_.push_back(static_cast<std::uint32_t>(contacts_.size()));
+    }
+
+    /// Appends one contact to the row opened by the last push_node.
+    void push_contact(std::uint32_t contact) {
+        KADSIM_ASSERT(!addresses_.empty());
+        contacts_.push_back(contact);
+        offsets_.back() = static_cast<std::uint32_t>(contacts_.size());
+    }
+
+    /// Bulk-capture sizing: resizes the three arrays for `nodes` rows holding
+    /// `total_contacts` entries and seals offsets[n]. Regions then fill
+    /// disjoint slices through the mutable accessors below; existing capacity
+    /// is reused, so a warm buffer resizes without touching the heap.
+    void prepare(std::size_t nodes, std::size_t total_contacts) {
+        KADSIM_ASSERT(total_contacts <= 0xFFFFFFFFull);
+        addresses_.resize(nodes);
+        offsets_.resize(nodes + 1);
+        contacts_.resize(total_contacts);
+        offsets_[nodes] = static_cast<std::uint32_t>(total_contacts);
+    }
+
+    [[nodiscard]] std::uint32_t* addresses_data() noexcept { return addresses_.data(); }
+    [[nodiscard]] std::uint32_t* offsets_data() noexcept { return offsets_.data(); }
+    [[nodiscard]] std::uint32_t* contacts_data() noexcept { return contacts_.data(); }
+
+    [[nodiscard]] std::span<const std::uint32_t> addresses() const noexcept {
+        return addresses_;
+    }
+    [[nodiscard]] std::span<const std::uint32_t> offsets() const noexcept {
+        return offsets_;
+    }
+    [[nodiscard]] std::span<const std::uint32_t> contacts() const noexcept {
+        return contacts_;
+    }
+
+    /// Compacts the raw slab into the connectivity graph (vertex i ⇔ row i):
+    /// dense address→index translation over [0, max live address], contacts
+    /// pointing at departed nodes or the owner dropped, rows sorted and
+    /// deduplicated — bit-identical to the legacy unordered_map remap.
+    /// With `pool`, rows are compacted in fixed-size chunks across the
+    /// workers; every byte of the result is independent of the thread count.
+    /// Translation and compaction scratch is thread_local and reused across
+    /// calls from the same thread.
+    [[nodiscard]] Digraph to_digraph(exec::ThreadPool* pool = nullptr) const;
+
+    /// Versioned little-endian binary serialization: header (magic "KSNP",
+    /// u32 version, i64 time_ms, u64 n, u64 m) followed by the three bulk
+    /// arrays (u32 addresses[n], u32 offsets[n+1], u32 contacts[m]).
+    /// Round-trips through load_binary; open streams in std::ios::binary.
+    void save_binary(std::ostream& out, std::int64_t time_ms) const;
+
+    /// Replaces this snapshot's contents from a binary stream positioned at
+    /// the magic; returns the stored time_ms. Throws std::runtime_error on a
+    /// bad magic, unsupported version, or truncated stream.
+    std::int64_t load_binary(std::istream& in);
+
+    /// Capacity-based resident footprint (bench counters).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return (addresses_.capacity() + offsets_.capacity() + contacts_.capacity()) *
+               sizeof(std::uint32_t);
+    }
+
+    [[nodiscard]] bool operator==(const FlatSnapshot& other) const noexcept {
+        return addresses_ == other.addresses_ && offsets_ == other.offsets_ &&
+               contacts_ == other.contacts_;
+    }
+
+private:
+    std::vector<std::uint32_t> addresses_;  ///< n live nodes, region-merged order
+    std::vector<std::uint32_t> offsets_;    ///< n+1 row offsets (empty when n = 0)
+    std::vector<std::uint32_t> contacts_;   ///< raw stored contacts, row-major
+};
+
+}  // namespace kadsim::graph
+
+#endif  // KADSIM_GRAPH_FLAT_SNAPSHOT_H

@@ -1,31 +1,66 @@
 #include "graph/snapshot.h"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
-#include <unordered_map>
+#include <string>
+#include <string_view>
+#include <system_error>
 
 namespace kadsim::graph {
 
-Digraph RoutingSnapshot::to_digraph() const {
-    std::unordered_map<std::uint32_t, int> index;
-    index.reserve(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        index.emplace(nodes[i].address, static_cast<int>(i));
-    }
-    Digraph g(static_cast<int>(nodes.size()));
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        for (const std::uint32_t contact : nodes[i].contacts) {
-            const auto it = index.find(contact);
-            if (it == index.end()) continue;  // contact left the network
-            if (it->second == static_cast<int>(i)) continue;
-            g.add_edge(static_cast<int>(i), it->second);
-        }
-    }
-    g.finalize();
-    return g;
+namespace {
+
+[[noreturn]] void malformed(std::string_view line) {
+    throw std::runtime_error("RoutingSnapshot::parse: malformed line: " +
+                             std::string(line));
 }
+
+/// One integer off the front of `s` (std::from_chars — no allocation, no
+/// locale); on success the consumed prefix is removed.
+template <typename T>
+bool parse_number(std::string_view& s, T& value) {
+    const char* const begin = s.data();
+    const char* const end = begin + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{}) return false;
+    s.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    return true;
+}
+
+/// Header line `<key> <integer>` (the "t"/"n" lines); the whole remainder
+/// must be the number.
+template <typename T>
+T parse_header_value(std::string_view line) {
+    std::string_view rest = line.substr(2);
+    T value{};
+    if (!parse_number(rest, value) || !rest.empty()) malformed(line);
+    return value;
+}
+
+/// One `address: c1 c2 ...` row appended to `flat`. Strict: anything other
+/// than space-separated integers after the colon rejects the line (the
+/// legacy istringstream parser silently stopped at the first garbage token).
+void parse_row(std::string_view line, FlatSnapshot& flat) {
+    std::string_view rest = line;
+    std::uint32_t address = 0;
+    if (!parse_number(rest, address) || rest.empty() || rest.front() != ':') {
+        malformed(line);
+    }
+    rest.remove_prefix(1);
+    flat.push_node(address);
+    while (!rest.empty()) {
+        if (rest.front() != ' ') malformed(line);
+        rest.remove_prefix(1);
+        if (rest.empty()) break;  // tolerate a trailing space
+        std::uint32_t contact = 0;
+        if (!parse_number(rest, contact)) malformed(line);
+        flat.push_contact(contact);
+    }
+}
+
+}  // namespace
 
 void RoutingSnapshot::save(std::ostream& out) const {
     out << "# kadsim routing snapshot\n";
@@ -38,31 +73,33 @@ void RoutingSnapshot::save(std::ostream& out) const {
     }
 }
 
+void RoutingSnapshot::save_binary(std::ostream& out) const {
+    nodes.flat().save_binary(out, time_ms);
+}
+
 RoutingSnapshot RoutingSnapshot::parse(std::istream& in) {
     RoutingSnapshot snapshot;
+    // Format auto-detection: the binary magic starts with 'K', which no text
+    // snapshot line can (text lines open with '#', 't', 'n' or a digit).
+    if (in.peek() == 'K') {
+        snapshot.time_ms = snapshot.flat().load_binary(in);
+        return snapshot;
+    }
     std::string line;
     std::size_t expected = 0;
     while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#') continue;
-        if (line[0] == 't' && line.size() > 1 && line[1] == ' ') {
-            snapshot.time_ms = std::stoll(line.substr(2));
+        const std::string_view view(line);
+        if (view.empty() || view[0] == '#') continue;
+        if (view[0] == 't' && view.size() > 1 && view[1] == ' ') {
+            snapshot.time_ms = parse_header_value<std::int64_t>(view);
             continue;
         }
-        if (line[0] == 'n' && line.size() > 1 && line[1] == ' ') {
-            expected = static_cast<std::size_t>(std::stoull(line.substr(2)));
+        if (view[0] == 'n' && view.size() > 1 && view[1] == ' ') {
+            expected = parse_header_value<std::uint64_t>(view);
             snapshot.nodes.reserve(expected);
             continue;
         }
-        const auto colon = line.find(':');
-        if (colon == std::string::npos) {
-            throw std::runtime_error("RoutingSnapshot::parse: malformed line: " + line);
-        }
-        SnapshotNode node;
-        node.address = static_cast<std::uint32_t>(std::stoul(line.substr(0, colon)));
-        std::istringstream rest(line.substr(colon + 1));
-        std::uint32_t contact = 0;
-        while (rest >> contact) node.contacts.push_back(contact);
-        snapshot.nodes.push_back(std::move(node));
+        parse_row(view, snapshot.flat());
     }
     if (expected != 0 && expected != snapshot.nodes.size()) {
         throw std::runtime_error("RoutingSnapshot::parse: node count mismatch");

@@ -2,23 +2,93 @@
 // the current contents of the routing tables of all network nodes ... into a
 // snapshot file. We use this snapshot file to transform the connectivity
 // graph with Even's algorithm."
+//
+// Storage is a FlatSnapshot CSR slab (addresses / offsets / contacts — see
+// graph/flat_snapshot.h); RoutingSnapshot is a thin façade over it so the
+// analyzer, fault models, cache CSV and save/parse callers keep their
+// node-list view while capture and graph building run allocation-free on the
+// flat arrays.
 #ifndef KADSIM_GRAPH_SNAPSHOT_H
 #define KADSIM_GRAPH_SNAPSHOT_H
 
 #include <cstdint>
 #include <iosfwd>
-#include <string>
+#include <iterator>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/flat_snapshot.h"
 #include "stats/histogram.h"
 
 namespace kadsim::graph {
 
-/// One node's view: its address and the addresses in its routing table.
+/// One node's view, as an owning value: its address and the addresses in its
+/// routing table. Construction convenience for tests and hand-built
+/// snapshots — stored snapshots keep rows in the flat CSR slab and hand out
+/// SnapshotNodeView spans instead.
 struct SnapshotNode {
     std::uint32_t address = 0;
     std::vector<std::uint32_t> contacts;
+};
+
+/// Node-list façade over a FlatSnapshot: vector-like append/size/iterate,
+/// with element access returning by-value SnapshotNodeView proxies (range-for
+/// with `const auto&` binds to them as usual; the contact spans stay valid
+/// until the snapshot is mutated).
+class SnapshotNodeList {
+public:
+    class const_iterator {
+    public:
+        using value_type = SnapshotNodeView;
+        using difference_type = std::ptrdiff_t;
+        using iterator_category = std::forward_iterator_tag;
+
+        const_iterator() = default;
+        const_iterator(const FlatSnapshot* flat, std::size_t index)
+            : flat_(flat), index_(index) {}
+
+        [[nodiscard]] SnapshotNodeView operator*() const { return flat_->node(index_); }
+        const_iterator& operator++() {
+            ++index_;
+            return *this;
+        }
+        const_iterator operator++(int) {
+            const_iterator copy = *this;
+            ++index_;
+            return copy;
+        }
+        [[nodiscard]] bool operator==(const const_iterator&) const = default;
+
+    private:
+        const FlatSnapshot* flat_ = nullptr;
+        std::size_t index_ = 0;
+    };
+
+    [[nodiscard]] std::size_t size() const noexcept { return flat_.node_count(); }
+    [[nodiscard]] bool empty() const noexcept { return flat_.node_count() == 0; }
+
+    [[nodiscard]] SnapshotNodeView operator[](std::size_t i) const noexcept {
+        return flat_.node(i);
+    }
+
+    [[nodiscard]] const_iterator begin() const noexcept { return {&flat_, 0}; }
+    [[nodiscard]] const_iterator end() const noexcept { return {&flat_, size()}; }
+
+    void reserve(std::size_t nodes) { flat_.reserve(nodes); }
+    void clear() noexcept { flat_.clear(); }
+
+    /// Appends one node's row to the slab (append-only: rows cannot be
+    /// reopened once the next node is pushed).
+    void push_back(const SnapshotNode& node) {
+        flat_.push_node(node.address);
+        for (const std::uint32_t contact : node.contacts) flat_.push_contact(contact);
+    }
+
+    [[nodiscard]] FlatSnapshot& flat() noexcept { return flat_; }
+    [[nodiscard]] const FlatSnapshot& flat() const noexcept { return flat_; }
+
+private:
+    FlatSnapshot flat_;
 };
 
 /// The routing state of every *live* node at one instant of simulated time.
@@ -34,18 +104,35 @@ struct RoutingSnapshot {
     /// save()/parse() format.
     stats::LookupTraffic lookups;
     stats::ProbeStats probes;
-    std::vector<SnapshotNode> nodes;
+    SnapshotNodeList nodes;
 
     /// Compacts addresses to [0, n) and keeps only edges between live nodes:
     /// stale routing-table entries pointing at departed nodes are not part of
     /// the connectivity graph (its vertices are the network's nodes, §4.2).
-    [[nodiscard]] Digraph to_digraph() const;
+    /// With `pool`, rows compact concurrently — byte-identical to the inline
+    /// build for any thread count.
+    [[nodiscard]] Digraph to_digraph(exec::ThreadPool* pool = nullptr) const {
+        return nodes.flat().to_digraph(pool);
+    }
 
     [[nodiscard]] std::size_t node_count() const noexcept { return nodes.size(); }
+
+    [[nodiscard]] FlatSnapshot& flat() noexcept { return nodes.flat(); }
+    [[nodiscard]] const FlatSnapshot& flat() const noexcept { return nodes.flat(); }
 
     /// Plain-text serialization (one node per line: address: c1 c2 ...);
     /// round-trips through parse().
     void save(std::ostream& out) const;
+
+    /// Binary serialization (FlatSnapshot::save_binary layout); round-trips
+    /// through parse(), which auto-detects the format. Open the stream in
+    /// std::ios::binary mode.
+    void save_binary(std::ostream& out) const;
+
+    /// Parses either format, auto-detected from the first byte ('K' opens
+    /// the binary magic; text lines start with '#', 't', 'n' or a digit).
+    /// Text parsing is std::from_chars end to end and rejects malformed
+    /// lines; neither format carries the Runner-filled companions.
     [[nodiscard]] static RoutingSnapshot parse(std::istream& in);
 };
 

@@ -13,6 +13,7 @@
 #ifndef KADSIM_KAD_BUCKET_ARENA_H
 #define KADSIM_KAD_BUCKET_ARENA_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -94,9 +95,56 @@ public:
         return meta_.data() + base;
     }
 
+    /// Mirror spans: every table keeps the addresses of all its stored
+    /// contacts contiguous in export order (bucket-ascending, LRU within a
+    /// bucket) inside this shared slab. Snapshot capture then copies one
+    /// dense size()-entry run per node — no per-bucket walk, no striding
+    /// over wide BucketEntry records. Spans have power-of-two capacities and
+    /// are recycled through per-class free lists when a table grows or
+    /// clears.
+    static constexpr std::uint32_t kNoMirror = 0xFFFFFFFFu;
+    static constexpr int kMirrorMinClass = 3;   // 8 slots
+    static constexpr int kMirrorMaxClass = 13;  // 8192 slots >= b * k
+
+    /// Smallest class whose capacity holds `needed` entries.
+    [[nodiscard]] static std::uint8_t mirror_class_for(std::size_t needed) noexcept {
+        int cls = kMirrorMinClass;
+        while ((std::size_t{1} << cls) < needed) ++cls;
+        return static_cast<std::uint8_t>(cls);
+    }
+
+    /// Allocates a mirror span of capacity 1 << cls (recycled first).
+    [[nodiscard]] std::uint32_t mirror_alloc(std::uint8_t cls) {
+        auto& fl = mirror_free_[cls];
+        if (!fl.empty()) {
+            const std::uint32_t off = fl.back();
+            fl.pop_back();
+            return off;
+        }
+        const auto off = static_cast<std::uint32_t>(mirror_slab_.size());
+        mirror_slab_.resize(mirror_slab_.size() + (std::size_t{1} << cls));
+        return off;
+    }
+
+    void mirror_free(std::uint32_t off, std::uint8_t cls) {
+        mirror_free_[cls].push_back(off);
+    }
+
+    [[nodiscard]] net::Address* mirror(std::uint32_t off) noexcept {
+        return mirror_slab_.data() + off;
+    }
+    [[nodiscard]] const net::Address* mirror(std::uint32_t off) const noexcept {
+        return mirror_slab_.data() + off;
+    }
+
     /// Capacity-based resident footprint (bench counters).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        std::size_t free_lists = 0;
+        for (const auto& fl : mirror_free_) {
+            free_lists += fl.capacity() * sizeof(std::uint32_t);
+        }
         return slab_.capacity() * sizeof(BucketEntry) +
+               mirror_slab_.capacity() * sizeof(net::Address) + free_lists +
                meta_.capacity() * sizeof(BucketMeta) +
                free_blocks_.capacity() * sizeof(std::uint32_t);
     }
@@ -106,6 +154,9 @@ private:
     std::vector<BucketEntry> slab_;
     std::vector<std::uint32_t> free_blocks_;
     std::vector<BucketMeta> meta_;
+    /// Dense per-table contact-address spans (see mirror_alloc).
+    std::vector<net::Address> mirror_slab_;
+    std::array<std::vector<std::uint32_t>, kMirrorMaxClass + 1> mirror_free_;
 };
 
 }  // namespace kadsim::kad

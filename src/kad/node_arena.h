@@ -156,6 +156,22 @@ public:
         return tables_[address];
     }
 
+    /// Stored-contact count of one node's table — O(1); the snapshot capture
+    /// sums these to size its CSR slab before the bulk export pass.
+    [[nodiscard]] std::size_t contact_count_of(net::Address address) const noexcept {
+        return tables_[address].size();
+    }
+
+    /// Bulk contact export (snapshot capture): writes the addresses of every
+    /// contact stored by `address`'s table into `out` —
+    /// contact_count_of(address) slots — as `local * mul + add` (the region's
+    /// local→global map) and returns the number written.
+    std::size_t export_contacts_of(net::Address address, net::Address* out,
+                                   net::Address mul = 1,
+                                   net::Address add = 0) const noexcept {
+        return tables_[address].export_contacts(out, mul, add);
+    }
+
     /// Capacity-based resident footprint of all node state, including the
     /// shared bucket slab (the bench's arena-bytes counter). O(n) — meant
     /// for per-snapshot sampling, not per-event.

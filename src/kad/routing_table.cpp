@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 namespace kadsim::kad {
 
@@ -39,6 +40,42 @@ int RoutingTable::find_in_bucket(const BucketMeta& meta, const NodeId& id) const
     return -1;
 }
 
+std::uint32_t RoutingTable::bucket_offset(int bucket) const noexcept {
+    const BucketMeta* metas = arena_->meta(meta_base_);
+    const auto limb_end = static_cast<std::size_t>(bucket / 64);
+    std::uint32_t off = 0;
+    for (std::size_t limb = 0; limb <= limb_end; ++limb) {
+        std::uint64_t bits = occupancy_[limb];
+        if (limb == limb_end) bits &= (1ULL << (bucket % 64)) - 1;
+        while (bits != 0) {
+            const std::size_t b =
+                limb * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            off += metas[b].count;
+        }
+    }
+    return off;
+}
+
+net::Address* RoutingTable::mirror_ensure(std::size_t needed) {
+    if (mirror_ == BucketArena::kNoMirror) {
+        mirror_class_ = BucketArena::mirror_class_for(needed);
+        mirror_ = arena_->mirror_alloc(mirror_class_);
+        return arena_->mirror(mirror_);
+    }
+    if (needed <= (std::size_t{1} << mirror_class_)) {
+        return arena_->mirror(mirror_);
+    }
+    const std::uint8_t cls = BucketArena::mirror_class_for(needed);
+    const std::uint32_t off = arena_->mirror_alloc(cls);  // may move the slab
+    net::Address* dst = arena_->mirror(off);
+    std::memcpy(dst, arena_->mirror(mirror_), size_ * sizeof(net::Address));
+    arena_->mirror_free(mirror_, mirror_class_);
+    mirror_ = off;
+    mirror_class_ = cls;
+    return dst;
+}
+
 ObserveResult RoutingTable::observe(const Contact& c, sim::SimTime now) {
     if (c.id == self_) return ObserveResult::kSelf;
     const int bucket = bucket_index_of(c.id);
@@ -48,12 +85,15 @@ ObserveResult RoutingTable::observe(const Contact& c, sim::SimTime now) {
     if (found >= 0) {
         // Move to most-recently-seen position (back), reset failure streak.
         Entry* entries = arena_->block(meta.block);
+        net::Address* seg = arena_->mirror(mirror_) + bucket_offset(bucket);
         Entry updated = entries[found];
         updated.last_seen = now;
         updated.consecutive_failures = 0;
         updated.contact.address = c.address;
         std::move(entries + found + 1, entries + meta.count, entries + found);
+        std::move(seg + found + 1, seg + meta.count, seg + found);
         entries[meta.count - 1] = updated;
+        seg[meta.count - 1] = updated.contact.address;
         return ObserveResult::kUpdated;
     }
 
@@ -62,6 +102,10 @@ ObserveResult RoutingTable::observe(const Contact& c, sim::SimTime now) {
             meta.block = arena_->allocate_block();  // invalidates entry ptrs
         }
         arena_->block(meta.block)[meta.count] = Entry{c, now, 0};
+        net::Address* m = mirror_ensure(size_ + 1);
+        const std::uint32_t pos = bucket_offset(bucket) + meta.count;
+        std::move_backward(m + pos, m + size_, m + size_ + 1);
+        m[pos] = c.address;
         ++meta.count;
         ++size_;
         set_occupancy(bucket, true);
@@ -83,7 +127,10 @@ bool RoutingTable::record_failure(const NodeId& id, sim::SimTime now) {
     Entry* entries = arena_->block(meta.block);
     if (++entries[found].consecutive_failures < config_->s) return false;
 
+    net::Address* m = arena_->mirror(mirror_);
+    const std::uint32_t pos = bucket_offset(bucket) + static_cast<std::uint32_t>(found);
     std::move(entries + found + 1, entries + meta.count, entries + found);
+    std::move(m + pos + 1, m + size_, m + pos);
     --meta.count;
     --size_;
     if ((meta.flags & BucketMeta::kHasReplacement) != 0) {
@@ -104,7 +151,10 @@ bool RoutingTable::remove(const NodeId& id) {
     const int found = find_in_bucket(meta, id);
     if (found < 0) return false;
     Entry* entries = arena_->block(meta.block);
+    net::Address* m = arena_->mirror(mirror_);
+    const std::uint32_t pos = bucket_offset(bucket) + static_cast<std::uint32_t>(found);
     std::move(entries + found + 1, entries + meta.count, entries + found);
+    std::move(m + pos + 1, m + size_, m + pos);
     --meta.count;
     --size_;
     if (meta.count == 0) {
@@ -122,6 +172,11 @@ void RoutingTable::clear() noexcept {
             arena_->free_block(metas[b].block);
         }
         metas[b] = BucketMeta{};
+    }
+    if (mirror_ != BucketArena::kNoMirror) {
+        arena_->mirror_free(mirror_, mirror_class_);
+        mirror_ = BucketArena::kNoMirror;
+        mirror_class_ = 0;
     }
     size_ = 0;
     occupancy_ = {};
@@ -238,6 +293,10 @@ void RoutingTable::promote_replacement(int bucket, BucketMeta& meta,
         [bucket](const auto& r) { return r.first == static_cast<std::uint16_t>(bucket); });
     KADSIM_ASSERT(it != replacements_.end());
     arena_->block(meta.block)[meta.count] = Entry{it->second, now, 0};
+    net::Address* m = mirror_ensure(size_ + 1);
+    const std::uint32_t pos = bucket_offset(bucket) + meta.count;
+    std::move_backward(m + pos, m + size_, m + size_ + 1);
+    m[pos] = it->second.address;
     ++meta.count;
     ++size_;
     replacements_.erase(it);
@@ -246,6 +305,8 @@ void RoutingTable::promote_replacement(int bucket, BucketMeta& meta,
 
 bool RoutingTable::check_invariants() const {
     const BucketMeta* metas = arena_->meta(meta_base_);
+    const net::Address* mirror =
+        size_ > 0 ? arena_->mirror(mirror_) : nullptr;
     std::size_t total = 0;
     for (int b = 0; b < config_->b; ++b) {
         const BucketMeta& meta = metas[b];
@@ -257,6 +318,9 @@ bool RoutingTable::check_invariants() const {
         const Entry* entries = meta.count > 0 ? arena_->block(meta.block) : nullptr;
         for (std::uint8_t i = 0; i < meta.count; ++i) {
             const Entry& entry = entries[i];
+            // The export mirror must track every entry mutation exactly:
+            // bucket-ascending, LRU within a bucket, densely packed.
+            if (mirror[total + i] != entry.contact.address) return false;
             if (entry.contact.id == self_) return false;
             const auto dist = self_.distance_to(entry.contact.id);
             if (dist.is_zero()) return false;

@@ -14,6 +14,8 @@
 #define KADSIM_KAD_ROUTING_TABLE_H
 
 #include <array>
+#include <bit>
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <span>
@@ -100,6 +102,21 @@ public:
         }
     }
 
+    /// Bulk contact export (snapshot capture): writes every stored contact's
+    /// address to `out` — the caller provides size() slots — as
+    /// `address * mul + add` (the caller's local→global map) and returns the
+    /// number written. Same visit order as for_each_entry (bucket-ascending,
+    /// LRU within a bucket): the arena's per-table mirror span maintains that
+    /// order on every mutation, so export is one dense affine copy — no
+    /// bucket walk, no scattered block reads.
+    std::size_t export_contacts(net::Address* out, net::Address mul = 1,
+                                net::Address add = 0) const noexcept {
+        if (size_ == 0) return 0;
+        const net::Address* addrs = arena_->mirror(mirror_);
+        for (std::size_t i = 0; i < size_; ++i) out[i] = addrs[i] * mul + add;
+        return size_;
+    }
+
     [[nodiscard]] const NodeId& self() const noexcept { return self_; }
 
     /// Bucket index that `id` would map to (id != self).
@@ -137,6 +154,14 @@ private:
     }
     /// Index of `id` within the bucket's entries, or -1.
     [[nodiscard]] int find_in_bucket(const BucketMeta& meta, const NodeId& id) const;
+
+    /// Start of `bucket`'s segment within the mirror span: total contact
+    /// count of all populated buckets below `bucket` (occupancy-masked walk).
+    [[nodiscard]] std::uint32_t bucket_offset(int bucket) const noexcept;
+    /// Mirror span with capacity for `needed` entries, growing (copy to a
+    /// larger class, recycle the old span) when the current one is full.
+    [[nodiscard]] net::Address* mirror_ensure(std::size_t needed);
+
     void park_replacement(int bucket, const Contact& c);
     void promote_replacement(int bucket, BucketMeta& meta, sim::SimTime now);
 
@@ -157,6 +182,10 @@ private:
     BucketArena* arena_;
     std::uint32_t meta_base_ = 0;
     std::size_t size_ = 0;
+    /// Handle of this table's contact-address span in the arena mirror slab
+    /// (see BucketArena::mirror_alloc); kNoMirror until the first insert.
+    std::uint32_t mirror_ = BucketArena::kNoMirror;
+    std::uint8_t mirror_class_ = 0;
     /// Bit i set iff bucket i holds at least one contact — closest() walks
     /// set bits instead of scanning all b metadata records.
     std::array<std::uint64_t, 3> occupancy_{};

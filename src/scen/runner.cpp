@@ -1,6 +1,7 @@
 #include "scen/runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <string>
 #include <thread>
@@ -158,29 +159,57 @@ public:
                static_cast<net::Address>(index_);
     }
 
-    /// Appends this region's live-node routing views (global addresses).
-    void append_snapshot(graph::RoutingSnapshot& snap) const {
+    /// Total stored contacts across this region's live tables — the counting
+    /// pass that sizes the flat capture slab. O(live), O(1) per table.
+    [[nodiscard]] std::size_t live_contact_total() const noexcept {
+        std::size_t total = 0;
         for (const net::Address global : live_) {
-            graph::SnapshotNode record;
-            record.address = global;
-            const auto& table = arena_.table_of(local_of(global));
-            record.contacts.reserve(table.size());
-            table.for_each_entry([&](const kad::RoutingTable::Entry& entry) {
-                record.contacts.push_back(global_of(entry.contact.address));
-            });
-            snap.nodes.push_back(std::move(record));
+            total += arena_.contact_count_of(local_of(global));
+        }
+        return total;
+    }
+
+    /// Fills this region's slice of a prepared FlatSnapshot: rows
+    /// [node_base, node_base + live) and contacts [contact_base, ...), in
+    /// live order (global addresses). Slices of distinct regions are
+    /// disjoint, so sharded captures run this concurrently; no allocation.
+    void capture_into(graph::FlatSnapshot& flat, std::size_t node_base,
+                      std::size_t contact_base) const {
+        std::uint32_t* addresses = flat.addresses_data() + node_base;
+        std::uint32_t* offsets = flat.offsets_data() + node_base;
+        net::Address* contacts = flat.contacts_data();
+        // The tables store local addresses; the snapshot speaks global. The
+        // local→global affine map rides inside the export copy itself.
+        const auto mul = static_cast<net::Address>(count_);
+        const auto add = static_cast<net::Address>(index_);
+        std::size_t pos = contact_base;
+        for (std::size_t i = 0; i < live_.size(); ++i) {
+            const net::Address global = live_[i];
+            addresses[i] = global;
+            offsets[i] = static_cast<std::uint32_t>(pos);
+            pos += arena_.export_contacts_of(local_of(global), contacts + pos,
+                                             mul, add);
         }
     }
 
-    /// Region-local snapshot (the fault view's routing window).
-    [[nodiscard]] graph::RoutingSnapshot snapshot() const {
-        graph::RoutingSnapshot snap;
-        snap.time_ms = sim_.now();
-        snap.removed_total = crashes_;
-        snap.nodes.reserve(live_.size());
-        append_snapshot(snap);
-        return snap;
+    /// Region-local snapshot (the fault view's routing window), captured
+    /// into a reusable member buffer — warm fault-phase minutes allocate
+    /// nothing.
+    [[nodiscard]] const graph::RoutingSnapshot& capture_region_snapshot() const {
+        const auto start = std::chrono::steady_clock::now();
+        fault_snap_.time_ms = sim_.now();
+        fault_snap_.removed_total = crashes_;
+        graph::FlatSnapshot& flat = fault_snap_.flat();
+        flat.prepare(live_.size(), live_contact_total());
+        capture_into(flat, 0, 0);
+        capture_us_ += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        return fault_snap_;
     }
+
+    [[nodiscard]] std::uint64_t capture_us() const noexcept { return capture_us_; }
 
     void accumulate(RunnerTotals& t) const {
         for (net::Address local = 0; local < arena_.size(); ++local) {
@@ -366,6 +395,10 @@ private:
     std::uint64_t crashes_ = 0;
     stats::TimeSeries size_series_;
     std::unique_ptr<sim::PeriodicTask> minute_task_;
+    /// Reusable fault-view snapshot (warm fault minutes refill it without
+    /// allocating) and the cumulative capture-time counter.
+    mutable graph::RoutingSnapshot fault_snap_;
+    mutable std::uint64_t capture_us_ = 0;
 };
 
 /// The read-only overlay window handed to the fault model. One instance per
@@ -391,13 +424,15 @@ public:
     }
     [[nodiscard]] int id_bits() const override { return region_.config_.kad.b; }
     [[nodiscard]] const graph::RoutingSnapshot& routing() const override {
-        if (!snapshot_) snapshot_ = region_.snapshot();
+        if (snapshot_ == nullptr) snapshot_ = &region_.capture_region_snapshot();
         return *snapshot_;
     }
 
 private:
     const Region& region_;
-    mutable std::optional<graph::RoutingSnapshot> snapshot_;
+    /// Borrowed from the region's reusable buffer — valid for the lifetime
+    /// of this view (fault events are sequential; one view alive at a time).
+    mutable const graph::RoutingSnapshot* snapshot_ = nullptr;
 };
 
 void Runner::Region::fault_tick() {
@@ -458,11 +493,14 @@ void Runner::run(sim::SimTime snapshot_interval,
     // Interval extraction state is local to this driver: snapshot() and
     // lookup_traffic() stay idempotent/cumulative for direct callers.
     stats::LookupTraffic prev;
+    // One snapshot buffer for the whole run: capture() refills the flat slab
+    // in place, so warm intervals allocate nothing.
+    graph::RoutingSnapshot snap;
     for (sim::SimTime t = snapshot_interval; t <= config_.phases.end;
          t += snapshot_interval) {
         step_to(t);
         if (on_snapshot) {
-            graph::RoutingSnapshot snap = snapshot();
+            capture(snap);
             const stats::LookupTraffic cur = lookup_traffic();
             snap.lookups = cur.diff(prev);
             prev = cur;
@@ -477,15 +515,55 @@ void Runner::run(sim::SimTime snapshot_interval,
 
 graph::RoutingSnapshot Runner::snapshot() const {
     graph::RoutingSnapshot snap;
-    snap.time_ms = regions_[0]->sim().now();
-    std::size_t live = 0;
-    for (const auto& region : regions_) {
-        snap.removed_total += region->crashes();
-        live += region->live().size();
-    }
-    snap.nodes.reserve(live);
-    for (const auto& region : regions_) region->append_snapshot(snap);
+    capture(snap);
     return snap;
+}
+
+void Runner::capture(graph::RoutingSnapshot& out) const {
+    const auto start = std::chrono::steady_clock::now();
+    out.time_ms = regions_[0]->sim().now();
+    out.removed_total = 0;
+    out.lookups = {};
+    out.probes = {};
+    // Counting pass: per-region prefix sums size the flat slab exactly, so
+    // the fill below writes disjoint slices — safe to shard, and byte-wise
+    // independent of the thread count (region order fixes the layout).
+    const std::size_t count = regions_.size();
+    capture_node_base_.resize(count);
+    capture_contact_base_.resize(count);
+    std::size_t nodes = 0;
+    std::size_t contacts = 0;
+    for (std::size_t r = 0; r < count; ++r) {
+        capture_node_base_[r] = nodes;
+        capture_contact_base_[r] = contacts;
+        nodes += regions_[r]->live().size();
+        contacts += regions_[r]->live_contact_total();
+        out.removed_total += regions_[r]->crashes();
+    }
+    graph::FlatSnapshot& flat = out.flat();
+    flat.prepare(nodes, contacts);
+    if (pool_ != nullptr) {
+        pool_->parallel_for(0, static_cast<int>(count), [this, &flat](int r) {
+            const auto i = static_cast<std::size_t>(r);
+            regions_[i]->capture_into(flat, capture_node_base_[i],
+                                      capture_contact_base_[i]);
+        });
+    } else {
+        for (std::size_t r = 0; r < count; ++r) {
+            regions_[r]->capture_into(flat, capture_node_base_[r],
+                                      capture_contact_base_[r]);
+        }
+    }
+    capture_us_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+std::uint64_t Runner::snapshot_capture_us() const noexcept {
+    std::uint64_t total = capture_us_;
+    for (const auto& region : regions_) total += region->capture_us();
+    return total;
 }
 
 int Runner::live_count() const noexcept {

@@ -71,6 +71,19 @@ public:
     /// in region order — a connectivity-graph source.
     [[nodiscard]] graph::RoutingSnapshot snapshot() const;
 
+    /// In-place variant of snapshot(): refills `out`'s flat CSR slab (plus
+    /// the time/removed companions; lookups/probes reset) reusing its
+    /// buffers. A warm buffer is refilled with zero heap allocations — the
+    /// million-node capture path (per-region counting pass over the bucket
+    /// occupancy, then a concurrent disjoint-slice fill when sharded; bytes
+    /// are identical for any shard_threads value).
+    void capture(graph::RoutingSnapshot& out) const;
+
+    /// Cumulative wall-clock microseconds spent capturing snapshots
+    /// (capture()/snapshot()/run(), including the lazy fault-view captures) —
+    /// the bench JSON's snapshot_capture_us counter.
+    [[nodiscard]] std::uint64_t snapshot_capture_us() const noexcept;
+
     [[nodiscard]] int live_count() const noexcept;
 
     /// Live global addresses, regions concatenated in region order.
@@ -139,6 +152,11 @@ private:
     mutable std::vector<net::Address> live_cache_;
     mutable std::vector<kad::NodeId> registry_cache_;
     mutable stats::TimeSeries series_cache_;
+    // Reusable capture state: per-region slab bases (prefix sums over region
+    // node/contact counts) and the cumulative capture-time counter.
+    mutable std::vector<std::size_t> capture_node_base_;
+    mutable std::vector<std::size_t> capture_contact_base_;
+    mutable std::uint64_t capture_us_ = 0;
 };
 
 }  // namespace kadsim::scen

@@ -139,15 +139,17 @@ TEST(IncrementalAnalysis, DeltaWithThreadsMatchesSingleThreadedBaseline) {
 graph::RoutingSnapshot make_snapshot(
     const std::vector<std::uint32_t>& addrs,
     const std::vector<std::pair<int, int>>& edges) {
-    graph::RoutingSnapshot snap;
-    snap.nodes.resize(addrs.size());
+    std::vector<graph::SnapshotNode> nodes(addrs.size());
     for (std::size_t i = 0; i < addrs.size(); ++i) {
-        snap.nodes[i].address = addrs[i];
+        nodes[i].address = addrs[i];
     }
     for (const auto& [u, v] : edges) {
-        snap.nodes[static_cast<std::size_t>(u)].contacts.push_back(
+        nodes[static_cast<std::size_t>(u)].contacts.push_back(
             addrs[static_cast<std::size_t>(v)]);
     }
+    graph::RoutingSnapshot snap;
+    snap.nodes.reserve(nodes.size());
+    for (const auto& node : nodes) snap.nodes.push_back(node);
     return snap;
 }
 

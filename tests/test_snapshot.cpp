@@ -1,6 +1,7 @@
 // Routing snapshots → connectivity graphs; text round-trip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "graph/snapshot.h"
@@ -57,7 +58,8 @@ TEST(RoutingSnapshot, SaveParseRoundTrip) {
     ASSERT_EQ(parsed.nodes.size(), snap.nodes.size());
     for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
         EXPECT_EQ(parsed.nodes[i].address, snap.nodes[i].address);
-        EXPECT_EQ(parsed.nodes[i].contacts, snap.nodes[i].contacts);
+        EXPECT_TRUE(std::ranges::equal(parsed.nodes[i].contacts,
+                                       snap.nodes[i].contacts));
     }
 }
 
@@ -68,6 +70,21 @@ TEST(RoutingSnapshot, ParseRejectsMalformedLine) {
 
 TEST(RoutingSnapshot, ParseRejectsCountMismatch) {
     std::istringstream in("t 5\nn 3\n1: 2\n2: 1\n");
+    EXPECT_THROW((void)RoutingSnapshot::parse(in), std::runtime_error);
+}
+
+TEST(RoutingSnapshot, ParseRejectsNonNumericAddress) {
+    std::istringstream in("t 5\nn 1\nabc: 2\n");
+    EXPECT_THROW((void)RoutingSnapshot::parse(in), std::runtime_error);
+}
+
+TEST(RoutingSnapshot, ParseRejectsTrailingGarbageInRow) {
+    std::istringstream in("t 5\nn 1\n1: 2 oops\n");
+    EXPECT_THROW((void)RoutingSnapshot::parse(in), std::runtime_error);
+}
+
+TEST(RoutingSnapshot, ParseRejectsMalformedHeader) {
+    std::istringstream in("t notatime\nn 0\n");
     EXPECT_THROW((void)RoutingSnapshot::parse(in), std::runtime_error);
 }
 

@@ -1,0 +1,253 @@
+// Flat snapshot pipeline suite.
+//
+// Contracts pinned here:
+//   * differential equality — the flat capture + CSR compaction produces a
+//     Digraph bit-identical to the legacy AoS export + hash-remap build,
+//     across seeded churn and attack runs, sharded and unsharded;
+//   * thread invariance — the flat arrays and the compacted Digraph are
+//     byte-identical for shard_threads 1/2/4 and for pooled vs inline
+//     to_digraph;
+//   * allocation-free steady state — a warm Runner::capture into a reused
+//     buffer performs zero heap allocations (counting global operator new,
+//     same technique as tests/test_lookup_engine.cpp);
+//   * binary format — text↔binary round-trips are byte-identical and
+//     malformed binary input throws.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "graph/snapshot.h"
+#include "scen/runner.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting replacements for the global allocation functions (throwing
+// scalar/array forms only; all deletes forward to free so paths match —
+// GCC's mismatched-new-delete heuristic can't see that and is silenced).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace kadsim {
+namespace {
+
+/// The pre-flat digraph build, kept verbatim as the differential oracle:
+/// hash-map address→index (first wins), contacts at departed addresses or
+/// the owner dropped, per-edge add_edge, finalize's sort+dedupe.
+graph::Digraph legacy_digraph(const graph::RoutingSnapshot& snap) {
+    std::unordered_map<std::uint32_t, int> index;
+    index.reserve(snap.nodes.size());
+    for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+        index.emplace(snap.nodes[i].address, static_cast<int>(i));
+    }
+    graph::Digraph g(static_cast<int>(snap.nodes.size()));
+    for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+        for (const std::uint32_t contact : snap.nodes[i].contacts) {
+            const auto it = index.find(contact);
+            if (it == index.end() || it->second == static_cast<int>(i)) continue;
+            g.add_edge(static_cast<int>(i), it->second);
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+/// Byte-level digest of a finalized Digraph: n, m and every CSR row.
+std::string digraph_digest(const graph::Digraph& g) {
+    std::ostringstream out;
+    out << g.vertex_count() << '/' << g.edge_count() << '|';
+    for (int u = 0; u < g.vertex_count(); ++u) {
+        for (const int v : g.out(u)) out << v << ',';
+        out << ';';
+    }
+    return out.str();
+}
+
+/// Byte-level digest of the flat arrays themselves (capture invariance).
+std::string flat_digest(const graph::FlatSnapshot& flat) {
+    std::ostringstream out;
+    for (const std::uint32_t a : flat.addresses()) out << a << ',';
+    out << '|';
+    for (const std::uint32_t o : flat.offsets()) out << o << ',';
+    out << '|';
+    for (const std::uint32_t c : flat.contacts()) out << c << ',';
+    return out.str();
+}
+
+scen::ScenarioConfig churny_scenario(int size, int regions,
+                                     fault::ModelKind model) {
+    scen::ScenarioConfig cfg;
+    cfg.initial_size = size;
+    cfg.seed = 77;
+    cfg.kad.k = 8;
+    cfg.kad.s = 1;
+    cfg.regions = regions;
+    cfg.traffic.enabled = true;
+    cfg.fault.model = model;
+    cfg.fault.churn = scen::ChurnSpec{2, 1};
+    cfg.phases.end = sim::minutes(240);
+    return cfg;
+}
+
+class FlatVsLegacy : public ::testing::TestWithParam<std::pair<int, fault::ModelKind>> {};
+
+TEST_P(FlatVsLegacy, DigraphMatchesLegacyBuildUnderFaults) {
+    const auto [regions, model] = GetParam();
+    scen::Runner runner(churny_scenario(120, regions, model));
+    // Several instants across the churn phase: departed contacts accumulate,
+    // so the compaction's dropped-row bookkeeping is actually exercised.
+    for (const int minute : {40, 80, 120}) {
+        runner.step_to(sim::minutes(minute));
+        const graph::RoutingSnapshot snap = runner.snapshot();
+        EXPECT_GT(snap.nodes.size(), 0u);
+        EXPECT_EQ(digraph_digest(snap.to_digraph()),
+                  digraph_digest(legacy_digraph(snap)))
+            << "minute=" << minute << " regions=" << regions;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChurnAndAttacks, FlatVsLegacy,
+    ::testing::Values(std::pair{1, fault::ModelKind::kRandomChurn},
+                      std::pair{4, fault::ModelKind::kRandomChurn},
+                      std::pair{1, fault::ModelKind::kDegreeAttack},
+                      std::pair{1, fault::ModelKind::kKappaAttack}));
+
+TEST(FlatSnapshot, PooledCompactionMatchesInline) {
+    scen::Runner runner(churny_scenario(200, 1, fault::ModelKind::kRandomChurn));
+    runner.step_to(sim::minutes(90));
+    const graph::RoutingSnapshot snap = runner.snapshot();
+    exec::ThreadPool pool(3);
+    EXPECT_EQ(digraph_digest(snap.to_digraph(&pool)),
+              digraph_digest(snap.to_digraph()));
+}
+
+TEST(FlatSnapshot, CaptureIsShardThreadInvariant) {
+    std::string reference;
+    for (const int threads : {1, 2, 4}) {
+        auto cfg = churny_scenario(120, 4, fault::ModelKind::kRandomChurn);
+        cfg.shard_threads = threads;
+        scen::Runner runner(cfg);
+        runner.step_to(sim::minutes(90));
+        const graph::RoutingSnapshot snap = runner.snapshot();
+        const std::string digest =
+            flat_digest(snap.flat()) + "#" + digraph_digest(snap.to_digraph());
+        if (reference.empty()) {
+            reference = digest;
+        } else {
+            EXPECT_EQ(digest, reference) << "shard_threads=" << threads;
+        }
+    }
+}
+
+TEST(FlatSnapshot, WarmCaptureAllocatesNothing) {
+    // Single region: the capture path is the per-region export loop itself,
+    // with no pool hand-off. The first capture sizes the slab; once warm,
+    // refilling it must never touch the heap.
+    scen::Runner runner(churny_scenario(150, 1, fault::ModelKind::kRandomChurn));
+    runner.step_to(sim::minutes(60));
+    graph::RoutingSnapshot snap;
+    runner.capture(snap);
+    runner.capture(snap);  // warm the slab at this population level
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    runner.capture(snap);
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u);
+    EXPECT_GT(snap.nodes.size(), 0u);
+    EXPECT_GT(runner.snapshot_capture_us(), 0u);
+}
+
+TEST(FlatSnapshot, BinaryTextRoundTripIsByteIdentical) {
+    scen::Runner runner(churny_scenario(100, 1, fault::ModelKind::kRandomChurn));
+    runner.step_to(sim::minutes(60));
+    const graph::RoutingSnapshot snap = runner.snapshot();
+
+    std::stringstream text1;
+    snap.save(text1);
+
+    // text → parse → binary → parse → text must reproduce the bytes.
+    std::stringstream binary;
+    graph::RoutingSnapshot::parse(text1).save_binary(binary);
+    const graph::RoutingSnapshot from_binary = graph::RoutingSnapshot::parse(binary);
+    EXPECT_EQ(from_binary.time_ms, snap.time_ms);
+    EXPECT_TRUE(from_binary.flat() == snap.flat());
+
+    std::stringstream text2;
+    from_binary.save(text2);
+    EXPECT_EQ(text2.str(), text1.str());
+
+    // Binary bytes themselves are stable across a round-trip.
+    std::stringstream binary2;
+    from_binary.save_binary(binary2);
+    EXPECT_EQ(binary2.str(), binary.str());
+}
+
+TEST(FlatSnapshot, EmptySnapshotBinaryRoundTrip) {
+    graph::RoutingSnapshot empty;
+    empty.time_ms = 42;
+    std::stringstream binary;
+    empty.save_binary(binary);
+    const graph::RoutingSnapshot parsed = graph::RoutingSnapshot::parse(binary);
+    EXPECT_EQ(parsed.time_ms, 42);
+    EXPECT_EQ(parsed.nodes.size(), 0u);
+}
+
+TEST(FlatSnapshot, BinaryRejectsBadMagic) {
+    std::stringstream in("KSNQ not a snapshot");
+    EXPECT_THROW((void)graph::RoutingSnapshot::parse(in), std::runtime_error);
+}
+
+TEST(FlatSnapshot, BinaryRejectsTruncatedStream) {
+    graph::RoutingSnapshot snap;
+    snap.nodes.push_back({1, {2}});
+    snap.nodes.push_back({2, {1}});
+    std::stringstream full;
+    snap.save_binary(full);
+    const std::string bytes = full.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 3));
+    EXPECT_THROW((void)graph::RoutingSnapshot::parse(truncated),
+                 std::runtime_error);
+}
+
+TEST(FlatSnapshot, BinaryRejectsUnsupportedVersion) {
+    graph::RoutingSnapshot snap;
+    snap.nodes.push_back({1, {}});
+    std::stringstream full;
+    snap.save_binary(full);
+    std::string bytes = full.str();
+    bytes[4] = static_cast<char>(0xEE);  // version field (u32 after magic)
+    std::stringstream mangled(bytes);
+    EXPECT_THROW((void)graph::RoutingSnapshot::parse(mangled),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kadsim

@@ -4,10 +4,16 @@
 // re-simulating, and exports DIMACS problems consumable by external solvers
 // such as the original HIPR.
 //
-//   snapshot_tool dump    --nodes 200 --minutes 120 --out snap.txt
+//   snapshot_tool dump    --nodes 200 --minutes 120 --out snap.txt [--binary]
 //   snapshot_tool analyze --in snap.txt [--exact] [--c 0.02]
 //   snapshot_tool cut     --in snap.txt --from 0 --to 17
 //   snapshot_tool dimacs  --in snap.txt --from 0 --to 17 --out problem.max
+//   snapshot_tool convert --in snap.txt --out snap.bin --to-binary
+//   snapshot_tool convert --in snap.bin --out snap.txt --to-text
+//
+// Snapshot files are auto-detected on read: the text format ("# kadsim
+// snapshot" header) and the versioned little-endian binary format (KSNP
+// magic; see --help) are interchangeable everywhere a snapshot is consumed.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -31,9 +37,23 @@ namespace {
 using namespace kadsim;
 
 graph::RoutingSnapshot load_snapshot(const std::string& path) {
-    std::ifstream in(path);
+    // Binary mode: parse() auto-detects the format, and the KSNP payload
+    // must not go through newline translation.
+    std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("cannot open snapshot file: " + path);
     return graph::RoutingSnapshot::parse(in);
+}
+
+void save_snapshot(const graph::RoutingSnapshot& snap, const std::string& path,
+                   bool binary) {
+    std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+    if (!out) throw std::runtime_error("cannot open output file: " + path);
+    if (binary) {
+        snap.save_binary(out);
+    } else {
+        snap.save(out);
+    }
+    if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 int cmd_dump(const util::CliArgs& args) {
@@ -56,10 +76,27 @@ int cmd_dump(const util::CliArgs& args) {
     scen::Runner runner(scenario);
     runner.step_to(sim::minutes(minutes));
     const auto snap = runner.snapshot();
-    std::ofstream out(out_path);
-    snap.save(out);
+    save_snapshot(snap, out_path, args.has("binary"));
     std::printf("wrote %zu nodes to %s (t=%lld min)\n", snap.nodes.size(),
                 out_path.c_str(), static_cast<long long>(minutes));
+    return 0;
+}
+
+int cmd_convert(const util::CliArgs& args) {
+    const bool to_binary = args.has("to-binary");
+    const bool to_text = args.has("to-text");
+    if (to_binary == to_text) {
+        std::fprintf(stderr, "convert needs exactly one of --to-binary / --to-text\n");
+        return 2;
+    }
+    const std::string in_path = args.get(std::string("in"), "snapshot.txt");
+    const std::string out_path =
+        args.get(std::string("out"), to_binary ? "snapshot.bin" : "snapshot.txt");
+    const auto snap = load_snapshot(in_path);
+    save_snapshot(snap, out_path, to_binary);
+    std::printf("converted %s -> %s (%zu nodes, %s)\n", in_path.c_str(),
+                out_path.c_str(), snap.nodes.size(),
+                to_binary ? "binary" : "text");
     return 0;
 }
 
@@ -146,13 +183,39 @@ int cmd_dimacs(const util::CliArgs& args) {
 
 }  // namespace
 
+namespace {
+
+void print_usage(const char* program) {
+    std::fprintf(
+        stderr,
+        "usage: %s <dump|analyze|cut|dimacs|convert> [--key value ...]\n"
+        "\n"
+        "  dump    --nodes N --minutes M --out FILE [--binary]\n"
+        "  analyze --in FILE [--exact] [--c FRAC] [--attackers N]\n"
+        "  cut     --in FILE [--from U --to V]\n"
+        "  dimacs  --in FILE [--from U --to V] --out FILE\n"
+        "  convert --in FILE --out FILE (--to-binary | --to-text)\n"
+        "\n"
+        "Snapshot files are read with format auto-detection (text or binary).\n"
+        "Binary snapshot layout (all fields little-endian):\n"
+        "  char[4]  magic    'K' 'S' 'N' 'P'\n"
+        "  u32      version  currently 1\n"
+        "  i64      time_ms  capture instant (simulated ms)\n"
+        "  u64      n        node count\n"
+        "  u64      m        total contact count\n"
+        "  u32[n]   addresses\n"
+        "  u32[n+1] offsets   CSR row starts into contacts (omitted when n=0)\n"
+        "  u32[m]   contacts  global addresses, rows in offsets order\n",
+        program);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     const kadsim::util::CliArgs args(argc, argv);
-    if (args.positional().empty()) {
-        std::fprintf(stderr,
-                     "usage: %s <dump|analyze|cut|dimacs> [--key value ...]\n",
-                     args.program().c_str());
-        return 2;
+    if (args.positional().empty() || args.has("help")) {
+        print_usage(args.program().c_str());
+        return args.has("help") ? 0 : 2;
     }
     const std::string& command = args.positional().front();
     try {
@@ -160,6 +223,7 @@ int main(int argc, char** argv) {
         if (command == "analyze") return cmd_analyze(args);
         if (command == "cut") return cmd_cut(args);
         if (command == "dimacs") return cmd_dimacs(args);
+        if (command == "convert") return cmd_convert(args);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
