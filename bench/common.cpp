@@ -3,7 +3,6 @@
 #include <sys/resource.h>
 
 #include <algorithm>
-#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -12,11 +11,11 @@
 #include <utility>
 
 #include "exec/thread_pool.h"
+#include "serve/result_cache.h"
 #include "util/ascii_plot.h"
 #include "util/assert.h"
 #include "util/csv.h"
 #include "util/env.h"
-#include "util/sha1.h"
 #include "util/table.h"
 
 namespace kadsim::bench {
@@ -42,72 +41,26 @@ std::string cache_key(const core::ExperimentConfig& cfg) {
     return key.str();
 }
 
-std::string cache_path(const std::string& key) {
-    return output_dir() + "/cache/" + util::to_hex(util::sha1(key)) + ".csv";
+/// The shared content-addressed cache (serve/result_cache.h), rooted at the
+/// same bench_out/cache/ directory and key scheme as the pre-promotion
+/// per-process cache — existing entries stay byte-valid.
+serve::ResultCache& result_cache() {
+    static serve::ResultCache cache(output_dir() + "/cache");
+    return cache;
 }
-
-bool load_cached(const std::string& path, const std::string& key,
-                 core::ExperimentSeries& out);
-void store_cached(const std::string& path, const std::string& key,
-                  const core::ExperimentSeries& series);
 
 /// The cache protocol, config-keyed: every load/store goes through these two.
 bool try_load_cached(const core::ExperimentConfig& config,
                      core::ExperimentSeries& out) {
-    const std::string key = cache_key(config);
-    return load_cached(cache_path(key), key, out);
+    return result_cache().load(cache_key(config), out);
 }
 
 void store_to_cache(const core::ExperimentConfig& config,
                     const core::ExperimentSeries& series) {
-    const std::string key = cache_key(config);
-    store_cached(cache_path(key), key, series);
-}
-
-bool load_cached(const std::string& path, const std::string& key,
-                 core::ExperimentSeries& out) {
-    std::ifstream in(path);
-    if (!in) return false;
-    std::string line;
-    if (!std::getline(in, line) || line != "# " + key) return false;
-    if (!std::getline(in, line)) return false;  // column header
-    while (std::getline(in, line)) {
-        core::ResilienceSample sample;
-        // Cache files from before a column append fail here and
-        // re-simulate: the key line still matches but rows lack the
-        // appended metric/lookup columns.
-        if (!parse_sample_row(line, sample)) return false;
-        out.samples.push_back(sample);
-    }
-    return !out.samples.empty();
-}
-
-void store_cached(const std::string& path, const std::string& key,
-                  const core::ExperimentSeries& series) {
-    util::ensure_directory(output_dir() + "/cache");
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) return;
-    out << "# " << key << '\n';
-    // The first nine columns predate the metric suite; their bytes are
-    // pinned by the golden hashes in tests/test_fault_equivalence.cpp.
-    // Metric columns are strictly appended.
-    out << "time_min,n,m,kappa_min,kappa_avg,scc,reciprocity,pairs,removed,"
-           "lambda_min,lambda_avg,scc_frac,wcc_frac,articulation,bridges,"
-           "deg_out_min,deg_in_min,kappa_gap,"
-           "lookups,lookup_ok,lookup_hop_p50,lookup_hop_p99,lookup_lat_p50,"
-           "lookup_lat_p99,probes,probe_ok,probe_hop_p50,probe_hop_p99\n";
-    for (const auto& s : series.samples) {
-        out << s.time_min << ',' << s.n << ',' << s.m << ',' << s.kappa_min << ','
-            << s.kappa_avg << ',' << s.scc_count << ',' << s.reciprocity << ','
-            << s.pairs_evaluated << ',' << s.removed_total << ',' << s.lambda_min
-            << ',' << s.lambda_avg << ',' << s.scc_frac << ',' << s.wcc_frac << ','
-            << s.articulation_points << ',' << s.bridges << ',' << s.out_degree_min
-            << ',' << s.in_degree_min << ',' << s.kappa_degree_gap << ','
-            << s.lookups_done << ',' << s.lookup_success_rate << ','
-            << s.lookup_hop_p50 << ',' << s.lookup_hop_p99 << ','
-            << s.lookup_latency_p50_ms << ',' << s.lookup_latency_p99_ms << ','
-            << s.probes_done << ',' << s.probe_success_rate << ','
-            << s.probe_hop_p50 << ',' << s.probe_hop_p99 << '\n';
+    if (!result_cache().store(cache_key(config), series)) {
+        std::fprintf(stderr, "warning: cache store failed for %s (disk full or "
+                             "unwritable %s)\n",
+                     config.scenario.name.c_str(), result_cache().root().c_str());
     }
 }
 
@@ -236,49 +189,8 @@ std::string json_escape(const std::string& in) {
     return out;
 }
 
-namespace {
-
-/// One comma-terminated field off the front of `s` (the final field runs to
-/// the end of the line instead). from_chars never allocates and never reads
-/// past `s`, so a malformed field fails cleanly instead of consuming the
-/// rest of the row.
-template <typename T>
-bool parse_field(std::string_view& s, T& value, bool last = false) {
-    const char* const begin = s.data();
-    const char* const end = begin + s.size();
-    const auto [ptr, ec] = std::from_chars(begin, end, value);
-    if (ec != std::errc{}) return false;
-    if (last) return ptr == end;
-    if (ptr == end || *ptr != ',') return false;
-    s.remove_prefix(static_cast<std::size_t>(ptr - begin) + 1);
-    return true;
-}
-
-}  // namespace
-
 bool parse_sample_row(std::string_view line, core::ResilienceSample& out) {
-    return parse_field(line, out.time_min) && parse_field(line, out.n) &&
-           parse_field(line, out.m) && parse_field(line, out.kappa_min) &&
-           parse_field(line, out.kappa_avg) && parse_field(line, out.scc_count) &&
-           parse_field(line, out.reciprocity) &&
-           parse_field(line, out.pairs_evaluated) &&
-           parse_field(line, out.removed_total) &&
-           parse_field(line, out.lambda_min) && parse_field(line, out.lambda_avg) &&
-           parse_field(line, out.scc_frac) && parse_field(line, out.wcc_frac) &&
-           parse_field(line, out.articulation_points) &&
-           parse_field(line, out.bridges) && parse_field(line, out.out_degree_min) &&
-           parse_field(line, out.in_degree_min) &&
-           parse_field(line, out.kappa_degree_gap) &&
-           parse_field(line, out.lookups_done) &&
-           parse_field(line, out.lookup_success_rate) &&
-           parse_field(line, out.lookup_hop_p50) &&
-           parse_field(line, out.lookup_hop_p99) &&
-           parse_field(line, out.lookup_latency_p50_ms) &&
-           parse_field(line, out.lookup_latency_p99_ms) &&
-           parse_field(line, out.probes_done) &&
-           parse_field(line, out.probe_success_rate) &&
-           parse_field(line, out.probe_hop_p50) &&
-           parse_field(line, out.probe_hop_p99, /*last=*/true);
+    return serve::ResultCache::parse_sample_row(line, out);
 }
 
 void ProgressSink::line(const std::string& label, const std::string& text) {
@@ -499,6 +411,7 @@ int run_figure(FigureSpec& spec) {
                            util::CsvWriter::field(s.probe_hop_p99)});
         }
     }
+    csv.close();  // surfaces full-disk / unwritable-path errors loudly
     std::printf("csv: %s\n", csv_path.c_str());
     std::printf("json: %s\n", write_bench_json(spec).c_str());
     double serial = 0.0;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -230,17 +231,71 @@ Digraph compact_csr(const std::uint32_t* offsets, const std::uint32_t* contacts,
 
 constexpr char kMagic[4] = {'K', 'S', 'N', 'P'};
 constexpr std::uint32_t kFormatVersion = 1;
+/// Header size: magic + version + time_ms + n + m.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8;
 
 void write_bytes(std::ostream& out, const void* data, std::size_t bytes) {
     out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
 }
 
-void read_bytes(std::istream& in, void* data, std::size_t bytes, const char* what) {
-    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-    if (static_cast<std::size_t>(in.gcount()) != bytes) {
-        throw std::runtime_error(std::string("FlatSnapshot::load_binary: truncated ") +
-                                 what);
+/// Binary reader with a byte cursor: every failure names the field being
+/// read and the absolute offset where the stream ran dry, so a truncated or
+/// corrupt snapshot file is diagnosable from the message alone.
+class BinaryReader {
+public:
+    explicit BinaryReader(std::istream& in) : in_(in) {}
+
+    void read(void* data, std::size_t bytes, const char* what) {
+        in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+        const auto got = static_cast<std::size_t>(in_.gcount());
+        position_ += got;
+        if (got != bytes) {
+            throw std::runtime_error(
+                "FlatSnapshot::load_binary: truncated " + std::string(what) +
+                " at byte " + std::to_string(position_) + " (wanted " +
+                std::to_string(bytes) + " bytes, got " + std::to_string(got) + ")");
+        }
     }
+
+    /// Fills `out` with `count` u32 values, growing it in bounded chunks so
+    /// a corrupt header claiming billions of entries fails at the first
+    /// short read instead of attempting a multi-gigabyte allocation first.
+    void read_u32_array(std::vector<std::uint32_t>& out, std::uint64_t count,
+                        const char* what) {
+        constexpr std::uint64_t kChunk = 1u << 20;  // 4 MiB of u32s per step
+        out.clear();
+        std::uint64_t filled = 0;
+        while (filled < count) {
+            const std::uint64_t step = std::min(kChunk, count - filled);
+            out.resize(static_cast<std::size_t>(filled + step));
+            read(out.data() + filled, static_cast<std::size_t>(step) * sizeof(std::uint32_t),
+                 what);
+            filled += step;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t position() const noexcept { return position_; }
+
+    /// Bytes left in the stream, when it is seekable (files, string
+    /// streams); nullopt for pipes/sockets. Used to reject impossible
+    /// header counts before any allocation happens.
+    [[nodiscard]] std::optional<std::uint64_t> remaining_bytes() {
+        const std::istream::pos_type here = in_.tellg();
+        if (here == std::istream::pos_type(-1)) return std::nullopt;
+        in_.seekg(0, std::ios::end);
+        const std::istream::pos_type end = in_.tellg();
+        in_.seekg(here);
+        if (end == std::istream::pos_type(-1) || end < here) return std::nullopt;
+        return static_cast<std::uint64_t>(end - here);
+    }
+
+private:
+    std::istream& in_;
+    std::uint64_t position_ = 0;
+};
+
+[[noreturn]] void header_error(const std::string& detail) {
+    throw std::runtime_error("FlatSnapshot::load_binary: " + detail);
 }
 
 }  // namespace
@@ -294,40 +349,65 @@ void FlatSnapshot::save_binary(std::ostream& out, std::int64_t time_ms) const {
 }
 
 std::int64_t FlatSnapshot::load_binary(std::istream& in) {
+    // Any failure below leaves *this untouched: everything is parsed into
+    // locals and only swapped in after the last validation passes, so a
+    // truncated or corrupt file can never leave a partially-filled snapshot
+    // behind (the daemon's no-partial-state contract).
+    BinaryReader reader(in);
     char magic[4];
-    read_bytes(in, magic, sizeof(magic), "magic");
+    reader.read(magic, sizeof(magic), "magic");
     if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        throw std::runtime_error("FlatSnapshot::load_binary: bad magic");
+        header_error("bad magic (not a KSNP snapshot)");
     }
     std::uint32_t version = 0;
-    read_bytes(in, &version, sizeof(version), "version");
+    reader.read(&version, sizeof(version), "version");
     if (version != kFormatVersion) {
-        throw std::runtime_error("FlatSnapshot::load_binary: unsupported version " +
-                                 std::to_string(version));
+        header_error("unsupported version " + std::to_string(version));
     }
     std::int64_t time_ms = 0;
     std::uint64_t n = 0;
     std::uint64_t m = 0;
-    read_bytes(in, &time_ms, sizeof(time_ms), "header");
-    read_bytes(in, &n, sizeof(n), "header");
-    read_bytes(in, &m, sizeof(m), "header");
+    reader.read(&time_ms, sizeof(time_ms), "header");
+    reader.read(&n, sizeof(n), "header");
+    reader.read(&m, sizeof(m), "header");
+    // Impossible counts: addresses are u32, so more than 2^32 nodes cannot
+    // exist, and the offsets array indexes contacts with u32 values.
+    if (n > 0xFFFFFFFFull) {
+        header_error("impossible node count " + std::to_string(n) + " at byte " +
+                     std::to_string(kHeaderBytes));
+    }
     if (m > 0xFFFFFFFFull) {
-        throw std::runtime_error("FlatSnapshot::load_binary: contact count overflow");
+        header_error("contact count overflow (" + std::to_string(m) + ") at byte " +
+                     std::to_string(kHeaderBytes));
     }
-    addresses_.resize(n);
-    offsets_.resize(n > 0 ? n + 1 : 0);
-    contacts_.resize(m);
-    read_bytes(in, addresses_.data(), addresses_.size() * sizeof(std::uint32_t),
-               "addresses");
-    read_bytes(in, offsets_.data(), offsets_.size() * sizeof(std::uint32_t),
-               "offsets");
-    read_bytes(in, contacts_.data(), contacts_.size() * sizeof(std::uint32_t),
-               "contacts");
+    // Offset arithmetic below is u64, but guard the payload-size product
+    // anyway so `payload` can never wrap.
+    const std::uint64_t rows = n > 0 ? n + 1 : 0;
+    const std::uint64_t payload = (n + rows + m) * sizeof(std::uint32_t);
+    if (const auto remaining = reader.remaining_bytes();
+        remaining && *remaining < payload) {
+        header_error("file too short for declared counts n=" + std::to_string(n) +
+                     " m=" + std::to_string(m) + " (need " + std::to_string(payload) +
+                     " bytes after byte " + std::to_string(kHeaderBytes) + ", have " +
+                     std::to_string(*remaining) + ")");
+    }
+    std::vector<std::uint32_t> addresses;
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> contacts;
+    reader.read_u32_array(addresses, n, "addresses");
+    reader.read_u32_array(offsets, rows, "offsets");
+    reader.read_u32_array(contacts, m, "contacts");
     if (n > 0 &&
-        (offsets_.front() != 0 || offsets_.back() != static_cast<std::uint32_t>(m) ||
-         !std::is_sorted(offsets_.begin(), offsets_.end()))) {
-        throw std::runtime_error("FlatSnapshot::load_binary: inconsistent offsets");
+        (offsets.front() != 0 || offsets.back() != static_cast<std::uint32_t>(m) ||
+         !std::is_sorted(offsets.begin(), offsets.end()))) {
+        header_error("inconsistent offsets (rows must start at 0, end at m=" +
+                     std::to_string(m) + " and be non-decreasing; offsets end at byte " +
+                     std::to_string(reader.position() - m * sizeof(std::uint32_t)) +
+                     ")");
     }
+    addresses_ = std::move(addresses);
+    offsets_ = std::move(offsets);
+    contacts_ = std::move(contacts);
     return time_ms;
 }
 

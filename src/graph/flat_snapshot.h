@@ -130,8 +130,12 @@ public:
     void save_binary(std::ostream& out, std::int64_t time_ms) const;
 
     /// Replaces this snapshot's contents from a binary stream positioned at
-    /// the magic; returns the stored time_ms. Throws std::runtime_error on a
-    /// bad magic, unsupported version, or truncated stream.
+    /// the magic; returns the stored time_ms. Throws std::runtime_error —
+    /// with the failing field and absolute byte position — on a bad magic,
+    /// unsupported version, impossible counts, inconsistent offsets, or a
+    /// truncated stream. On throw *this is left untouched (never partially
+    /// filled), and allocation is bounded by the actual stream contents, so
+    /// a corrupt header cannot trigger a multi-gigabyte resize.
     std::int64_t load_binary(std::istream& in);
 
     /// Capacity-based resident footprint (bench counters).

@@ -1,0 +1,97 @@
+// Size-bounded, thread-safe LRU cache for heavy analysis state.
+//
+// The resilience daemon keeps finalized flow networks and compacted
+// connectivity graphs hot between queries; each entry is hundreds of
+// megabytes at million-node scale, so residency must be bounded. Values are
+// handed out as shared_ptr so an evicted entry stays alive for any query
+// still holding it — eviction bounds *cache* residency, never invalidates an
+// in-flight computation.
+#ifndef KADSIM_SERVE_LRU_CACHE_H
+#define KADSIM_SERVE_LRU_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace kadsim::serve {
+
+template <typename Key, typename Value>
+class LruCache {
+public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+        KADSIM_ASSERT_MSG(capacity > 0, "LruCache capacity must be positive");
+    }
+
+    LruCache(const LruCache&) = delete;
+    LruCache& operator=(const LruCache&) = delete;
+
+    /// The value under `key`, refreshed to most-recently-used; nullptr on
+    /// miss. Both outcomes are counted.
+    [[nodiscard]] std::shared_ptr<Value> get(const Key& key) {
+        std::lock_guard lock(mutex_);
+        const auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++stats_.misses;
+            return nullptr;
+        }
+        order_.splice(order_.begin(), order_, it->second);
+        ++stats_.hits;
+        return it->second->second;
+    }
+
+    /// Inserts (or refreshes) `key`, evicting from the least-recently-used
+    /// end until the entry fits. Inserting an existing key replaces its
+    /// value without counting an eviction.
+    void put(const Key& key, std::shared_ptr<Value> value) {
+        std::lock_guard lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        while (order_.size() >= capacity_) {
+            index_.erase(order_.back().first);
+            order_.pop_back();
+            ++stats_.evictions;
+        }
+        order_.emplace_front(key, std::move(value));
+        index_[key] = order_.begin();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return order_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    [[nodiscard]] Stats stats() const {
+        std::lock_guard lock(mutex_);
+        return stats_;
+    }
+
+private:
+    using Entry = std::pair<Key, std::shared_ptr<Value>>;
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> order_;  ///< front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator> index_;
+    Stats stats_;
+};
+
+}  // namespace kadsim::serve
+
+#endif  // KADSIM_SERVE_LRU_CACHE_H

@@ -26,7 +26,25 @@
 #include <span>
 #include <vector>
 
+#include "util/assert.h"
+
 namespace kadsim::stats {
+
+namespace detail {
+
+/// Sorted index of quantile q over `total` samples: floor(q·total) clamped
+/// into [0, total−1]. q is clamped into [0, 1] first — q < 0 would otherwise
+/// be undefined behavior in the float→unsigned cast, and q > 1 silently
+/// wrapped; both now mean "first sample" / "last sample". `total` must be
+/// positive (callers handle the empty case).
+inline std::uint64_t quantile_index(double q, std::uint64_t total) noexcept {
+    const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    auto idx = static_cast<std::uint64_t>(clamped * static_cast<double>(total));
+    if (idx >= total) idx = total - 1;
+    return idx;
+}
+
+}  // namespace detail
 
 /// Exact counting histogram over small non-negative integers. Memory is
 /// O(max value observed); add() clamps negatives to zero. value_at_index(i)
@@ -57,10 +75,17 @@ public:
 
     /// Bucket-wise subtraction of an earlier cumulative state of the same
     /// accumulation (interval extraction). `prev` must be a prefix history
-    /// of *this*; the merge counter carries over from *this*.
+    /// of *this* — a bucket or total that regressed means an upstream
+    /// merge-order bug, and is asserted rather than silently wrapping to
+    /// ~2^64; the merge counter carries over from *this*.
     [[nodiscard]] CountHistogram diff(const CountHistogram& prev) const {
+        KADSIM_ASSERT_MSG(prev.counts_.size() <= counts_.size() &&
+                              prev.total_ <= total_,
+                          "CountHistogram::diff: prev is not a prefix history");
         CountHistogram out = *this;
         for (std::size_t i = 0; i < prev.counts_.size(); ++i) {
+            KADSIM_ASSERT_MSG(out.counts_[i] >= prev.counts_[i],
+                              "CountHistogram::diff: bucket count regressed");
             out.counts_[i] -= prev.counts_[i];
         }
         out.total_ -= prev.total_;
@@ -87,13 +112,13 @@ public:
     }
 
     /// Exact quantile: value at sorted index floor(q·total), clamped to the
-    /// last sample. quantile(0.5) of {1,2,3,4} is sorted[2] = 3 — the same
-    /// `sorted[n/2]` convention graph_stats has always used.
+    /// last sample (q = 1.0 is the maximum, not one past it). q outside
+    /// [0, 1] clamps to the nearest bound; an empty histogram returns 0.
+    /// quantile(0.5) of {1,2,3,4} is sorted[2] = 3 — the same `sorted[n/2]`
+    /// convention graph_stats has always used.
     [[nodiscard]] std::int64_t quantile(double q) const noexcept {
         if (total_ == 0) return 0;
-        auto idx = static_cast<std::uint64_t>(q * static_cast<double>(total_));
-        if (idx >= total_) idx = total_ - 1;
-        return value_at_index(idx);
+        return value_at_index(detail::quantile_index(q, total_));
     }
 
     [[nodiscard]] std::int64_t min() const noexcept {
@@ -158,9 +183,17 @@ public:
         merges_ += other.merges_ + 1;
     }
 
+    /// `prev` must be a prefix history of *this* (see CountHistogram::diff);
+    /// a regressed bucket aborts instead of wrapping.
     [[nodiscard]] Log2Histogram diff(const Log2Histogram& prev) const noexcept {
+        KADSIM_ASSERT_MSG(prev.total_ <= total_,
+                          "Log2Histogram::diff: prev is not a prefix history");
         Log2Histogram out = *this;
-        for (std::size_t i = 0; i < kBuckets; ++i) out.counts_[i] -= prev.counts_[i];
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            KADSIM_ASSERT_MSG(out.counts_[i] >= prev.counts_[i],
+                              "Log2Histogram::diff: bucket count regressed");
+            out.counts_[i] -= prev.counts_[i];
+        }
         out.total_ -= prev.total_;
         return out;
     }
@@ -170,11 +203,11 @@ public:
     [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
 
     /// Quantile as the lower bound of the bucket holding sorted index
-    /// floor(q·total) — same index convention as CountHistogram::quantile.
+    /// floor(q·total) — same index/clamping convention as
+    /// CountHistogram::quantile (q clamped into [0, 1], empty returns 0).
     [[nodiscard]] std::int64_t quantile(double q) const noexcept {
         if (total_ == 0) return 0;
-        auto idx = static_cast<std::uint64_t>(q * static_cast<double>(total_));
-        if (idx >= total_) idx = total_ - 1;
+        const std::uint64_t idx = detail::quantile_index(q, total_);
         std::uint64_t seen = 0;
         std::size_t last = 0;
         for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -223,7 +256,12 @@ struct LookupTraffic {
     }
 
     /// Interval view: counts since `prev` (an earlier cumulative state).
+    /// Regressed counters assert, same contract as the histogram diffs.
     [[nodiscard]] LookupTraffic diff(const LookupTraffic& prev) const {
+        KADSIM_ASSERT_MSG(prev.issued <= issued && prev.completed <= completed &&
+                              prev.succeeded <= succeeded &&
+                              prev.values_found <= values_found,
+                          "LookupTraffic::diff: counter regressed");
         LookupTraffic out = *this;
         out.issued -= prev.issued;
         out.completed -= prev.completed;

@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <charconv>
+#include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 #include <system_error>
@@ -19,6 +20,16 @@ CsvWriter::CsvWriter(const std::string& path) : path_(path) {
     }
 }
 
+CsvWriter::~CsvWriter() {
+    if (closed_) return;
+    out_.flush();
+    if (!out_) {
+        // Destructors must not throw; a dropped row must still be loud.
+        std::fprintf(stderr, "CsvWriter: write failed (unflushed data lost): %s\n",
+                     path_.c_str());
+    }
+}
+
 void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
     bool first = true;
     for (const auto f : fields) {
@@ -27,6 +38,7 @@ void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
         write_escaped(f);
     }
     out_ << '\n';
+    check_stream();
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
@@ -37,6 +49,26 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
         write_escaped(f);
     }
     out_ << '\n';
+    check_stream();
+}
+
+void CsvWriter::close() {
+    if (closed_) return;
+    out_.flush();
+    out_.close();
+    closed_ = true;
+    if (!out_) {
+        throw std::runtime_error("CsvWriter: write failed: " + path_);
+    }
+}
+
+void CsvWriter::check_stream() {
+    if (closed_) {
+        throw std::runtime_error("CsvWriter: write after close: " + path_);
+    }
+    if (!out_) {
+        throw std::runtime_error("CsvWriter: write failed: " + path_);
+    }
 }
 
 void CsvWriter::write_escaped(std::string_view field) {

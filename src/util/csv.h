@@ -13,13 +13,27 @@ namespace kadsim::util {
 
 /// Writes rows of comma-separated values; fields containing commas/quotes are
 /// quoted per RFC 4180.
+///
+/// I/O errors are loud: write_row throws as soon as the stream goes bad (full
+/// disk, revoked permissions), and close() flushes and verifies the final
+/// state — callers that care about the file reaching disk must call it (the
+/// destructor only best-efforts a flush and reports failures on stderr,
+/// since destructors must not throw).
 class CsvWriter {
 public:
     /// Opens (truncates) `path`; throws std::runtime_error on failure.
     explicit CsvWriter(const std::string& path);
 
+    ~CsvWriter();
+
+    /// Both overloads throw std::runtime_error if the stream failed — rows
+    /// are never silently dropped.
     void write_row(std::initializer_list<std::string_view> fields);
     void write_row(const std::vector<std::string>& fields);
+
+    /// Flushes and closes; throws std::runtime_error if any buffered byte
+    /// failed to reach the file. Idempotent.
+    void close();
 
     /// Convenience: formats doubles with enough digits to round-trip.
     static std::string field(double value);
@@ -29,9 +43,11 @@ public:
 
 private:
     void write_escaped(std::string_view field);
+    void check_stream();
 
     std::ofstream out_;
     std::string path_;
+    bool closed_ = false;
 };
 
 /// Creates the directory (and parents) if missing. Returns true on success.

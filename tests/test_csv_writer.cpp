@@ -1,0 +1,79 @@
+// util::CsvWriter I/O-error behavior — a bench that ran for an hour must
+// never print "csv: <path>" over a file the filesystem silently dropped.
+// Regression tests for the stream-state checking: unwritable paths fail at
+// construction, a full device fails at close() (or earlier), and use after
+// close is an error instead of a silent no-op.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.h"
+
+namespace kadsim::util {
+namespace {
+
+std::string temp_path(const char* tag) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("kadsim_csv_") + tag + "_" + std::to_string(::getpid()) +
+             ".csv"))
+        .string();
+}
+
+TEST(CsvWriter, WritesAndClosesCleanly) {
+    const std::string path = temp_path("ok");
+    {
+        CsvWriter csv(path);
+        csv.write_row({"a", "b,comma", "c\"quote"});
+        csv.write_row({CsvWriter::field(1.5), CsvWriter::field(7LL)});
+        csv.close();
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "a,\"b,comma\",\"c\"\"quote\"");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "1.5,7");
+    std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, UnopenablePathThrowsAtConstruction) {
+    // A parent that exists as a *file* cannot gain children.
+    const std::string blocker = temp_path("blocker");
+    std::ofstream(blocker).put('x');
+    EXPECT_THROW(CsvWriter(blocker + "/sub/out.csv"), std::runtime_error);
+    std::filesystem::remove(blocker);
+}
+
+TEST(CsvWriter, FullDeviceFailsLoudlyNotSilently) {
+    // /dev/full accepts the open and fails every flushed write with ENOSPC —
+    // the canonical full-disk simulation.
+    if (!std::filesystem::exists("/dev/full")) GTEST_SKIP() << "no /dev/full";
+    auto writer_on_full_device = [] {
+        CsvWriter csv("/dev/full");
+        // Enough bytes to defeat any stdio buffer, so the failure surfaces
+        // in write_row or, at the latest, in close().
+        for (int i = 0; i < 100000; ++i) {
+            csv.write_row({"0123456789", "abcdefghij", "0123456789"});
+        }
+        csv.close();
+    };
+    EXPECT_THROW(writer_on_full_device(), std::runtime_error);
+}
+
+TEST(CsvWriter, WriteAfterCloseThrows) {
+    const std::string path = temp_path("after_close");
+    CsvWriter csv(path);
+    csv.write_row({"x"});
+    csv.close();
+    EXPECT_THROW(csv.write_row({"y"}), std::runtime_error);
+    csv.close();  // idempotent: a second close is a no-op, not an error
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace kadsim::util

@@ -1,0 +1,135 @@
+// Histogram edge cases — the daemon reports query-latency quantiles from a
+// COUNTERS endpoint that can be hit before any query arrived, and the
+// interval-extraction diff() is the guard between "merge-order bug" and
+// "counter wrapped to ~2^64 in a CSV". Pins: quantile on an empty histogram,
+// q = 1.0 meaning the maximum (not one-past-the-end), out-of-range q
+// clamping, and diff() aborting on regressed history instead of wrapping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stats/histogram.h"
+
+namespace kadsim::stats {
+namespace {
+
+TEST(HistogramEdges, EmptyHistogramsReportZeroEverywhere) {
+    const CountHistogram ch;
+    EXPECT_TRUE(ch.empty());
+    EXPECT_EQ(ch.quantile(0.0), 0);
+    EXPECT_EQ(ch.quantile(0.5), 0);
+    EXPECT_EQ(ch.quantile(1.0), 0);
+    EXPECT_EQ(ch.min(), 0);
+    EXPECT_EQ(ch.max(), 0);
+
+    const Log2Histogram lh;
+    EXPECT_TRUE(lh.empty());
+    EXPECT_EQ(lh.quantile(0.0), 0);
+    EXPECT_EQ(lh.quantile(0.99), 0);
+    EXPECT_EQ(lh.quantile(1.0), 0);
+}
+
+TEST(HistogramEdges, QuantileOneIsTheMaximumNotOnePastIt) {
+    CountHistogram ch;
+    for (std::int64_t v : {1, 2, 3, 4}) ch.add(v);
+    // floor(1.0 * 4) = 4 would index past the last sample; the clamp makes
+    // q = 1.0 the maximum.
+    EXPECT_EQ(ch.quantile(1.0), 4);
+    EXPECT_EQ(ch.quantile(0.0), 1);
+    // The pinned sorted[n/2] median convention: sorted[2] of {1,2,3,4} = 3.
+    EXPECT_EQ(ch.quantile(0.5), 3);
+
+    Log2Histogram lh;
+    lh.add(5);
+    lh.add(1000);
+    EXPECT_EQ(lh.quantile(1.0), Log2Histogram::bucket_floor(
+                                    Log2Histogram::index_of(1000)));
+    EXPECT_EQ(lh.quantile(0.0), 5);
+}
+
+TEST(HistogramEdges, OutOfRangeQuantilesClampToTheBounds) {
+    CountHistogram ch;
+    for (std::int64_t v : {10, 20, 30}) ch.add(v);
+    EXPECT_EQ(ch.quantile(-0.5), ch.quantile(0.0));
+    EXPECT_EQ(ch.quantile(1.5), ch.quantile(1.0));
+    EXPECT_EQ(ch.quantile(-1e300), 10);
+    EXPECT_EQ(ch.quantile(1e300), 30);
+
+    Log2Histogram lh;
+    lh.add(3);
+    lh.add(700);
+    EXPECT_EQ(lh.quantile(-2.0), lh.quantile(0.0));
+    EXPECT_EQ(lh.quantile(42.0), lh.quantile(1.0));
+}
+
+TEST(HistogramEdges, SingleSampleIsEveryQuantile) {
+    CountHistogram ch;
+    ch.add(9);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) EXPECT_EQ(ch.quantile(q), 9);
+    Log2Histogram lh;
+    lh.add(6);
+    for (double q : {0.0, 0.5, 1.0}) EXPECT_EQ(lh.quantile(q), 6);
+}
+
+TEST(HistogramEdges, DiffExtractsTheIntervalAndPreservesQuantiles) {
+    CountHistogram cumulative;
+    cumulative.add(1);
+    cumulative.add(2);
+    const CountHistogram prev = cumulative;
+    cumulative.add(5);
+    cumulative.add(5);
+    const CountHistogram interval = cumulative.diff(prev);
+    EXPECT_EQ(interval.total(), 2u);
+    EXPECT_EQ(interval.min(), 5);
+    EXPECT_EQ(interval.max(), 5);
+
+    Log2Histogram lcum;
+    lcum.add(100);
+    const Log2Histogram lprev = lcum;
+    lcum.add(4000);
+    const Log2Histogram linterval = lcum.diff(lprev);
+    EXPECT_EQ(linterval.total(), 1u);
+    EXPECT_EQ(linterval.quantile(0.5),
+              Log2Histogram::bucket_floor(Log2Histogram::index_of(4000)));
+}
+
+TEST(HistogramEdgesDeathTest, CountDiffAbortsOnRegressedHistory) {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    CountHistogram later;
+    later.add(2);
+    CountHistogram bogus_prev;
+    bogus_prev.add(1);
+    bogus_prev.add(1);  // more total than `later`: not a prefix history
+    EXPECT_DEATH((void)later.diff(bogus_prev), "not a prefix history");
+
+    CountHistogram shifted;  // same total, smaller bucket: count regressed
+    shifted.add(1);
+    EXPECT_DEATH((void)later.diff(shifted), "regressed");
+}
+
+TEST(HistogramEdgesDeathTest, Log2DiffAbortsOnRegressedHistory) {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    Log2Histogram later;
+    later.add(64);
+    Log2Histogram bogus_prev;
+    bogus_prev.add(64);
+    bogus_prev.add(64);
+    EXPECT_DEATH((void)later.diff(bogus_prev), "not a prefix history");
+
+    Log2Histogram shifted;
+    shifted.add(128);
+    EXPECT_DEATH((void)later.diff(shifted), "regressed");
+}
+
+TEST(HistogramEdgesDeathTest, LookupTrafficDiffAbortsOnRegressedCounter) {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    LookupTraffic later;
+    later.issued = 5;
+    later.completed = 5;
+    LookupTraffic bogus_prev;
+    bogus_prev.issued = 6;  // regressed relative to `later`
+    EXPECT_DEATH((void)later.diff(bogus_prev), "counter regressed");
+}
+
+}  // namespace
+}  // namespace kadsim::stats

@@ -1,0 +1,141 @@
+// serve::ResultCache — the shared content-addressed on-disk series cache
+// (promoted from the per-process bench cache; bench/common.cpp now delegates
+// here, so these tests also pin the bench cache's behavior).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/experiment.h"
+#include "serve/result_cache.h"
+
+namespace kadsim::serve {
+namespace {
+
+struct TempDir {
+    explicit TempDir(const char* tag) {
+        path = (std::filesystem::temp_directory_path() /
+                (std::string("kadsim_") + tag + "_" + std::to_string(::getpid())))
+                   .string();
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+core::ExperimentSeries sample_series() {
+    core::ExperimentSeries series;
+    for (int i = 0; i < 3; ++i) {
+        core::ResilienceSample s;
+        s.time_min = 30.0 * i;
+        s.n = 100 - i;
+        s.m = 900 + i;
+        s.kappa_min = 7 - i;
+        s.kappa_avg = 8.25 + 0.5 * i;
+        s.scc_count = 1;
+        s.reciprocity = 0.987;
+        s.pairs_evaluated = 42u + static_cast<std::uint64_t>(i);
+        s.lambda_min = 8 - i;
+        s.lookup_hop_p99 = 4.5;
+        series.samples.push_back(s);
+    }
+    return series;
+}
+
+TEST(ResultCache, StoreLoadRoundTripIsByteStable) {
+    TempDir tmp("result_cache");
+    ResultCache cache(tmp.path);
+    const auto series = sample_series();
+    ASSERT_TRUE(cache.store("key-1", series));
+
+    core::ExperimentSeries loaded;
+    ASSERT_TRUE(cache.load("key-1", loaded));
+    ASSERT_EQ(loaded.samples.size(), series.samples.size());
+    for (std::size_t i = 0; i < series.samples.size(); ++i) {
+        EXPECT_EQ(ResultCache::format_sample_row(loaded.samples[i]),
+                  ResultCache::format_sample_row(series.samples[i]))
+            << "row " << i << " changed across store/load";
+    }
+}
+
+TEST(ResultCache, MissOnAbsentKeyAndUnwritableRootFailsLoudly) {
+    TempDir tmp("result_cache_miss");
+    ResultCache cache(tmp.path);
+    core::ExperimentSeries out;
+    EXPECT_FALSE(cache.load("never-stored", out));
+    EXPECT_TRUE(out.samples.empty());
+
+    // A root that cannot be created: a path through an existing *file*.
+    const std::string blocker = tmp.path;
+    std::filesystem::create_directories(blocker);
+    std::ofstream(blocker + "/file").put('x');
+    ResultCache bad(blocker + "/file/cache");
+    EXPECT_FALSE(bad.store("k", sample_series()))
+        << "store into an uncreatable root must report failure";
+}
+
+TEST(ResultCache, KeyOnFirstLineGuardsAgainstCollisionAndSchemeChange) {
+    TempDir tmp("result_cache_key");
+    ResultCache cache(tmp.path);
+    ASSERT_TRUE(cache.store("key-a", sample_series()));
+    // Overwrite the entry file with one claiming a different key: the load
+    // must treat it as a miss, never serve the wrong series.
+    {
+        std::ofstream out(cache.entry_path("key-a"), std::ios::trunc);
+        out << "# some-other-key\n"
+            << ResultCache::csv_header() << '\n'
+            << ResultCache::format_sample_row(sample_series().samples[0]) << '\n';
+    }
+    core::ExperimentSeries out;
+    EXPECT_FALSE(cache.load("key-a", out));
+}
+
+TEST(ResultCache, StaleSchemaRowsReadAsMiss) {
+    TempDir tmp("result_cache_schema");
+    ResultCache cache(tmp.path);
+    ASSERT_TRUE(cache.store("key-a", sample_series()));
+    // Truncate each row to its first nine columns, simulating an entry
+    // written before the metric columns were appended.
+    {
+        std::ofstream out(cache.entry_path("key-a"), std::ios::trunc);
+        out << "# key-a\n" << ResultCache::csv_header() << '\n'
+            << "0,100,900,7,8.25,1,0.987,42,0\n";
+    }
+    core::ExperimentSeries out;
+    EXPECT_FALSE(cache.load("key-a", out)) << "short rows must force a re-run";
+}
+
+TEST(ResultCache, StoreNeverLeavesTempFilesBehind) {
+    TempDir tmp("result_cache_tmp");
+    ResultCache cache(tmp.path);
+    ASSERT_TRUE(cache.store("k1", sample_series()));
+    ASSERT_TRUE(cache.store("k2", sample_series()));
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(tmp.path)) {
+        ++files;
+        EXPECT_EQ(entry.path().extension(), ".csv")
+            << "leftover non-entry file: " << entry.path();
+    }
+    EXPECT_EQ(files, 2u);
+}
+
+TEST(ResultCache, ParseRejectsMalformedAndOverlongRows) {
+    const std::string good =
+        ResultCache::format_sample_row(sample_series().samples[0]);
+    core::ResilienceSample out;
+    EXPECT_TRUE(ResultCache::parse_sample_row(good, out));
+    EXPECT_FALSE(ResultCache::parse_sample_row(good + ",1", out)) << "extra column";
+    EXPECT_FALSE(ResultCache::parse_sample_row(good.substr(0, good.rfind(',')), out))
+        << "missing column";
+    EXPECT_FALSE(ResultCache::parse_sample_row("", out));
+    std::string corrupt = good;
+    corrupt[corrupt.find(',') + 1] = 'x';
+    EXPECT_FALSE(ResultCache::parse_sample_row(corrupt, out));
+}
+
+}  // namespace
+}  // namespace kadsim::serve

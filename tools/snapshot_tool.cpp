@@ -41,7 +41,20 @@ graph::RoutingSnapshot load_snapshot(const std::string& path) {
     // must not go through newline translation.
     std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("cannot open snapshot file: " + path);
-    return graph::RoutingSnapshot::parse(in);
+    graph::RoutingSnapshot snap;
+    try {
+        snap = graph::RoutingSnapshot::parse(in);
+    } catch (const std::exception& e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+    // An empty result means the file held no snapshot data at all (empty
+    // file, or a format parse() does not recognize as either text or KSNP):
+    // every command needs nodes to operate on, so fail here with the path.
+    if (snap.nodes.empty()) {
+        throw std::runtime_error(path + ": no nodes parsed (empty or unrecognized "
+                                        "snapshot file)");
+    }
+    return snap;
 }
 
 void save_snapshot(const graph::RoutingSnapshot& snap, const std::string& path,
@@ -53,6 +66,7 @@ void save_snapshot(const graph::RoutingSnapshot& snap, const std::string& path,
     } else {
         snap.save(out);
     }
+    out.flush();
     if (!out) throw std::runtime_error("write failed: " + path);
 }
 
@@ -86,7 +100,8 @@ int cmd_convert(const util::CliArgs& args) {
     const bool to_binary = args.has("to-binary");
     const bool to_text = args.has("to-text");
     if (to_binary == to_text) {
-        std::fprintf(stderr, "convert needs exactly one of --to-binary / --to-text\n");
+        std::fprintf(stderr,
+                     "error: convert needs exactly one of --to-binary / --to-text\n");
         return 2;
     }
     const std::string in_path = args.get(std::string("in"), "snapshot.txt");
@@ -148,13 +163,13 @@ int cmd_cut(const util::CliArgs& args) {
             }
         }
         if (from < 0) {
-            std::fprintf(stderr, "graph is complete: kappa = n-1, no cut\n");
+            std::fprintf(stderr, "error: graph is complete: kappa = n-1, no cut\n");
             return 1;
         }
     }
     if (from >= g.vertex_count() || to >= g.vertex_count() || from == to ||
         g.has_edge(from, to)) {
-        std::fprintf(stderr, "need two distinct, non-adjacent vertex indices\n");
+        std::fprintf(stderr, "error: need two distinct, non-adjacent vertex indices\n");
         return 1;
     }
     const auto cut = flow::min_vertex_cut(g, from, to);
@@ -172,10 +187,20 @@ int cmd_dimacs(const util::CliArgs& args) {
     const auto g = snap.to_digraph();
     const int from = static_cast<int>(args.get_int("from", 0));
     const int to = static_cast<int>(args.get_int("to", g.vertex_count() - 1));
+    if (from < 0 || to < 0 || from >= g.vertex_count() || to >= g.vertex_count() ||
+        from == to) {
+        std::fprintf(stderr,
+                     "error: --from/--to must be distinct vertex indices in [0, %d)\n",
+                     g.vertex_count());
+        return 1;
+    }
     const std::string out_path = args.get(std::string("out"), "problem.max");
     const auto net = flow::even_transform(g);
     std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open output file: " + out_path);
     flow::write_dimacs(net, flow::out_vertex(from), flow::in_vertex(to), out);
+    out.flush();
+    if (!out) throw std::runtime_error("write failed: " + out_path);
     std::printf("wrote DIMACS max-flow problem (%d vertices, %d arcs) to %s\n",
                 net.vertex_count(), net.arc_count() / 2, out_path.c_str());
     return 0;
@@ -228,6 +253,6 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    std::fprintf(stderr, "error: unknown command: %s\n", command.c_str());
     return 2;
 }
